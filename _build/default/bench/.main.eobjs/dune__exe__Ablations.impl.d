@@ -1,0 +1,1 @@
+bench/ablations.ml: Alloc Area_model Bench_common Budget Curve Dfg Float Flows Idct Interpolation Interval Library List Option Printf Random_design Text_table Timed_dfg

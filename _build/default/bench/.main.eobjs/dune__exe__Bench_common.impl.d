@@ -1,0 +1,1 @@
+bench/bench_common.ml: Analyze Bechamel Benchmark Hashtbl Library Measure Printf Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array String Sys Tables

@@ -1,0 +1,21 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index), then runs the
+   ablation sweeps.  `dune exec bench/main.exe` prints everything;
+   `dune exec bench/main.exe -- --quick` skips the slow sections. *)
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  print_endline "slackhls benchmark harness";
+  print_endline "reproducing: Kondratyev et al., 'Exploiting area/delay tradeoffs";
+  print_endline "in high-level synthesis', DATE 2012";
+  Tables.table1 ();
+  Tables.table2 ();
+  Tables.table3 ();
+  Tables.table4 ();
+  Tables.customer ~count:(if quick then 20 else 100) ();
+  if not quick then Tables.table5 ()
+  else print_endline "\n(table 5 timing skipped in --quick mode)";
+  if not quick then Ablations.run ()
+  else print_endline "(ablations skipped in --quick mode)";
+  print_newline ();
+  print_endline "done."

@@ -1,0 +1,323 @@
+(* Reproduction of every table and figure in the paper's evaluation.  Each
+   section prints the paper's reported values next to our measured ones;
+   absolute areas come from our virtual library and area model, so the
+   comparison targets the *shape* (who wins, by roughly what factor). *)
+
+open Bench_common
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: area/delay tradeoffs of the characterised resources.      *)
+
+let table1 () =
+  section "Table 1: area/delay trade-offs for multiplier and adder";
+  let render name curve =
+    let pts = Curve.points curve in
+    let t =
+      Text_table.create
+        ~headers:(name :: List.map (fun (p : Curve.point) -> Printf.sprintf "%.0f" p.Curve.delay) pts)
+    in
+    Text_table.add_row t
+      ("area" :: List.map (fun (p : Curve.point) -> Printf.sprintf "%.0f" p.Curve.area) pts);
+    Text_table.print t
+  in
+  print_endline "(embedded verbatim from the paper; delays in ps)";
+  render "Mul 8*8bit delay" Library.table1_multiplier_8x8;
+  print_newline ();
+  render "Add 16bit delay" Library.table1_adder_16;
+  print_newline ();
+  print_endline "Derived width-scaled curves (our characterisation model):";
+  List.iter
+    (fun (rk, w) ->
+      Format.printf "  %-10s w%-3d: %a@." (Resource_kind.name rk) w Curve.pp
+        (Library.curve realistic rk ~width:w))
+    [ (Resource_kind.Multiplier, 16); (Resource_kind.Adder, 32); (Resource_kind.Divider, 16) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 + Table 2: interpolation example, three scheduling styles. *)
+
+let flow_fu_areas flow =
+  let ip = Interpolation.unrolled () in
+  match Flows.run flow ip.Interpolation.dfg ~lib:ideal ~clock:Interpolation.clock with
+  | Error m -> Error m
+  | Ok r ->
+    let sched = r.Flows.schedule in
+    let mul = Area_model.fu_of_kind sched Resource_kind.Multiplier in
+    let add = Area_model.fu_of_kind sched Resource_kind.Adder in
+    Ok (sched, mul, add)
+
+let table2 () =
+  section "Table 2: comparison of scheduling solutions (interpolation, T=1100ps)";
+  let t =
+    Text_table.create
+      ~headers:[ "Impl"; "Mult area"; "Add area"; "Mul+Add"; "Paper"; "Delta" ]
+  in
+  let paper = [ ("Case1 (conventional)", Flows.Conventional, 3408.0);
+                ("Case2 (slowest-first)", Flows.Slowest_first, 3419.0);
+                ("Opt (slack-based)", Flows.Slack_based, 2180.0) ] in
+  let schedules = ref [] in
+  List.iter
+    (fun (label, flow, paper_area) ->
+      match flow_fu_areas flow with
+      | Error m -> Text_table.add_row t [ label; "FAILED: " ^ m ]
+      | Ok (sched, mul, add) ->
+        let total = mul +. add in
+        schedules := (label, sched) :: !schedules;
+        Text_table.add_row t
+          [
+            label;
+            Printf.sprintf "%.0f" mul;
+            Printf.sprintf "%.0f" add;
+            Printf.sprintf "%.0f" total;
+            Printf.sprintf "%.0f" paper_area;
+            Printf.sprintf "%+.1f%%" (100.0 *. (total -. paper_area) /. paper_area);
+          ])
+    paper;
+  Text_table.print t;
+  print_newline ();
+  print_endline
+    "Figure 2 (b)-(d): the schedules behind the three rows (states x ops):";
+  List.iter
+    (fun (label, sched) -> Format.printf "@.%s:@.%a@." label Schedule.pp sched)
+    (List.rev !schedules)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: symbolic sequential slack on the resizer main computation. *)
+
+let table3 () =
+  section "Table 3: sequential slack computation (resizer, symbolic in T, D, d)";
+  let r = Resizer.table3 () in
+  let spans = Dfg.compute_spans r.Resizer.dfg in
+  let tdfg = Timed_dfg.build r.Resizer.dfg ~spans in
+  let tT = Affine.param "T" and dD = Affine.param "D" and dd = Affine.param "d" in
+  let is_io o =
+    List.exists (Dfg.Op_id.equal o) [ r.Resizer.rd_a; r.Resizer.rd_b; r.Resizer.wr ]
+  in
+  let del o = if is_io o then dd else dD in
+  let res = Parametric.analyze tdfg ~clock:tT ~del ~samples:Resizer.table3_samples in
+  let t = Text_table.create ~headers:[ "Op"; "Arr(op)"; "Req(op)"; "slack(op)"; "Paper slack"; "Match" ] in
+  Text_table.set_align t 1 Text_table.Left;
+  Text_table.set_align t 2 Text_table.Left;
+  Text_table.set_align t 3 Text_table.Left;
+  let order = [ "T"; "D"; "d" ] in
+  let paper_slack =
+    [
+      (r.Resizer.rd_a, "2T - 4D - d", (2., -4., -1.));
+      (r.Resizer.add, "2T - 4D - d", (2., -4., -1.));
+      (r.Resizer.div, "2T - 4D - d", (2., -4., -1.));
+      (r.Resizer.sub, "2T - 4D - d", (2., -4., -1.));
+      (r.Resizer.rd_b, "T - 2D - d", (1., -2., -1.));
+      (r.Resizer.mul, "T - 2D - d", (1., -2., -1.));
+      (r.Resizer.mux, "2T - 4D - d", (2., -4., -1.));
+      (r.Resizer.wr, "3T - 4D - 2d", (3., -4., -2.));
+    ]
+  in
+  List.iter
+    (fun (o, paper, (ct, cd_, cdd)) ->
+      let i = Dfg.Op_id.to_int o in
+      let expected =
+        Affine.add (Affine.add (Affine.scale ct tT) (Affine.scale cd_ dD)) (Affine.scale cdd dd)
+      in
+      let ok = Affine.equal expected res.Parametric.slack.(i) in
+      Text_table.add_row t
+        [
+          (Dfg.op r.Resizer.dfg o).Dfg.name;
+          Affine.to_string ~order res.Parametric.arr.(i);
+          Affine.to_string ~order res.Parametric.req.(i);
+          Affine.to_string ~order res.Parametric.slack.(i);
+          paper;
+          (if ok then "yes" else "NO");
+        ])
+    paper_slack;
+  Text_table.print t;
+  let critical = Parametric.critical_ops tdfg res ~samples:Resizer.table3_samples in
+  Printf.printf "\nCritical path (equal minimal slack): %s\n"
+    (String.concat " -> "
+       (List.map (fun o -> (Dfg.op r.Resizer.dfg o).Dfg.name) critical));
+  print_endline "Paper: rd_a -> add -> div -> sub -> mux"
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: IDCT design-space exploration.                             *)
+
+let paper_table4 =
+  [ ("D1", 0.1); ("D2", 2.3); ("D3", 17.3); ("D4", 17.2); ("D5", -5.5); ("D6", -3.0);
+    ("D7", -4.7); ("D8", 10.7); ("D9", 16.0); ("D10", 16.4); ("D11", 14.2); ("D12", 2.3);
+    ("D13", 26.2); ("D14", 8.0); ("D15", 16.0) ]
+
+let table4 () =
+  section "Table 4: area savings for the slack-based approach (IDCT exploration)";
+  let t =
+    Text_table.create
+      ~headers:[ "Des"; "Lat"; "Kernel"; "A_conv"; "A_slack"; "Save %"; "Paper save %" ]
+  in
+  let savings = ref [] in
+  List.iter
+    (fun (p : Idct.design_point) ->
+      let run flow =
+        let d = Idct.instantiate p in
+        match Flows.run ?ii:p.Idct.ii flow d.Idct.dfg ~lib:realistic ~clock:p.Idct.clock with
+        | Ok r -> Some (Area_model.of_schedule r.Flows.schedule).Area_model.total
+        | Error _ -> None
+      in
+      let a_conv = run Flows.Conventional and a_slack = run Flows.Slack_based in
+      let save =
+        match (a_conv, a_slack) with
+        | Some c, Some s -> Some (100.0 *. (c -. s) /. c)
+        | _ -> None
+      in
+      (match save with Some s -> savings := s :: !savings | None -> ());
+      let paper = List.assoc p.Idct.id paper_table4 in
+      let cell = function Some v -> Printf.sprintf "%.0f" v | None -> "fail" in
+      Text_table.add_row t
+        [
+          p.Idct.id;
+          string_of_int p.Idct.latency;
+          (match p.Idct.ii with
+          | None -> "1-D"
+          | Some ii -> Printf.sprintf "II=%d" ii);
+          cell a_conv;
+          cell a_slack;
+          (match save with Some s -> Printf.sprintf "%.1f" s | None -> "-");
+          Printf.sprintf "%.1f" paper;
+        ])
+    Idct.table4_points;
+  Text_table.add_separator t;
+  let avg = List.fold_left ( +. ) 0.0 !savings /. float_of_int (max 1 (List.length !savings)) in
+  Text_table.add_row t [ "Average"; ""; ""; ""; ""; Printf.sprintf "%.1f" avg; "8.9" ];
+  Text_table.print t;
+  (* The paper frames the exploration as covering a 20x power range, a 7x
+     throughput range and a 1.5x area range; measure the same spreads over
+     our slack-based implementations of the 15 points. *)
+  let metrics =
+    List.filter_map
+      (fun (p : Idct.design_point) ->
+        let d = Idct.instantiate p in
+        match Flows.run ?ii:p.Idct.ii Flows.Slack_based d.Idct.dfg ~lib:realistic ~clock:p.Idct.clock with
+        | Error _ -> None
+        | Ok r ->
+          let cycles = Option.value ~default:p.Idct.latency p.Idct.ii in
+          let sched = r.Flows.schedule in
+          Some
+            ( Area_model.power sched ~cycles_per_sample:cycles,
+              1.0 /. (float_of_int cycles *. p.Idct.clock),
+              (Area_model.of_schedule sched).Area_model.total ))
+      Idct.table4_points
+  in
+  let spread f =
+    let vs = List.map f metrics in
+    List.fold_left Float.max neg_infinity vs /. List.fold_left Float.min infinity vs
+  in
+  Printf.printf
+    "\nexploration ranges (paper: ~20x power, 7x throughput, 1.5x area):\n\
+    \  measured: %.1fx power, %.1fx throughput, %.1fx area\n"
+    (spread (fun (p, _, _) -> p))
+    (spread (fun (_, t, _) -> t))
+    (spread (fun (_, _, a) -> a))
+
+(* ------------------------------------------------------------------ *)
+(* Customer-design surrogate (paper §VII, ~5% average).                *)
+
+let customer ?(count = 100) () =
+  section
+    (Printf.sprintf
+       "Customer-design surrogate: %d seeded random behavioral designs (paper: ~5%% mean)"
+       count);
+  let designs = Random_design.suite ~count ~seed:20120312 () in
+  let savings = ref [] and fails = ref 0 in
+  List.iter
+    (fun (d : Random_design.t) ->
+      let hd =
+        Hls.design ~name:d.Random_design.name ~clock:d.Random_design.suggested_clock
+          d.Random_design.dfg
+      in
+      match (Hls.compare_flows ~lib:realistic hd).Hls.saving_pct with
+      | Some s -> savings := s :: !savings
+      | None -> incr fails)
+    designs;
+  let n = List.length !savings in
+  let avg = List.fold_left ( +. ) 0.0 !savings /. float_of_int (max 1 n) in
+  let neg = List.length (List.filter (fun s -> s < 0.0) !savings) in
+  Printf.printf
+    "designs completed by both flows: %d/%d\naverage saving: %.1f%% (min %.1f%%, max %.1f%%)\n\
+     designs where slack-based lost: %d (paper also reports such cases: D5-D7)\n"
+    n count avg
+    (List.fold_left Float.min infinity !savings)
+    (List.fold_left Float.max neg_infinity !savings)
+    neg;
+  ignore fails
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: relative scheduling execution times.                       *)
+
+let table5 () =
+  section "Table 5: relative scheduling execution times (design D1)";
+  let p = List.hd Idct.table4_points in
+  let run_with flow config () =
+    let d = Idct.instantiate p in
+    match Flows.run ~config flow d.Idct.dfg ~lib:realistic ~clock:p.Idct.clock with
+    | Ok _ -> ()
+    | Error m -> failwith m
+  in
+  let base_cfg = Flows.default_config in
+  let bf_cfg =
+    {
+      base_cfg with
+      Flows.budget_config =
+        { base_cfg.Flows.budget_config with Budget.engine = Budget.Bellman_ford_baseline };
+      rebudget_config =
+        Option.map
+          (fun c -> { c with Budget.engine = Budget.Bellman_ford_baseline })
+          base_cfg.Flows.rebudget_config;
+    }
+  in
+  Printf.printf "measuring (bechamel, monotonic clock)...\n%!";
+  let t_conv = measure_ns ~quota:2.0 "conventional" (run_with Flows.Conventional base_cfg) in
+  let t_slack = measure_ns ~quota:2.0 "slack" (run_with Flows.Slack_based base_cfg) in
+  let t_bf = measure_ns ~quota:3.0 "slack-bf" (run_with Flows.Slack_based bf_cfg) in
+  let t = Text_table.create ~headers:[ ""; "Conventional"; "Sequential slack"; "Bellman-Ford" ] in
+  Text_table.add_row t [ "time/run"; pp_ns t_conv; pp_ns t_slack; pp_ns t_bf ];
+  Text_table.add_row t
+    [
+      "relative";
+      "1.00";
+      Printf.sprintf "%.2f" (t_slack /. t_conv);
+      Printf.sprintf "%.2f" (t_bf /. t_conv);
+    ];
+  Text_table.add_row t [ "paper"; "1"; "1.18"; "10.2" ];
+  Text_table.print t;
+  (* The raw engine gap, isolated from scheduling. *)
+  subsection "timing-analysis engines in isolation (same timed DFG)";
+  let d = Idct.instantiate p in
+  let spans = Dfg.compute_spans d.Idct.dfg in
+  let tdfg = Timed_dfg.build d.Idct.dfg ~spans in
+  let del o =
+    let op = Dfg.op d.Idct.dfg o in
+    match Library.op_curve realistic op.Dfg.kind ~width:op.Dfg.width with
+    | Some c -> Curve.min_delay c
+    | None -> 0.0
+  in
+  let two = measure_ns "two-pass" (fun () -> ignore (Slack.analyze tdfg ~clock:p.Idct.clock ~del)) in
+  let bf = measure_ns "bellman-ford" (fun () -> ignore (Bf_timing.analyze tdfg ~clock:p.Idct.clock ~del)) in
+  Printf.printf "two-pass %s vs bellman-ford %s: %.1fx\n" (pp_ns two) (pp_ns bf) (bf /. two);
+  (* The asymptotic O(V*E) vs O(E) gap needs larger/deeper graphs to show
+     (the paper's industrial D1 is far larger than our kernel); sweep the
+     IDCT pass count to expose the divergence. *)
+  subsection "engine scaling with design size (chained IDCT passes)";
+  let t2 = Text_table.create ~headers:[ "passes"; "ops"; "two-pass"; "bellman-ford"; "ratio" ] in
+  List.iter
+    (fun passes ->
+      let d = Idct.build ~latency:(8 * passes) ~passes () in
+      let spans = Dfg.compute_spans d.Idct.dfg in
+      let tdfg = Timed_dfg.build d.Idct.dfg ~spans in
+      let del o =
+        let op = Dfg.op d.Idct.dfg o in
+        match Library.op_curve realistic op.Dfg.kind ~width:op.Dfg.width with
+        | Some c -> Curve.min_delay c
+        | None -> 0.0
+      in
+      let two = measure_ns ~quota:0.5 "two" (fun () -> ignore (Slack.analyze tdfg ~clock:2500.0 ~del)) in
+      let bf = measure_ns ~quota:0.5 "bf" (fun () -> ignore (Bf_timing.analyze tdfg ~clock:2500.0 ~del)) in
+      Text_table.add_row t2
+        [ string_of_int passes; string_of_int (Dfg.op_count d.Idct.dfg);
+          pp_ns two; pp_ns bf; Printf.sprintf "%.1fx" (bf /. two) ])
+    [ 1; 2; 4; 8; 16 ];
+  Text_table.print t2

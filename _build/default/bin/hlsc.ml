@@ -1,0 +1,264 @@
+(* hlsc — command-line front end for the slackhls library.
+
+   Subcommands:
+     run      parse a behavioral source (or pick a built-in design), run a
+              flow, print the schedule, allocation and area breakdown
+     compare  run conventional and slack-based flows side by side
+     slack    print the pre-schedule sequential-slack report
+     emit     run a flow and write the Verilog rendering
+     explore  IDCT design-space exploration (the paper's Table 4) *)
+
+open Cmdliner
+
+let lib_of = function
+  | "default" | "virt90" -> Ok Library.default
+  | "ideal" | "idealized" -> Ok Library.idealized
+  | s -> Error (Printf.sprintf "unknown library %S (try: default, ideal)" s)
+
+let builtin_designs =
+  [
+    ("interpolation", fun () ->
+        let ip = Interpolation.unrolled () in
+        (ip.Interpolation.dfg, Interpolation.clock));
+    ("resizer", fun () ->
+        let r = Resizer.full () in
+        (r.Resizer.dfg, 4000.0));
+    ("idct", fun () ->
+        let d = Idct.build ~latency:12 ~passes:1 () in
+        (d.Idct.dfg, 2500.0));
+    ("fir8", fun () ->
+        let f = Fir.build ~taps:8 ~latency:6 () in
+        (f.Fir.dfg, 2500.0));
+  ]
+
+let load_design ~source ~builtin ~clock =
+  match (source, builtin) with
+  | Some path, None -> (
+    try
+      let p = Parser.parse_file path in
+      let e = Elaborate.elaborate p in
+      let clock = Option.value ~default:2500.0 clock in
+      Ok (Hls.design ~name:p.Ast.proc_name ~clock e.Elaborate.dfg)
+    with
+    | Parser.Error { line; message } ->
+      Error (Printf.sprintf "%s:%d: parse error: %s" path line message)
+    | Lexer.Error { line; message } ->
+      Error (Printf.sprintf "%s:%d: lex error: %s" path line message)
+    | Elaborate.Error m -> Error (Printf.sprintf "%s: elaboration error: %s" path m)
+    | Sys_error m -> Error m)
+  | None, Some name -> (
+    match List.assoc_opt name builtin_designs with
+    | Some mk ->
+      let dfg, default_clock = mk () in
+      Ok (Hls.design ~name ~clock:(Option.value ~default:default_clock clock) dfg)
+    | None ->
+      Error
+        (Printf.sprintf "unknown builtin %S (try: %s)" name
+           (String.concat ", " (List.map fst builtin_designs))))
+  | Some _, Some _ -> Error "pass either a source file or --design, not both"
+  | None, None -> Error "pass a source file or --design NAME"
+
+let flow_of = function
+  | "conventional" | "conv" -> Ok Flows.Conventional
+  | "slowest" | "slowest-first" -> Ok Flows.Slowest_first
+  | "slack" | "slack-based" -> Ok Flows.Slack_based
+  | s -> Error (Printf.sprintf "unknown flow %S (try: conventional, slowest, slack)" s)
+
+(* Common options *)
+
+let source_arg =
+  Arg.(value & pos ~rev:false 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"Behavioral source file.")
+
+let design_arg =
+  Arg.(value & opt (some string) None & info [ "design"; "d" ] ~docv:"NAME"
+         ~doc:"Built-in design: interpolation, resizer, idct, fir8.")
+
+let clock_arg =
+  Arg.(value & opt (some float) None & info [ "clock"; "c" ] ~docv:"PS"
+         ~doc:"Clock period in picoseconds.")
+
+let lib_arg =
+  Arg.(value & opt string "default" & info [ "library"; "l" ] ~docv:"LIB"
+         ~doc:"Technology library: default (with interconnect overheads) or ideal.")
+
+let flow_arg =
+  Arg.(value & opt string "slack" & info [ "flow"; "f" ] ~docv:"FLOW"
+         ~doc:"Scheduling flow: conventional, slowest or slack (default).")
+
+let ( let* ) = Result.bind
+
+let report_result r =
+  let sched = r.Hls.report.Flows.schedule in
+  Format.printf "design %s: flow %s, clock %.0f ps@." r.Hls.design.Hls.design_name
+    (Flows.flow_name r.Hls.report.Flows.flow)
+    r.Hls.design.Hls.clock;
+  Format.printf "%a@." Schedule.pp sched;
+  Format.printf "%a@." Alloc.pp sched.Schedule.alloc;
+  Format.printf "area: %a@." Area_model.pp_breakdown r.Hls.area;
+  Format.printf "netlist: %a@." Netlist.pp_stats (Netlist.stats r.Hls.netlist);
+  Format.printf "relaxations: %d, recovery re-grades: %d@." r.Hls.report.Flows.relaxations
+    r.Hls.report.Flows.regrades
+
+let run_cmd source builtin clock lib flow =
+  let result =
+    let* lib = lib_of lib in
+    let* flow = flow_of flow in
+    let* d = load_design ~source ~builtin ~clock in
+    let* r = Hls.run ~lib flow d in
+    Ok (report_result r)
+  in
+  match result with
+  | Ok () -> 0
+  | Error m ->
+    Printf.eprintf "hlsc: %s\n" m;
+    1
+
+let compare_cmd source builtin clock lib =
+  let result =
+    let* lib = lib_of lib in
+    let* d = load_design ~source ~builtin ~clock in
+    let c = Hls.compare_flows ~lib d in
+    (match c.Hls.conventional with
+    | Ok r -> Printf.printf "conventional: total area %.0f\n" (Hls.total_area r)
+    | Error m -> Printf.printf "conventional: FAILED (%s)\n" m);
+    (match c.Hls.slack_based with
+    | Ok r -> Printf.printf "slack-based:  total area %.0f\n" (Hls.total_area r)
+    | Error m -> Printf.printf "slack-based:  FAILED (%s)\n" m);
+    (match c.Hls.saving_pct with
+    | Some s -> Printf.printf "saving: %.1f%%\n" s
+    | None -> ());
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error m ->
+    Printf.eprintf "hlsc: %s\n" m;
+    1
+
+let slack_cmd source builtin clock lib =
+  let result =
+    let* lib = lib_of lib in
+    let* d = load_design ~source ~builtin ~clock in
+    let del o =
+      let op = Dfg.op d.Hls.dfg o in
+      match Library.op_curve lib op.Dfg.kind ~width:op.Dfg.width with
+      | Some c -> Curve.min_delay c
+      | None -> 0.0
+    in
+    let res = Hls.analyze_slack ~aligned:true d ~del in
+    Printf.printf "aligned sequential slack at fastest grades (clock %.0f ps):\n"
+      d.Hls.clock;
+    Dfg.iter_ops d.Hls.dfg (fun op ->
+        match op.Dfg.kind with
+        | Dfg.Const _ -> ()
+        | _ ->
+          let i = Dfg.Op_id.to_int op.Dfg.id in
+          Printf.printf "  %-16s arr %8.1f  req %8.1f  slack %8.1f\n" op.Dfg.name
+            res.Slack.arr.(i) res.Slack.req.(i) res.Slack.slack.(i));
+    Printf.printf "min slack: %.1f ps -> %s\n" res.Slack.min_slack
+      (if Slack.feasible res then "feasible (Prop. 1)" else "INFEASIBLE: relax latency or clock");
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error m ->
+    Printf.eprintf "hlsc: %s\n" m;
+    1
+
+let emit_cmd source builtin clock lib flow output =
+  let result =
+    let* lib = lib_of lib in
+    let* flow = flow_of flow in
+    let* d = load_design ~source ~builtin ~clock in
+    let* r = Hls.run ~lib flow d in
+    let path =
+      Option.value ~default:(d.Hls.design_name ^ ".v") output
+    in
+    Verilog.write_file ~module_name:d.Hls.design_name r.Hls.netlist ~path;
+    Printf.printf "wrote %s\n" path;
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error m ->
+    Printf.eprintf "hlsc: %s\n" m;
+    1
+
+let dot_cmd source builtin clock lib flow output =
+  let result =
+    let* lib = lib_of lib in
+    let* flow = flow_of flow in
+    let* d = load_design ~source ~builtin ~clock in
+    let* r = Hls.run ~lib flow d in
+    let sched = r.Hls.report.Flows.schedule in
+    let spans = Dfg.compute_spans d.Hls.dfg in
+    let base = Option.value ~default:d.Hls.design_name output in
+    let dump suffix contents =
+      let path = base ^ suffix in
+      Dot.write_file contents ~path;
+      Printf.printf "wrote %s
+" path
+    in
+    dump ".cfg.dot" (Dot.cfg (Dfg.cfg d.Hls.dfg));
+    dump ".dfg.dot" (Dot.dfg ~spans d.Hls.dfg);
+    dump ".timed.dot" (Dot.timed_dfg (Timed_dfg.build d.Hls.dfg ~spans));
+    dump ".sched.dot" (Dot.schedule sched);
+    Ok ()
+  in
+  match result with
+  | Ok () -> 0
+  | Error m ->
+    Printf.eprintf "hlsc: %s
+" m;
+    1
+
+let explore_cmd lib =
+  match lib_of lib with
+  | Error m ->
+    Printf.eprintf "hlsc: %s\n" m;
+    1
+  | Ok lib ->
+    let points =
+      List.map
+        (fun (p : Idct.design_point) ->
+          let d = Idct.instantiate p in
+          (p.Idct.id, Hls.design ?ii:p.Idct.ii ~name:d.Idct.name ~clock:p.Idct.clock d.Idct.dfg))
+        Idct.table4_points
+    in
+    let rows = Hls.explore ~lib points in
+    print_string (Hls.render_dse rows);
+    0
+
+let run_t =
+  Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
+    Term.(const run_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg)
+
+let compare_t =
+  Cmd.v (Cmd.info "compare" ~doc:"Conventional vs slack-based, side by side")
+    Term.(const compare_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg)
+
+let slack_t =
+  Cmd.v (Cmd.info "slack" ~doc:"Pre-schedule sequential-slack report")
+    Term.(const slack_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg)
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+         ~doc:"Output Verilog path.")
+
+let emit_t =
+  Cmd.v (Cmd.info "emit" ~doc:"Run a flow and write the Verilog rendering")
+    Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg $ output_arg)
+
+let explore_t =
+  Cmd.v (Cmd.info "explore" ~doc:"IDCT design-space exploration (paper Table 4)")
+    Term.(const explore_cmd $ lib_arg)
+
+let dot_t =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Dump Graphviz renderings (CFG, DFG+spans, timed DFG, schedule)")
+    Term.(const dot_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg $ output_arg)
+
+let () =
+  let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in
+  let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_t; compare_t; slack_t; emit_t; explore_t; dot_t ]))

@@ -1,0 +1,1 @@
+examples/custom_design.ml: Ast Cfg Dfg Elaborate Filename Flows Hls List Parser Printf String Transform Verilog

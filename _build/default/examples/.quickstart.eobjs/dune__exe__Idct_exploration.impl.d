@@ -1,0 +1,1 @@
+examples/idct_exploration.ml: Alloc Area_model Flows Format Hls Idct List Printf Schedule

@@ -1,0 +1,1 @@
+examples/idct_exploration.mli:

@@ -1,0 +1,1 @@
+examples/interpolation_tradeoff.ml: Alloc Area_model Curve Dfg Flows Interpolation Library List Printf Resource_kind Schedule Slack Timed_dfg

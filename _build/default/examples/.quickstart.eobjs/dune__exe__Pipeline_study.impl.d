@@ -1,0 +1,1 @@
+examples/pipeline_study.ml: Area_model Flows Idct Library List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Area_model Cfg Dfg Flows Format Hls Schedule

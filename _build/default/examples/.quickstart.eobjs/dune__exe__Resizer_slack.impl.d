@@ -1,0 +1,1 @@
+examples/resizer_slack.ml: Affine Array Cfg Dfg List Parametric Printf Resizer Slack String Timed_dfg

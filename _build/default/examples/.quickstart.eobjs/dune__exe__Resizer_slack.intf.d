@@ -1,0 +1,1 @@
+examples/resizer_slack.mli:

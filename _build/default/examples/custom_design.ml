@@ -1,0 +1,66 @@
+(* A design written in the textual behavioral language, compiled by the
+   full front end (lex -> parse -> unroll -> elaborate), scheduled, and
+   rendered to Verilog.
+
+     dune exec examples/custom_design.exe *)
+
+let source = {|
+// A small complex-multiply-accumulate kernel:
+//   (ar + i*ai) * (br + i*bi), accumulated over 2 unrolled iterations.
+process cmac {
+  port in ar : 16;
+  port in ai : 16;
+  port in br : 16;
+  port in bi : 16;
+  port out yr : 18;
+  port out yi : 18;
+  var accr : 18;
+  var acci : 18;
+  var xr : 16;
+  var xi : 16;
+  loop {
+    for (k = 0; k < 2; k++) {
+      xr = read(ar) * read(br) - read(ai) * read(bi);
+      xi = read(ar) * read(bi) + read(ai) * read(br);
+      accr = accr + xr;
+      acci = acci + xi;
+      wait;
+    }
+    wait;
+    write(yr, accr);
+    write(yi, acci);
+  }
+}
+|}
+
+let () =
+  let p = Parser.parse source in
+  Printf.printf "parsed process %S: %d statement(s), %d state(s) per iteration\n"
+    p.Ast.proc_name
+    (Transform.count_statements p.Ast.body)
+    (Transform.states_in p.Ast.body);
+  let e = Elaborate.elaborate p in
+  Printf.printf "elaborated: %d CFG nodes, %d CFG edges, %d DFG ops\n"
+    (Cfg.node_count e.Elaborate.cfg)
+    (Cfg.edge_count e.Elaborate.cfg)
+    (Dfg.op_count e.Elaborate.dfg);
+  let design = Hls.design ~name:p.Ast.proc_name ~clock:3000.0 e.Elaborate.dfg in
+  (match Hls.feasibility_check design with
+  | Ok () -> print_endline "feasibility (Prop. 1): ok at fastest grades"
+  | Error critical ->
+    Printf.printf "infeasible; critical ops: %s\n"
+      (String.concat ", "
+         (List.map (fun o -> (Dfg.op e.Elaborate.dfg o).Dfg.name) critical)));
+  let c = Hls.compare_flows design in
+  (match (c.Hls.conventional, c.Hls.slack_based, c.Hls.saving_pct) with
+  | Ok conv, Ok slack, Some s ->
+    Printf.printf "conventional %.0f vs slack-based %.0f: %.1f%% saved\n"
+      (Hls.total_area conv) (Hls.total_area slack) s
+  | _ -> print_endline "a flow failed");
+  match Hls.run Flows.Slack_based design with
+  | Error m -> print_endline ("slack flow failed: " ^ m)
+  | Ok r ->
+    let path = Filename.concat (Filename.get_temp_dir_name ()) "cmac.v" in
+    Verilog.write_file ~module_name:"cmac" r.Hls.netlist ~path;
+    Printf.printf "wrote %s (%d lines)\n" path
+      (String.split_on_char '\n' (Verilog.emit r.Hls.netlist) |> List.length)

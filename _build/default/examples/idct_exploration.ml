@@ -1,0 +1,30 @@
+(* Design-space exploration on the IDCT kernel (the paper's Table 4
+   experiment, reduced to a handful of points for a quick run).
+
+     dune exec examples/idct_exploration.exe *)
+
+let () =
+  let points =
+    List.map
+      (fun latency ->
+        let d = Idct.build ~latency ~passes:1 () in
+        ( Printf.sprintf "L%d" latency,
+          Hls.design ~name:d.Idct.name ~clock:2500.0 d.Idct.dfg ))
+      [ 24; 16; 12; 10 ]
+  in
+  print_endline "IDCT 8-point kernel (16 muls, 26 add/subs), clock 2.5 ns:";
+  let rows = Hls.explore points in
+  print_string (Hls.render_dse rows);
+  print_newline ();
+  (* Show where the savings come from at one point: the allocation. *)
+  let d = Idct.build ~latency:12 ~passes:1 () in
+  let design = Hls.design ~name:d.Idct.name ~clock:2500.0 d.Idct.dfg in
+  match (Hls.run Flows.Conventional design, Hls.run Flows.Slack_based design) with
+  | Ok conv, Ok slack ->
+    Format.printf "@.conventional allocation:@.%a@." Alloc.pp
+      conv.Hls.report.Flows.schedule.Schedule.alloc;
+    Format.printf "slack-based allocation:@.%a@." Alloc.pp
+      slack.Hls.report.Flows.schedule.Schedule.alloc;
+    Format.printf "conventional area: %a@." Area_model.pp_breakdown conv.Hls.area;
+    Format.printf "slack-based  area: %a@." Area_model.pp_breakdown slack.Hls.area
+  | Error m, _ | _, Error m -> print_endline ("flow failed: " ^ m)

@@ -1,0 +1,50 @@
+(* The paper's timing-analysis walkthrough (§IV-V): the resizer kernel,
+   its operation spans (Figure 5a), and the sequential slack of every
+   operation — symbolically, exactly as the paper's Table 3 states it.
+
+     dune exec examples/resizer_slack.exe *)
+
+let () =
+  let r = Resizer.table3 () in
+  let dfg = r.Resizer.dfg in
+  (* Operation spans: where each op may legally be scheduled. *)
+  print_endline "operation spans (paper Figure 5a):";
+  let spans = Dfg.compute_spans dfg in
+  Dfg.iter_ops dfg (fun op ->
+      let s = spans.(Dfg.Op_id.to_int op.Dfg.id) in
+      Printf.printf "  span(%-4s) = {%s}\n" op.Dfg.name
+        (String.concat ","
+           (List.map
+              (fun e -> Printf.sprintf "e%d" (Cfg.Edge_id.to_int e))
+              (Dfg.span_edges dfg s))));
+  (* Symbolic slack: delays d (I/O) and D (compute), clock T, with the
+     paper's region constraint D + d < T < 2D resolved by sampling. *)
+  print_endline "\nsymbolic sequential slack (paper Table 3):";
+  let tdfg = Timed_dfg.build dfg ~spans in
+  let tT = Affine.param "T" and dD = Affine.param "D" and dd = Affine.param "d" in
+  let is_io o =
+    List.exists (Dfg.Op_id.equal o) [ r.Resizer.rd_a; r.Resizer.rd_b; r.Resizer.wr ]
+  in
+  let res =
+    Parametric.analyze tdfg ~clock:tT
+      ~del:(fun o -> if is_io o then dd else dD)
+      ~samples:Resizer.table3_samples
+  in
+  let order = [ "T"; "D"; "d" ] in
+  Dfg.iter_ops dfg (fun op ->
+      let i = Dfg.Op_id.to_int op.Dfg.id in
+      Printf.printf "  %-4s arr = %-14s req = %-12s slack = %s\n" op.Dfg.name
+        (Affine.to_string ~order res.Parametric.arr.(i))
+        (Affine.to_string ~order res.Parametric.req.(i))
+        (Affine.to_string ~order res.Parametric.slack.(i)));
+  let critical = Parametric.critical_ops tdfg res ~samples:Resizer.table3_samples in
+  Printf.printf "\ncritical path: %s\n"
+    (String.concat " -> " (List.map (fun o -> (Dfg.op dfg o).Dfg.name) critical));
+  (* Numeric check at one point of the region. *)
+  let t = 10.0 and dd_v = 6.0 and d_v = 1.0 in
+  let num =
+    Slack.analyze tdfg ~clock:t ~del:(fun o -> if is_io o then d_v else dd_v)
+  in
+  Printf.printf "\nnumeric check at T=%.0f, D=%.0f, d=%.0f: min slack %.1f (= 2T-4D-d = %.1f)\n"
+    t dd_v d_v num.Slack.min_slack
+    ((2. *. t) -. (4. *. dd_v) -. d_v)

@@ -1,0 +1,138 @@
+type engine = Two_pass | Bellman_ford_baseline
+
+type config = {
+  margin_frac : float;
+  aligned : bool;
+  max_rounds : int;
+  bisection_steps : int;
+  engine : engine;
+}
+
+let default_config =
+  {
+    margin_frac = 0.05;
+    aligned = true;
+    max_rounds = 24;
+    bisection_steps = 24;
+    engine = Two_pass;
+  }
+
+type infeasible = {
+  slack_at_min : Slack.result;
+  critical : Dfg.Op_id.t list;
+}
+
+type outcome = Feasible of float array | Infeasible of infeasible
+
+let delays_at ~lambda tdfg ~ranges =
+  let dfg = Timed_dfg.dfg tdfg in
+  let n = Dfg.op_count dfg in
+  Array.init n (fun i ->
+      let o = Dfg.Op_id.of_int i in
+      let r = ranges o in
+      Interval.lo r +. (lambda *. Interval.width r))
+
+let analyze config tdfg ~clock delays =
+  let del o = delays.(Dfg.Op_id.to_int o) in
+  (match config.engine with
+  | Two_pass -> ()
+  | Bellman_ford_baseline ->
+    (* Charge the prior-work fixpoint cost; its (unaligned) result is
+       discarded in favour of the aligned linear pass below. *)
+    ignore (Bf_timing.analyze tdfg ~clock ~del));
+  Slack.analyze ~aligned:config.aligned tdfg ~clock ~del
+
+let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
+  let eps = 1e-6 in
+  let margin = config.margin_frac *. clock in
+  let feasible_with delays =
+    Slack.feasible ~eps (analyze config tdfg ~clock delays)
+  in
+  (* Phase 1 (negative slack repair): find the largest uniform knob that is
+     feasible.  Monotonicity: raising any delay can only lower slacks. *)
+  let at lambda = delays_at ~lambda tdfg ~ranges in
+  if not (feasible_with (at 0.0)) then begin
+    let r = analyze config tdfg ~clock (at 0.0) in
+    Infeasible { slack_at_min = r; critical = Slack.critical_ops tdfg r }
+  end
+  else begin
+    let lambda =
+      if feasible_with (at 1.0) then 1.0
+      else begin
+        let lo = ref 0.0 and hi = ref 1.0 in
+        for _ = 1 to config.bisection_steps do
+          let mid = 0.5 *. (!lo +. !hi) in
+          if feasible_with (at mid) then lo := mid else hi := mid
+        done;
+        !lo
+      end
+    in
+    let delays = at lambda in
+    (* Phase 2 (positive budgeting): raise individual delays up to their
+       binned slack, most area-sensitive ops first, verifying after each
+       tentative increase.  An op whose increase fails verification is
+       frozen for the remaining rounds. *)
+    let n = Array.length delays in
+    let frozen = Array.make n false in
+    let ops = Timed_dfg.active_ops tdfg in
+    let round () =
+      let result = ref (analyze config tdfg ~clock delays) in
+      let by_gain =
+        let gain o =
+          let i = Dfg.Op_id.to_int o in
+          let r = ranges o in
+          let headroom = Interval.hi r -. delays.(i) in
+          let s = Slack.op_slack !result o in
+          if frozen.(i) || headroom <= eps || s <= margin then 0.0
+          else sensitivity o delays.(i) *. Float.min s headroom
+        in
+        List.filter (fun o -> gain o > 0.0) ops
+        |> List.map (fun o -> (gain o, o))
+        |> List.sort (fun (a, _) (b, _) -> Float.compare b a)
+        |> List.map snd
+      in
+      let changed = ref false in
+      List.iter
+        (fun o ->
+          let i = Dfg.Op_id.to_int o in
+          if not frozen.(i) then begin
+            let r = ranges o in
+            let s = Slack.op_slack !result o in
+            let headroom = Interval.hi r -. delays.(i) in
+            (* Fair-share stepping: never grab the whole slack at once, so
+               ops sharing a path converge to similar delays instead of the
+               first visitor consuming everything (which snaps poorly to
+               discrete curve points later). *)
+            let bump = Float.min (Float.min s headroom) (Float.max margin (s /. 3.0)) in
+            if bump > margin +. eps || (bump > eps && Float.abs (bump -. headroom) < eps)
+            then begin
+              let old = delays.(i) in
+              delays.(i) <- old +. bump;
+              let r' = analyze config tdfg ~clock delays in
+              if Slack.feasible ~eps r' then begin
+                result := r';
+                changed := true
+              end
+              else begin
+                (* Retry with half the bump before freezing: alignment makes
+                   slack a conservative, not exact, headroom estimate. *)
+                delays.(i) <- old +. (0.5 *. bump);
+                let r'' = analyze config tdfg ~clock delays in
+                if Slack.feasible ~eps r'' && 0.5 *. bump > margin then begin
+                  result := r'';
+                  changed := true
+                end
+                else begin
+                  delays.(i) <- old;
+                  frozen.(i) <- true
+                end
+              end
+            end
+          end)
+        by_gain;
+      !changed
+    in
+    let rec loop k = if k > 0 && round () then loop (k - 1) in
+    loop config.max_rounds;
+    Feasible delays
+  end

@@ -1,0 +1,112 @@
+type design = {
+  design_name : string;
+  dfg : Dfg.t;
+  clock : float;
+  ii : int option;
+}
+
+let design ?ii ~name ~clock dfg =
+  if clock <= 0.0 then invalid_arg "Hls.design: clock must be positive";
+  (match ii with
+  | Some k when k <= 0 -> invalid_arg "Hls.design: ii must be positive"
+  | Some _ | None -> ());
+  { design_name = name; dfg; clock; ii }
+
+type result = {
+  design : design;
+  report : Flows.report;
+  area : Area_model.breakdown;
+  netlist : Netlist.t;
+}
+
+let run ?(lib = Library.default) ?config flow d =
+  match Flows.run ?config ?ii:d.ii flow d.dfg ~lib ~clock:d.clock with
+  | Error m -> Error m
+  | Ok report ->
+    let sched = report.Flows.schedule in
+    Ok
+      {
+        design = d;
+        report;
+        area = Area_model.of_schedule sched;
+        netlist = Netlist.build sched;
+      }
+
+let fu_area r = r.area.Area_model.fu
+let total_area r = r.area.Area_model.total
+
+type comparison = {
+  cdesign : design;
+  conventional : (result, string) Stdlib.result;
+  slack_based : (result, string) Stdlib.result;
+  saving_pct : float option;
+}
+
+let compare_flows ?lib ?config d =
+  let conventional = run ?lib ?config Flows.Conventional d in
+  let slack_based = run ?lib ?config Flows.Slack_based d in
+  let saving_pct =
+    match (conventional, slack_based) with
+    | Ok c, Ok s ->
+      let ac = total_area c and asl = total_area s in
+      if ac > 0.0 then Some (100.0 *. (ac -. asl) /. ac) else None
+    | _ -> None
+  in
+  { cdesign = d; conventional; slack_based; saving_pct }
+
+type dse_row = {
+  point_name : string;
+  a_conv : float option;
+  a_slack : float option;
+  save_pct : float option;
+}
+
+let explore ?lib ?config points =
+  List.map
+    (fun (point_name, d) ->
+      let c = compare_flows ?lib ?config d in
+      {
+        point_name;
+        a_conv = (match c.conventional with Ok r -> Some (total_area r) | Error _ -> None);
+        a_slack = (match c.slack_based with Ok r -> Some (total_area r) | Error _ -> None);
+        save_pct = c.saving_pct;
+      })
+    points
+
+let average_saving rows =
+  let savings = List.filter_map (fun r -> r.save_pct) rows in
+  match savings with
+  | [] -> None
+  | _ ->
+    Some (List.fold_left ( +. ) 0.0 savings /. float_of_int (List.length savings))
+
+let render_dse rows =
+  let t = Text_table.create ~headers:[ "Des"; "A_conv"; "A_slack"; "Save %" ] in
+  let cell = function Some v -> Printf.sprintf "%.0f" v | None -> "fail" in
+  let pct = function Some v -> Printf.sprintf "%.1f" v | None -> "-" in
+  List.iter
+    (fun r -> Text_table.add_row t [ r.point_name; cell r.a_conv; cell r.a_slack; pct r.save_pct ])
+    rows;
+  Text_table.add_separator t;
+  (match average_saving rows with
+  | Some avg -> Text_table.add_row t [ "Average"; ""; ""; Printf.sprintf "%.1f" avg ]
+  | None -> ());
+  Text_table.render t
+
+let analyze_slack ?aligned d ~del =
+  let spans = Dfg.compute_spans d.dfg in
+  let tdfg = Timed_dfg.build d.dfg ~spans in
+  Slack.analyze ?aligned tdfg ~clock:d.clock ~del
+
+let feasibility_check ?(lib = Library.default) d =
+  let spans = Dfg.compute_spans d.dfg in
+  let tdfg = Timed_dfg.build d.dfg ~spans in
+  let clock = d.clock -. Library.register_overhead lib in
+  let del o =
+    let op = Dfg.op d.dfg o in
+    match Library.op_curve lib op.Dfg.kind ~width:op.Dfg.width with
+    | Some c -> Curve.min_delay c
+    | None -> 0.0
+  in
+  let res = Slack.analyze ~aligned:true tdfg ~clock ~del in
+  if Slack.feasible res then Ok () else Error (Slack.critical_ops tdfg res)

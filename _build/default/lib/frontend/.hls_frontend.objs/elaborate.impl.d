@@ -1,0 +1,1 @@
+lib/frontend/elaborate.ml: Ast Cfg Dfg Hashtbl List Printf String Transform Wordops

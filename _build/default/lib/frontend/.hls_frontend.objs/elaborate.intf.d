@@ -1,0 +1,1 @@
+lib/frontend/elaborate.mli: Ast Cfg Dfg

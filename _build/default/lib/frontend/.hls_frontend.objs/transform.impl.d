@@ -1,0 +1,1 @@
+lib/frontend/transform.ml: Ast List Printf

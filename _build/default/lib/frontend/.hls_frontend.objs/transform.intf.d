@@ -1,0 +1,1 @@
+lib/frontend/transform.mli: Ast

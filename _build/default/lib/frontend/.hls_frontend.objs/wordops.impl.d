@@ -1,0 +1,1 @@
+lib/frontend/wordops.ml: Ast Dfg

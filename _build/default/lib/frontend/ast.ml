@@ -1,0 +1,102 @@
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bshl | Bshr | Band | Bor | Bxor
+  | Blt | Ble | Beq | Bne | Bge | Bgt
+
+type unop = Unot | Uneg
+
+type expr =
+  | Int of int
+  | Var of string
+  | Read of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type stmt =
+  | Assign of string * expr
+  | Write of string * expr
+  | Wait
+  | If of expr * stmt list * stmt list
+  | For of { index : string; from_ : int; below : int; body : stmt list }
+
+type port_decl = { port : string; width : int; is_input : bool }
+type var_decl = { var : string; vwidth : int }
+
+type process = {
+  proc_name : string;
+  ports : port_decl list;
+  vars : var_decl list;
+  body : stmt list;
+}
+
+let binop_name = function
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bdiv -> "/"
+  | Bmod -> "%"
+  | Bshl -> "<<"
+  | Bshr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Blt -> "<"
+  | Ble -> "<="
+  | Beq -> "=="
+  | Bne -> "!="
+  | Bge -> ">="
+  | Bgt -> ">"
+
+let rec pp_expr ppf = function
+  | Int v -> Format.pp_print_int ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Read p -> Format.fprintf ppf "read(%s)" p
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Unop (Unot, a) -> Format.fprintf ppf "~%a" pp_expr a
+  | Unop (Uneg, a) -> Format.fprintf ppf "-%a" pp_expr a
+
+let rec pp_stmt ppf = function
+  | Assign (x, e) -> Format.fprintf ppf "%s = %a;" x pp_expr e
+  | Write (p, e) -> Format.fprintf ppf "write(%s, %a);" p pp_expr e
+  | Wait -> Format.pp_print_string ppf "wait;"
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t;
+    if e <> [] then Format.fprintf ppf "@[<v 2> else {@,%a@]@,}" pp_block e
+  | For { index; from_; below; body } ->
+    Format.fprintf ppf "@[<v 2>for (%s = %d; %s < %d; %s++) {@,%a@]@,}" index from_ index
+      below index pp_block body
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_process ppf p =
+  Format.fprintf ppf "@[<v 2>process %s {@," p.proc_name;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "port %s %s : %d;@,"
+        (if d.is_input then "in" else "out")
+        d.port d.width)
+    p.ports;
+  List.iter (fun d -> Format.fprintf ppf "var %s : %d;@," d.var d.vwidth) p.vars;
+  Format.fprintf ppf "@[<v 2>loop {@,%a@]@,}@]@,}" pp_block p.body
+
+let rec subst_var x v = function
+  | Int _ as e -> e
+  | Var y when String.equal x y -> v
+  | Var _ as e -> e
+  | Read _ as e -> e
+  | Binop (op, a, b) -> Binop (op, subst_var x v a, subst_var x v b)
+  | Unop (op, a) -> Unop (op, subst_var x v a)
+
+let rec stmt_subst_index x v stmt =
+  let se = subst_var x (Int v) in
+  match stmt with
+  | Assign (y, _) when String.equal x y -> Assign (y, Int v) (* dropped by unroll *)
+  | Assign (y, e) -> Assign (y, se e)
+  | Write (p, e) -> Write (p, se e)
+  | Wait -> Wait
+  | If (c, t, e) ->
+    If (se c, List.map (stmt_subst_index x v) t, List.map (stmt_subst_index x v) e)
+  | For ({ index; body; _ } as f) when not (String.equal index x) ->
+    For { f with body = List.map (stmt_subst_index x v) body }
+  | For _ as s -> s (* inner loop shadows the index *)

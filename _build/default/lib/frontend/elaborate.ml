@@ -1,0 +1,328 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type sim_operand = Sop of Dfg.Op_id.t | Sconst of int | Sprev of string
+
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  process : Ast.process;
+  step_edges : Cfg.Edge_id.t list;
+  operands : (Dfg.Op_id.t * sim_operand list) list;
+  branch_conds : (Cfg.Node_id.t * sim_operand) list;
+  final_env : (string * sim_operand) list;
+}
+
+(* A value in the SSA environment: a produced operation, a compile-time
+   constant, or the previous iteration's value of a named variable (not yet
+   produced this iteration). *)
+type value =
+  | Vop of Dfg.Op_id.t * int (* op, width *)
+  | Vconst of int
+  | Vprev of string * int (* variable, width *)
+
+type state = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  env : (string, value) Hashtbl.t;
+  widths : (string, int) Hashtbl.t; (* declared variable widths *)
+  ports : (string, Ast.port_decl) Hashtbl.t;
+  (* loop-carried fixups: op consumed the previous-iteration value of var *)
+  mutable fixups : (Dfg.Op_id.t * string) list;
+  mutable op_operands : (Dfg.Op_id.t * sim_operand list) list;
+  mutable branch_conds : (Cfg.Node_id.t * sim_operand) list;
+  (* divergent variables awaiting a mux on the next opened edge:
+     (var, then-value, else-value, condition) *)
+  mutable pending_muxes : (string * value * value * value) list;
+  mutable step_edges : Cfg.Edge_id.t list; (* reversed *)
+  mutable fresh : int;
+}
+
+let value_width = function
+  | Vop (_, w) -> w
+  | Vconst v -> max 1 (int_of_float (ceil (log (float_of_int (abs v + 1)) /. log 2.0)) + 1)
+  | Vprev (_, w) -> w
+
+let fresh_name st base =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s_%d" base st.fresh
+
+(* Create an op whose operands are [values]; constants are folded away from
+   the dependency list (they do not affect timing), previous-iteration
+   values are recorded for loop-carried fixup. *)
+let sim_operand_of_value = function
+  | Vop (id, _) -> Sop id
+  | Vconst v -> Sconst v
+  | Vprev (x, _) -> Sprev x
+
+let make_op st ~edge ~kind ~width ?fixed ~name values =
+  let id = Dfg.add_op st.dfg ~kind ~width ~birth:edge ?fixed ~name () in
+  st.op_operands <- (id, List.map sim_operand_of_value values) :: st.op_operands;
+  List.iter
+    (fun v ->
+      match v with
+      | Vop (src, _) -> Dfg.add_dep st.dfg ~src ~dst:id ()
+      | Vconst _ -> ()
+      | Vprev (x, _) -> st.fixups <- (id, x) :: st.fixups)
+    values;
+  Vop (id, width)
+
+let binop_kind : Ast.binop -> Dfg.op_kind = function
+  | Ast.Badd -> Dfg.Add
+  | Ast.Bsub -> Dfg.Sub
+  | Ast.Bmul -> Dfg.Mul
+  | Ast.Bdiv -> Dfg.Div
+  | Ast.Bmod -> Dfg.Modulo
+  | Ast.Bshl -> Dfg.Shl
+  | Ast.Bshr -> Dfg.Shr
+  | Ast.Band -> Dfg.Land
+  | Ast.Bor -> Dfg.Lor
+  | Ast.Bxor -> Dfg.Lxor
+  | Ast.Blt -> Dfg.Cmp Dfg.Lt
+  | Ast.Ble -> Dfg.Cmp Dfg.Le
+  | Ast.Beq -> Dfg.Cmp Dfg.Eq
+  | Ast.Bne -> Dfg.Cmp Dfg.Ne
+  | Ast.Bge -> Dfg.Cmp Dfg.Ge
+  | Ast.Bgt -> Dfg.Cmp Dfg.Gt
+
+(* Constant folding must agree bit-for-bit with the runtime word semantics
+   (Wordops), or folded expressions diverge from computed ones; division by
+   a constant zero is still a compile-time error (better diagnostics than
+   the runtime's total division). *)
+let fold_binop op a b =
+  match (op : Ast.binop) with
+  | Ast.Bdiv when b = 0 -> err "constant division by zero"
+  | Ast.Bmod when b = 0 -> err "constant modulo by zero"
+  | _ -> Some (Wordops.binop op ~width:62 a b)
+
+let is_cmp = function
+  | Ast.Blt | Ast.Ble | Ast.Beq | Ast.Bne | Ast.Bge | Ast.Bgt -> true
+  | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv | Ast.Bmod | Ast.Bshl | Ast.Bshr | Ast.Band
+  | Ast.Bor | Ast.Bxor -> false
+
+let rec eval st edge (expr : Ast.expr) : value =
+  match expr with
+  | Ast.Int v -> Vconst v
+  | Ast.Var x -> (
+    match Hashtbl.find_opt st.env x with
+    | Some v -> v
+    | None -> (
+      match Hashtbl.find_opt st.widths x with
+      | Some w -> Vprev (x, w)
+      | None -> err "undeclared variable %s" x))
+  | Ast.Read p -> (
+    match Hashtbl.find_opt st.ports p with
+    | Some d when d.Ast.is_input ->
+      make_op st ~edge ~kind:(Dfg.Read p) ~width:d.Ast.width
+        ~name:(fresh_name st ("rd_" ^ p))
+        []
+    | Some _ -> err "read from output port %s" p
+    | None -> err "undeclared port %s" p)
+  | Ast.Binop (op, ea, eb) -> (
+    let va = eval st edge ea and vb = eval st edge eb in
+    match (va, vb) with
+    | Vconst a, Vconst b -> (
+      match fold_binop op a b with Some v -> Vconst v | None -> assert false)
+    | _ ->
+      let width =
+        if is_cmp op then 1 else max (value_width va) (value_width vb)
+      in
+      make_op st ~edge ~kind:(binop_kind op) ~width
+        ~name:(fresh_name st (Dfg.op_kind_name (binop_kind op)))
+        [ va; vb ])
+  | Ast.Unop (Ast.Unot, ea) -> (
+    let va = eval st edge ea in
+    match va with
+    | Vconst a -> Vconst (Wordops.unop Ast.Unot ~width:62 a)
+    | _ ->
+      make_op st ~edge ~kind:Dfg.Lnot ~width:(value_width va)
+        ~name:(fresh_name st "not")
+        [ va ])
+  | Ast.Unop (Ast.Uneg, ea) -> (
+    let va = eval st edge ea in
+    match va with
+    | Vconst a -> Vconst (Wordops.unop Ast.Uneg ~width:62 a)
+    | _ ->
+      make_op st ~edge ~kind:Dfg.Sub ~width:(value_width va)
+        ~name:(fresh_name st "neg")
+        [ Vconst 0; va ])
+
+(* Opening an edge materializes any muxes pending since the last join. *)
+let open_edge st src dst =
+  let e = Cfg.add_edge st.cfg src dst in
+  let muxes = List.rev st.pending_muxes in
+  st.pending_muxes <- [];
+  List.iter
+    (fun (x, vt, vf, cond) ->
+      let width = max (value_width vt) (value_width vf) in
+      let v =
+        make_op st ~edge:e ~kind:Dfg.Mux ~width ~fixed:true
+          ~name:(fresh_name st ("mux_" ^ x))
+          [ vt; vf; cond ]
+      in
+      Hashtbl.replace st.env x v)
+    muxes;
+  e
+
+let value_equal a b =
+  match (a, b) with
+  | Vop (x, _), Vop (y, _) -> Dfg.Op_id.equal x y
+  | Vconst x, Vconst y -> x = y
+  | Vprev (x, _), Vprev (y, _) -> String.equal x y
+  | (Vop _ | Vconst _ | Vprev _), _ -> false
+
+(* Split a statement list into its leading simple segment (assignments and
+   writes) and the remainder, which starts with a control statement. *)
+let rec split_segment acc = function
+  | ((Ast.Assign _ | Ast.Write _) as s) :: rest -> split_segment (s :: acc) rest
+  | rest -> (List.rev acc, rest)
+
+let process_simple st edge = function
+  | Ast.Assign (x, e) ->
+    if not (Hashtbl.mem st.widths x) then err "assignment to undeclared variable %s" x;
+    Hashtbl.replace st.env x (eval st edge e)
+  | Ast.Write (p, e) -> (
+    match Hashtbl.find_opt st.ports p with
+    | Some d when not d.Ast.is_input ->
+      let v = eval st edge e in
+      ignore
+        (make_op st ~edge ~kind:(Dfg.Write p) ~width:d.Ast.width
+           ~name:(fresh_name st ("wr_" ^ p))
+           [ v ])
+    | Some _ -> err "write to input port %s" p
+    | None -> err "undeclared port %s" p)
+  | Ast.Wait | Ast.If _ | Ast.For _ -> assert false
+
+(* Elaborate a block from [from_node]; the trailing simple segment's edge
+   targets [sink].  [main] marks the principal path whose step edges are
+   recorded. *)
+let rec elab_block st stmts ~from_node ~sink ~main =
+  match split_segment [] stmts with
+  | simple, [] ->
+    let e = open_edge st from_node sink in
+    if main then st.step_edges <- e :: st.step_edges;
+    List.iter (process_simple st e) simple
+  | simple, Ast.Wait :: rest ->
+    let state = Cfg.add_node st.cfg Cfg.State in
+    let e = open_edge st from_node state in
+    if main then st.step_edges <- e :: st.step_edges;
+    List.iter (process_simple st e) simple;
+    elab_block st rest ~from_node:state ~sink ~main
+  | simple, Ast.If (c, then_b, else_b) :: rest ->
+    let fork = Cfg.add_node st.cfg Cfg.Fork in
+    let e = open_edge st from_node fork in
+    if main then st.step_edges <- e :: st.step_edges;
+    List.iter (process_simple st e) simple;
+    (* The branch condition must be resolved on the fork's incoming edge;
+       pin it there when its top operation was created by this evaluation
+       (a re-used earlier value is already anchored by its own placement). *)
+    let ops_before = Dfg.op_count st.dfg in
+    let cond = eval st e c in
+    (match cond with
+    | Vop (id, _) when Dfg.Op_id.to_int id >= ops_before -> Dfg.fix_op st.dfg id
+    | Vop _ | Vconst _ | Vprev _ -> ());
+    st.branch_conds <- (fork, sim_operand_of_value cond) :: st.branch_conds;
+    let join = Cfg.add_node st.cfg Cfg.Join in
+    let snapshot = Hashtbl.copy st.env in
+    elab_block st then_b ~from_node:fork ~sink:join ~main:false;
+    let env_then = Hashtbl.copy st.env in
+    Hashtbl.reset st.env;
+    Hashtbl.iter (Hashtbl.replace st.env) snapshot;
+    elab_block st else_b ~from_node:fork ~sink:join ~main:false;
+    let env_else = st.env in
+    (* Merge: a variable whose two branch values differ gets a mux on the
+       join's outgoing edge.  A variable untouched by a branch keeps that
+       branch's incoming value — the previous iteration's if it had none. *)
+    let names = Hashtbl.create 16 in
+    Hashtbl.iter (fun x _ -> Hashtbl.replace names x ()) env_then;
+    Hashtbl.iter (fun x _ -> Hashtbl.replace names x ()) env_else;
+    let side env x =
+      match Hashtbl.find_opt env x with
+      | Some v -> v
+      | None -> (
+        match Hashtbl.find_opt st.widths x with
+        | Some w -> Vprev (x, w)
+        | None -> err "undeclared variable %s at join" x)
+    in
+    Hashtbl.iter
+      (fun x () ->
+        let vt = side env_then x and vf = side env_else x in
+        if value_equal vt vf then Hashtbl.replace st.env x vt
+        else st.pending_muxes <- (x, vt, vf, cond) :: st.pending_muxes)
+      names;
+    elab_block st rest ~from_node:join ~sink ~main
+  | _, Ast.For _ :: _ -> err "for loops must be unrolled before elaboration"
+  | _, (Ast.Assign _ | Ast.Write _) :: _ ->
+    assert false (* split_segment consumed every leading simple statement *)
+
+let elaborate (p : Ast.process) =
+  let p = Transform.unroll_process p in
+  let cfg = Cfg.create () in
+  let dfg = Dfg.create cfg in
+  let st =
+    {
+      cfg;
+      dfg;
+      env = Hashtbl.create 16;
+      widths = Hashtbl.create 16;
+      ports = Hashtbl.create 8;
+      fixups = [];
+      op_operands = [];
+      branch_conds = [];
+      pending_muxes = [];
+      step_edges = [];
+      fresh = 0;
+    }
+  in
+  List.iter
+    (fun (d : Ast.var_decl) ->
+      if d.Ast.vwidth <= 0 then err "variable %s has non-positive width" d.Ast.var;
+      if Hashtbl.mem st.widths d.Ast.var then err "duplicate variable %s" d.Ast.var;
+      Hashtbl.replace st.widths d.Ast.var d.Ast.vwidth)
+    p.Ast.vars;
+  List.iter
+    (fun (d : Ast.port_decl) ->
+      if d.Ast.width <= 0 then err "port %s has non-positive width" d.Ast.port;
+      if Hashtbl.mem st.ports d.Ast.port then err "duplicate port %s" d.Ast.port;
+      Hashtbl.replace st.ports d.Ast.port d)
+    p.Ast.ports;
+  let loop_top = Cfg.add_node cfg Cfg.Plain in
+  ignore (Cfg.add_edge cfg (Cfg.start cfg) loop_top);
+  let loop_bottom = Cfg.add_node cfg Cfg.Plain in
+  elab_block st p.Ast.body ~from_node:loop_top ~sink:loop_bottom ~main:true;
+  ignore (Cfg.add_edge cfg loop_bottom loop_top);
+  (* Loop-carried fixups: connect previous-iteration consumers to this
+     iteration's producers. *)
+  List.iter
+    (fun (op, x) ->
+      match Hashtbl.find_opt st.env x with
+      | Some (Vop (src, _)) -> Dfg.add_dep st.dfg ~src ~dst:op ~loop_carried:true ()
+      | Some (Vconst _) | Some (Vprev _) | None -> ())
+    st.fixups;
+  (match Cfg.seal cfg with
+  | () -> ()
+  | exception Cfg.Malformed m -> err "malformed control flow: %s" m);
+  (match Dfg.validate dfg with
+  | () -> ()
+  | exception Dfg.Malformed m -> err "malformed data flow: %s" m);
+  let final_env =
+    Hashtbl.fold (fun x v acc -> (x, sim_operand_of_value v) :: acc) st.env []
+  in
+  {
+    cfg;
+    dfg;
+    process = p;
+    step_edges = List.rev st.step_edges;
+    operands = List.rev st.op_operands;
+    branch_conds = st.branch_conds;
+    final_env;
+  }
+
+let operands_of (t : t) id =
+  match List.assoc_opt id t.operands with Some l -> l | None -> []
+
+let branch_cond (t : t) node =
+  List.find_map
+    (fun (n, c) -> if Cfg.Node_id.equal n node then Some c else None)
+    t.branch_conds

@@ -1,0 +1,45 @@
+(** Elaboration: behavioral AST -> CFG + DFG (the paper's §IV compilation
+    step).
+
+    The process body becomes the body of an infinite loop between
+    [loop_top] and [loop_bottom] (closed by a backward edge); [wait]
+    statements become state nodes; [if] becomes fork/join with a {e fixed}
+    mux (phi) operation per divergent variable on the join's outgoing
+    edge; bounded [for] loops are fully unrolled first.
+
+    Values are tracked SSA-style: each variable maps to the operation that
+    produced it.  A variable read before its first assignment of the
+    iteration refers to the previous iteration's value: the producing
+    operation (if any) is connected by a {e loop-carried} dependency,
+    which timing analysis excludes per the timed-DFG construction. *)
+
+exception Error of string
+
+type sim_operand =
+  | Sop of Dfg.Op_id.t       (** value produced this iteration *)
+  | Sconst of int            (** literal *)
+  | Sprev of string          (** previous iteration's value of a variable *)
+
+type t = {
+  cfg : Cfg.t;       (** sealed *)
+  dfg : Dfg.t;       (** validated *)
+  process : Ast.process;  (** after unrolling *)
+  step_edges : Cfg.Edge_id.t list;
+      (** edges opening each control step of the main path, in order *)
+  operands : (Dfg.Op_id.t * sim_operand list) list;
+      (** per op: its operands in positional order, constants included —
+          the DFG itself folds constants away from timing, so simulators
+          need this side table *)
+  branch_conds : (Cfg.Node_id.t * sim_operand) list;
+      (** per fork node: the condition selecting its {e first} out-edge *)
+  final_env : (string * sim_operand) list;
+      (** value of each assigned variable at the end of one body iteration
+          (the source of next iteration's [Sprev] values) *)
+}
+
+val elaborate : Ast.process -> t
+(** Raises {!Error} on malformed input (undeclared identifiers, bodies
+    with a stateless control cycle, division by a constant zero, ...). *)
+
+val operands_of : t -> Dfg.Op_id.t -> sim_operand list
+val branch_cond : t -> Cfg.Node_id.t -> sim_operand option

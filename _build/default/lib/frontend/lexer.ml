@@ -1,0 +1,165 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_PROCESS | KW_PORT | KW_IN | KW_OUT | KW_VAR | KW_LOOP
+  | KW_FOR | KW_IF | KW_ELSE | KW_WAIT | KW_READ | KW_WRITE
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | SEMI | COLON | COMMA | ASSIGN | PLUSPLUS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR | AMP | PIPE | CARET | TILDE
+  | LT | LE | EQ | NE | GE | GT
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT v -> Printf.sprintf "integer %d" v
+  | KW_PROCESS -> "'process'"
+  | KW_PORT -> "'port'"
+  | KW_IN -> "'in'"
+  | KW_OUT -> "'out'"
+  | KW_VAR -> "'var'"
+  | KW_LOOP -> "'loop'"
+  | KW_FOR -> "'for'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WAIT -> "'wait'"
+  | KW_READ -> "'read'"
+  | KW_WRITE -> "'write'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | ASSIGN -> "'='"
+  | PLUSPLUS -> "'++'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | GE -> "'>='"
+  | GT -> "'>'"
+  | EOF -> "end of input"
+
+exception Error of { line : int; message : string }
+
+let keyword = function
+  | "process" -> Some KW_PROCESS
+  | "port" -> Some KW_PORT
+  | "in" -> Some KW_IN
+  | "out" -> Some KW_OUT
+  | "var" -> Some KW_VAR
+  | "loop" -> Some KW_LOOP
+  | "for" -> Some KW_FOR
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "wait" -> Some KW_WAIT
+  | "read" -> Some KW_READ
+  | "write" -> Some KW_WRITE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Error { line = !line; message = "unterminated comment" })
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      emit (match keyword word with Some kw -> kw | None -> IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two a b t =
+        if c = a && peek 1 = Some b then begin
+          emit t;
+          i := !i + 2;
+          true
+        end
+        else false
+      in
+      if
+        two '+' '+' PLUSPLUS || two '<' '<' SHL || two '>' '>' SHR || two '<' '=' LE
+        || two '>' '=' GE || two '=' '=' EQ || two '!' '=' NE
+      then ()
+      else begin
+        (match c with
+        | '{' -> emit LBRACE
+        | '}' -> emit RBRACE
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | ';' -> emit SEMI
+        | ':' -> emit COLON
+        | ',' -> emit COMMA
+        | '=' -> emit ASSIGN
+        | '+' -> emit PLUS
+        | '-' -> emit MINUS
+        | '*' -> emit STAR
+        | '/' -> emit SLASH
+        | '%' -> emit PERCENT
+        | '&' -> emit AMP
+        | '|' -> emit PIPE
+        | '^' -> emit CARET
+        | '~' -> emit TILDE
+        | '<' -> emit LT
+        | '>' -> emit GT
+        | c ->
+          raise (Error { line = !line; message = Printf.sprintf "illegal character %C" c }));
+        incr i
+      end
+    end
+  done;
+  emit EOF;
+  List.rev !tokens

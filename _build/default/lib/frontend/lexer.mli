@@ -1,0 +1,21 @@
+(** Hand-written lexer for the behavioral input language. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_PROCESS | KW_PORT | KW_IN | KW_OUT | KW_VAR | KW_LOOP
+  | KW_FOR | KW_IF | KW_ELSE | KW_WAIT | KW_READ | KW_WRITE
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | SEMI | COLON | COMMA | ASSIGN | PLUSPLUS
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR | AMP | PIPE | CARET | TILDE
+  | LT | LE | EQ | NE | GE | GT
+  | EOF
+
+val token_name : token -> string
+
+exception Error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers.  Supports [//] line comments and
+    [/* */] block comments.  Raises {!Error} on illegal characters. *)

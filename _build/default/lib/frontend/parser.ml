@@ -1,0 +1,200 @@
+exception Error of { line : int; message : string }
+
+type stream = { mutable toks : (Lexer.token * int) list }
+
+let peek s = match s.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+let line s = match s.toks with (_, l) :: _ -> l | [] -> 0
+let advance s = match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
+
+let fail s fmt =
+  Printf.ksprintf (fun message -> raise (Error { line = line s; message })) fmt
+
+let expect s tok =
+  if peek s = tok then advance s
+  else fail s "expected %s but found %s" (Lexer.token_name tok) (Lexer.token_name (peek s))
+
+let ident s =
+  match peek s with
+  | Lexer.IDENT x ->
+    advance s;
+    x
+  | t -> fail s "expected an identifier but found %s" (Lexer.token_name t)
+
+let int_lit s =
+  match peek s with
+  | Lexer.INT v ->
+    advance s;
+    v
+  | t -> fail s "expected an integer but found %s" (Lexer.token_name t)
+
+(* Expression parsing by precedence climbing.  Levels, loosest first:
+   | ; ^ ; & ; comparisons ; shifts ; additive ; multiplicative. *)
+let binop_of_token : Lexer.token -> (Ast.binop * int) option = function
+  | Lexer.PIPE -> Some (Ast.Bor, 1)
+  | Lexer.CARET -> Some (Ast.Bxor, 2)
+  | Lexer.AMP -> Some (Ast.Band, 3)
+  | Lexer.LT -> Some (Ast.Blt, 4)
+  | Lexer.LE -> Some (Ast.Ble, 4)
+  | Lexer.EQ -> Some (Ast.Beq, 4)
+  | Lexer.NE -> Some (Ast.Bne, 4)
+  | Lexer.GE -> Some (Ast.Bge, 4)
+  | Lexer.GT -> Some (Ast.Bgt, 4)
+  | Lexer.SHL -> Some (Ast.Bshl, 5)
+  | Lexer.SHR -> Some (Ast.Bshr, 5)
+  | Lexer.PLUS -> Some (Ast.Badd, 6)
+  | Lexer.MINUS -> Some (Ast.Bsub, 6)
+  | Lexer.STAR -> Some (Ast.Bmul, 7)
+  | Lexer.SLASH -> Some (Ast.Bdiv, 7)
+  | Lexer.PERCENT -> Some (Ast.Bmod, 7)
+  | _ -> None
+
+let rec expr s = binary s 1
+
+and binary s min_prec =
+  let lhs = ref (unary s) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek s) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance s;
+      let rhs = binary s (prec + 1) in
+      lhs := Ast.Binop (op, !lhs, rhs)
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and unary s =
+  match peek s with
+  | Lexer.TILDE ->
+    advance s;
+    Ast.Unop (Ast.Unot, unary s)
+  | Lexer.MINUS ->
+    advance s;
+    Ast.Unop (Ast.Uneg, unary s)
+  | _ -> primary s
+
+and primary s =
+  match peek s with
+  | Lexer.INT v ->
+    advance s;
+    Ast.Int v
+  | Lexer.IDENT x ->
+    advance s;
+    Ast.Var x
+  | Lexer.KW_READ ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let p = ident s in
+    expect s Lexer.RPAREN;
+    Ast.Read p
+  | Lexer.LPAREN ->
+    advance s;
+    let e = expr s in
+    expect s Lexer.RPAREN;
+    e
+  | t -> fail s "expected an expression but found %s" (Lexer.token_name t)
+
+let rec stmt s : Ast.stmt =
+  match peek s with
+  | Lexer.KW_WAIT ->
+    advance s;
+    expect s Lexer.SEMI;
+    Ast.Wait
+  | Lexer.KW_WRITE ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let p = ident s in
+    expect s Lexer.COMMA;
+    let e = expr s in
+    expect s Lexer.RPAREN;
+    expect s Lexer.SEMI;
+    Ast.Write (p, e)
+  | Lexer.KW_IF ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let c = expr s in
+    expect s Lexer.RPAREN;
+    let then_b = block s in
+    let else_b = if peek s = Lexer.KW_ELSE then (advance s; block s) else [] in
+    Ast.If (c, then_b, else_b)
+  | Lexer.KW_FOR ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let index = ident s in
+    expect s Lexer.ASSIGN;
+    let from_ = int_lit s in
+    expect s Lexer.SEMI;
+    let index2 = ident s in
+    if not (String.equal index index2) then fail s "for-loop condition must test %s" index;
+    expect s Lexer.LT;
+    let below = int_lit s in
+    expect s Lexer.SEMI;
+    let index3 = ident s in
+    if not (String.equal index index3) then fail s "for-loop increment must bump %s" index;
+    expect s Lexer.PLUSPLUS;
+    expect s Lexer.RPAREN;
+    let body = block s in
+    Ast.For { index; from_; below; body }
+  | Lexer.IDENT _ ->
+    let x = ident s in
+    expect s Lexer.ASSIGN;
+    let e = expr s in
+    expect s Lexer.SEMI;
+    Ast.Assign (x, e)
+  | t -> fail s "expected a statement but found %s" (Lexer.token_name t)
+
+and block s =
+  expect s Lexer.LBRACE;
+  let stmts = ref [] in
+  while peek s <> Lexer.RBRACE do
+    stmts := stmt s :: !stmts
+  done;
+  expect s Lexer.RBRACE;
+  List.rev !stmts
+
+let parse src =
+  let s = { toks = Lexer.tokenize src } in
+  expect s Lexer.KW_PROCESS;
+  let proc_name = ident s in
+  expect s Lexer.LBRACE;
+  let ports = ref [] and vars = ref [] in
+  let in_decls = ref true in
+  while !in_decls do
+    match peek s with
+    | Lexer.KW_PORT ->
+      advance s;
+      let is_input =
+        match peek s with
+        | Lexer.KW_IN ->
+          advance s;
+          true
+        | Lexer.KW_OUT ->
+          advance s;
+          false
+        | t -> fail s "expected 'in' or 'out' but found %s" (Lexer.token_name t)
+      in
+      let port = ident s in
+      expect s Lexer.COLON;
+      let width = int_lit s in
+      expect s Lexer.SEMI;
+      ports := { Ast.port; width; is_input } :: !ports
+    | Lexer.KW_VAR ->
+      advance s;
+      let var = ident s in
+      expect s Lexer.COLON;
+      let vwidth = int_lit s in
+      expect s Lexer.SEMI;
+      vars := { Ast.var; vwidth } :: !vars
+    | _ -> in_decls := false
+  done;
+  expect s Lexer.KW_LOOP;
+  let body = block s in
+  expect s Lexer.RBRACE;
+  expect s Lexer.EOF;
+  { Ast.proc_name; ports = List.rev !ports; vars = List.rev !vars; body }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

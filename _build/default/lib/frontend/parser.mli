@@ -1,0 +1,24 @@
+(** Recursive-descent parser for the behavioral input language.
+
+    {v
+    process resizer {
+      port in  a   : 16;
+      port in  b   : 16;
+      port out y   : 16;
+      var x : 16;  var r : 16;
+      loop {
+        x = read(a) + 100;
+        if (x > 50) { wait; r = x / 3 - 100; }
+        else        { wait; r = x * read(b); }
+        wait;
+        write(y, r);
+      }
+    }
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Ast.process
+(** Raises {!Error} (or {!Lexer.Error}) on malformed input. *)
+
+val parse_file : string -> Ast.process

@@ -1,0 +1,46 @@
+let limit = 100_000
+
+let rec count_statements stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | Ast.Assign _ | Ast.Write _ | Ast.Wait -> 1
+      | Ast.If (_, t, e) -> 1 + count_statements t + count_statements e
+      | Ast.For { body; _ } -> 1 + count_statements body)
+    0 stmts
+
+let rec unroll stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | Ast.Assign _ | Ast.Write _ | Ast.Wait -> [ s ]
+      | Ast.If (c, t, e) -> [ Ast.If (c, unroll t, unroll e) ]
+      | Ast.For { index; from_; below; body } ->
+        if below <= from_ then
+          invalid_arg
+            (Printf.sprintf "Transform.unroll: empty loop on %s (%d..%d)" index from_ below);
+        let copies = ref [] in
+        for i = below - 1 downto from_ do
+          let copy = List.map (Ast.stmt_subst_index index i) body in
+          copies := unroll copy @ !copies
+        done;
+        if count_statements !copies > limit then
+          invalid_arg "Transform.unroll: expansion exceeds statement limit";
+        !copies)
+    stmts
+
+let unroll_process p = { p with Ast.body = unroll p.Ast.body }
+
+let rec states_in stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | Ast.Wait -> 1
+      | Ast.Assign _ | Ast.Write _ -> 0
+      | Ast.If (_, t, e) -> max (states_in t) (states_in e)
+      | Ast.For { body; from_; below; _ } -> max 0 (below - from_) * states_in body)
+    0 stmts

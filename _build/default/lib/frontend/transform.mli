@@ -1,0 +1,16 @@
+(** Source-level transformations applied before elaboration. *)
+
+val unroll : Ast.stmt list -> Ast.stmt list
+(** Fully unroll every statically bounded [For] loop (recursively),
+    substituting the index by its constant value in each copy.  Raises
+    [Invalid_argument] when a loop bound is non-positive or the expansion
+    exceeds a sanity limit (100k statements). *)
+
+val unroll_process : Ast.process -> Ast.process
+
+val count_statements : Ast.stmt list -> int
+(** Total statements, including nested ones. *)
+
+val states_in : Ast.stmt list -> int
+(** Number of [Wait] statements on the longest path (ifs take the max of
+    their branches) — the latency in cycles of one body iteration. *)

@@ -1,0 +1,62 @@
+let mask ~width v =
+  let w = min width 62 in
+  v land ((1 lsl w) - 1)
+
+let bool_int b = if b then 1 else 0
+
+let binop (op : Ast.binop) ~width a b =
+  let m = mask ~width in
+  match op with
+  | Ast.Badd -> m (a + b)
+  | Ast.Bsub -> m (a - b)
+  | Ast.Bmul -> m (a * b)
+  | Ast.Bdiv -> if b = 0 then 0 else m (a / b)
+  | Ast.Bmod -> if b = 0 then 0 else m (a mod b)
+  | Ast.Bshl -> m (a lsl (b land 63))
+  | Ast.Bshr -> m (a lsr (b land 63))
+  | Ast.Band -> m (a land b)
+  | Ast.Bor -> m (a lor b)
+  | Ast.Bxor -> m (a lxor b)
+  | Ast.Blt -> bool_int (a < b)
+  | Ast.Ble -> bool_int (a <= b)
+  | Ast.Beq -> bool_int (a = b)
+  | Ast.Bne -> bool_int (a <> b)
+  | Ast.Bge -> bool_int (a >= b)
+  | Ast.Bgt -> bool_int (a > b)
+
+let unop (op : Ast.unop) ~width a =
+  match op with
+  | Ast.Unot -> mask ~width (lnot a)
+  | Ast.Uneg -> mask ~width (-a)
+
+let op_kind (kind : Dfg.op_kind) ~width args =
+  let bin op = match args with
+    | [ a; b ] -> binop op ~width a b
+    | [ a ] -> binop op ~width a 0
+    | _ -> invalid_arg "Wordops.op_kind: bad arity"
+  in
+  match kind with
+  | Dfg.Add -> bin Ast.Badd
+  | Dfg.Sub -> bin Ast.Bsub
+  | Dfg.Mul -> bin Ast.Bmul
+  | Dfg.Div -> bin Ast.Bdiv
+  | Dfg.Modulo -> bin Ast.Bmod
+  | Dfg.Shl -> bin Ast.Bshl
+  | Dfg.Shr -> bin Ast.Bshr
+  | Dfg.Land -> bin Ast.Band
+  | Dfg.Lor -> bin Ast.Bor
+  | Dfg.Lxor -> bin Ast.Bxor
+  | Dfg.Lnot -> ( match args with [ a ] -> unop Ast.Unot ~width a | _ -> invalid_arg "lnot arity")
+  | Dfg.Cmp Dfg.Lt -> bin Ast.Blt
+  | Dfg.Cmp Dfg.Le -> bin Ast.Ble
+  | Dfg.Cmp Dfg.Eq -> bin Ast.Beq
+  | Dfg.Cmp Dfg.Ne -> bin Ast.Bne
+  | Dfg.Cmp Dfg.Ge -> bin Ast.Bge
+  | Dfg.Cmp Dfg.Gt -> bin Ast.Bgt
+  | Dfg.Mux -> (
+    match args with
+    | [ t; e; c ] -> if c <> 0 then t else e
+    | [ t; e ] -> if t <> 0 then t else e (* degenerate: constant condition folded *)
+    | _ -> invalid_arg "Wordops.op_kind: mux arity")
+  | Dfg.Read _ | Dfg.Write _ | Dfg.Const _ ->
+    invalid_arg "Wordops.op_kind: I/O and constants are caller-handled"

@@ -1,0 +1,17 @@
+(** Fixed-width integer semantics shared by every simulator: values are
+    unsigned words of the operation's declared width, wrapping on overflow.
+    Division and modulo by zero yield zero (hardware-friendly total
+    semantics, also what speculative evaluation of untaken branches
+    needs). *)
+
+val mask : width:int -> int -> int
+(** Truncate to the low [width] bits (width capped at 62 to stay within
+    OCaml's native int). *)
+
+val binop : Ast.binop -> width:int -> int -> int -> int
+val unop : Ast.unop -> width:int -> int -> int
+
+val op_kind : Dfg.op_kind -> width:int -> int list -> int
+(** Evaluate a DFG operation on its operand values (in positional order).
+    [Mux] expects [then_v; else_v; cond].  [Read]/[Write]/[Const] are the
+    caller's business and raise [Invalid_argument]. *)

@@ -1,0 +1,1 @@
+lib/graph/dag_paths.mli: Digraph

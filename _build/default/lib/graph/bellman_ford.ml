@@ -1,0 +1,41 @@
+type edge = { src : int; dst : int; weight : float }
+type result = Solution of float array | Positive_cycle of int list
+
+let solve ?shuffle_seed ~node_count ~edges ~sources () =
+  let edges =
+    match shuffle_seed with
+    | None -> edges
+    | Some seed ->
+      let arr = Array.of_list edges in
+      Splitmix.shuffle (Splitmix.create seed) arr;
+      Array.to_list arr
+  in
+  let dist = Array.make node_count neg_infinity in
+  List.iter (fun s -> dist.(s) <- 0.0) sources;
+  let changed = ref true in
+  let iter = ref 0 in
+  while !changed && !iter < node_count do
+    changed := false;
+    incr iter;
+    List.iter
+      (fun { src; dst; weight } ->
+        if dist.(src) > neg_infinity then begin
+          let cand = dist.(src) +. weight in
+          if cand > dist.(dst) +. 1e-9 then begin
+            dist.(dst) <- cand;
+            changed := true
+          end
+        end)
+      edges
+  done;
+  if not !changed then Solution dist
+  else begin
+    (* One more sweep: any node still improving lies on/after a positive cycle. *)
+    let witnesses = ref [] in
+    List.iter
+      (fun { src; dst; weight } ->
+        if dist.(src) > neg_infinity && dist.(src) +. weight > dist.(dst) +. 1e-9 then
+          witnesses := dst :: !witnesses)
+      edges;
+    Positive_cycle (List.sort_uniq Int.compare !witnesses)
+  end

@@ -1,0 +1,28 @@
+(** Bellman–Ford longest-path solver on a weighted constraint graph.
+
+    This implements the prior-work timing-analysis formulation of
+    Chandrachoodan et al. (hierarchical timing pairs), which the paper uses
+    as its runtime baseline in Table 5: arrival times are the fixed point of
+    relaxation over {e all} edges, iterated up to V times, with no reliance
+    on a topological order (so it also accepts cyclic constraint graphs). *)
+
+type edge = { src : int; dst : int; weight : float }
+
+type result =
+  | Solution of float array
+      (** Longest distance from the virtual source to every node;
+          [neg_infinity] when unreachable. *)
+  | Positive_cycle of int list
+      (** Witness nodes on a positive-weight cycle: the constraint system is
+          infeasible. *)
+
+val solve : ?shuffle_seed:int -> node_count:int -> edges:edge list -> sources:int list -> unit -> result
+(** [solve ~node_count ~edges ~sources] relaxes until fixpoint or
+    [node_count] iterations.  O(V * E).
+
+    [shuffle_seed] permutes the relaxation order deterministically.  A
+    generic constraint-graph solver (the prior-work setting this baseline
+    models) receives its edges in no particular order — and with cyclic
+    constraint graphs no topological order exists — so benchmarks pass a
+    seed to avoid gifting the baseline an accidentally near-topological
+    order that converges in two sweeps. *)

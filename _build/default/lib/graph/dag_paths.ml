@@ -1,0 +1,61 @@
+let min_node_weight_paths g ~weight ~source =
+  let order = Traverse.topo_sort_exn g in
+  let n = Digraph.node_count g in
+  let dist = Array.make n None in
+  dist.(source) <- Some (weight source);
+  List.iter
+    (fun v ->
+      match dist.(v) with
+      | None -> ()
+      | Some dv ->
+        List.iter
+          (fun w ->
+            let cand = dv + weight w in
+            match dist.(w) with
+            | Some dw when dw <= cand -> ()
+            | Some _ | None -> dist.(w) <- Some cand)
+          (Digraph.succs g v))
+    order;
+  dist
+
+let all_pairs_min_node_weight g ~weight =
+  (* Share one topological order across all sources. *)
+  let order = Traverse.topo_sort_exn g in
+  let n = Digraph.node_count g in
+  Array.init n (fun source ->
+      let dist = Array.make n None in
+      dist.(source) <- Some (weight source);
+      List.iter
+        (fun v ->
+          match dist.(v) with
+          | None -> ()
+          | Some dv ->
+            List.iter
+              (fun w ->
+                let cand = dv + weight w in
+                match dist.(w) with
+                | Some dw when dw <= cand -> ()
+                | Some _ | None -> dist.(w) <- Some cand)
+              (Digraph.succs g v))
+        order;
+      dist)
+
+let longest_paths g ~edge_weight ~sources =
+  let order = Traverse.topo_sort_exn g in
+  let n = Digraph.node_count g in
+  let dist = Array.make n None in
+  List.iter (fun s -> dist.(s) <- Some 0.0) sources;
+  List.iter
+    (fun v ->
+      match dist.(v) with
+      | None -> ()
+      | Some dv ->
+        List.iter
+          (fun w ->
+            let cand = dv +. edge_weight v w in
+            match dist.(w) with
+            | Some dw when dw >= cand -> ()
+            | Some _ | None -> dist.(w) <- Some cand)
+          (Digraph.succs g v))
+    order;
+  dist

@@ -1,0 +1,22 @@
+(** Shortest/longest path computations on DAGs.
+
+    These back the CFG latency computation (minimum number of state nodes on
+    any forward path) and arrival/required-time propagation. *)
+
+val min_node_weight_paths :
+  Digraph.t -> weight:(int -> int) -> source:int -> int option array
+(** [min_node_weight_paths g ~weight ~source] returns, for every node [v],
+    the minimum over all paths [source ->* v] of the sum of node weights
+    along the path, {e including both endpoints}.  [None] when [v] is
+    unreachable.  Requires [g] acyclic. *)
+
+val all_pairs_min_node_weight :
+  Digraph.t -> weight:(int -> int) -> int option array array
+(** [all_pairs_min_node_weight g ~weight] computes the matrix of
+    {!min_node_weight_paths} for every source.  O(V * (V + E)).  Requires
+    [g] acyclic. *)
+
+val longest_paths :
+  Digraph.t -> edge_weight:(int -> int -> float) -> sources:int list -> float option array
+(** Longest (critical) path lengths from any of [sources] on a DAG with real
+    edge weights; [Some 0.] at the sources themselves. *)

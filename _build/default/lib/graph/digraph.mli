@@ -1,0 +1,29 @@
+(** Growable mutable directed graph over dense integer nodes.
+
+    Nodes are integers [0 .. node_count - 1] assigned in creation order.
+    Parallel edges and self-loops are permitted (callers that forbid them
+    check at a higher level). *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val add_node : t -> int
+(** Returns the new node's index. *)
+
+val add_edge : t -> int -> int -> unit
+val node_count : t -> int
+val edge_count : t -> int
+val succs : t -> int -> int list
+(** Successors in insertion order. *)
+
+val preds : t -> int -> int list
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val iter_nodes : t -> (int -> unit) -> unit
+val iter_edges : t -> (int -> int -> unit) -> unit
+val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+val mem_edge : t -> int -> int -> bool
+val copy : t -> t
+
+val reverse : t -> t
+(** A fresh graph with every edge flipped. *)

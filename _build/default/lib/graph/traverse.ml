@@ -1,0 +1,79 @@
+type edge_class = Tree | Back | Forward_or_cross
+
+(* Iterative DFS with explicit colour marking: white = unvisited, grey = on
+   the current DFS stack, black = finished.  An edge into a grey node is a
+   back edge. *)
+type colour = White | Grey | Black
+
+let dfs_classify g ~roots f =
+  let n = Digraph.node_count g in
+  let colour = Array.make n White in
+  let rec visit u =
+    colour.(u) <- Grey;
+    List.iter
+      (fun v ->
+        match colour.(v) with
+        | White ->
+          f u v Tree;
+          visit v
+        | Grey -> f u v Back
+        | Black -> f u v Forward_or_cross)
+      (Digraph.succs g u);
+    colour.(u) <- Black
+  in
+  List.iter (fun r -> if colour.(r) = White then visit r) roots
+
+let back_edges g ~roots =
+  let acc = ref [] in
+  dfs_classify g ~roots (fun u v cls -> if cls = Back then acc := (u, v) :: !acc);
+  List.rev !acc
+
+let reachable g v =
+  let n = Digraph.node_count g in
+  let seen = Array.make n false in
+  let rec go u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter go (Digraph.succs g u)
+    end
+  in
+  go v;
+  seen
+
+let topo_sort g =
+  let n = Digraph.node_count g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr count;
+    order := u :: !order;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      (Digraph.succs g u)
+  done;
+  if !count = n then Ok (List.rev !order)
+  else begin
+    let cyc = ref [] in
+    for v = n - 1 downto 0 do
+      if indeg.(v) > 0 then cyc := v :: !cyc
+    done;
+    Error !cyc
+  end
+
+let is_dag g = match topo_sort g with Ok _ -> true | Error _ -> false
+
+let topo_sort_exn g =
+  match topo_sort g with
+  | Ok order -> order
+  | Error cyc ->
+    failwith
+      (Printf.sprintf "Traverse.topo_sort_exn: graph has a cycle through %d node(s)"
+         (List.length cyc))

@@ -1,0 +1,24 @@
+(** Traversals and structural queries over {!Digraph.t}. *)
+
+type edge_class = Tree | Back | Forward_or_cross
+(** Classification relative to a DFS forest rooted at given roots. *)
+
+val dfs_classify : Digraph.t -> roots:int list -> (int -> int -> edge_class -> unit) -> unit
+(** Depth-first traversal from [roots] (in order), classifying every edge
+    reachable from them.  Successors are visited in insertion order. *)
+
+val back_edges : Digraph.t -> roots:int list -> (int * int) list
+(** Edges classified [Back] by {!dfs_classify}; for a reducible control-flow
+    graph these are exactly the loop-back edges. *)
+
+val reachable : Digraph.t -> int -> bool array
+(** [reachable g v] marks every node reachable from [v] (including [v]). *)
+
+val topo_sort : Digraph.t -> (int list, int list) result
+(** Kahn's algorithm.  [Ok order] lists all nodes in topological order;
+    [Error cyc] returns the nodes involved in at least one cycle. *)
+
+val is_dag : Digraph.t -> bool
+
+val topo_sort_exn : Digraph.t -> int list
+(** Raises [Failure] when the graph is cyclic. *)

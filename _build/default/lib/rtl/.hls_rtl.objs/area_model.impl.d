@@ -1,0 +1,1 @@
+lib/rtl/area_model.ml: Alloc Curve Dfg Format Library List Resource_kind Schedule

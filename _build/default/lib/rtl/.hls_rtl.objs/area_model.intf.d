@@ -1,0 +1,1 @@
+lib/rtl/area_model.mli: Format Resource_kind Schedule

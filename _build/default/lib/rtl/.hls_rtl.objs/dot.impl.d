@@ -1,0 +1,1 @@
+lib/rtl/dot.ml: Alloc Array Buffer Cfg Dfg Format Fun List Printf Schedule String Timed_dfg

@@ -1,0 +1,1 @@
+lib/rtl/dot.mli: Cfg Dfg Schedule Timed_dfg

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Alloc Dfg Format Hashtbl List Schedule

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Alloc Buffer Dfg Fun List Netlist Printf Schedule String

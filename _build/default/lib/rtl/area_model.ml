@@ -1,0 +1,83 @@
+type breakdown = {
+  fu : float;
+  mux : float;
+  registers : float;
+  fsm : float;
+  total : float;
+}
+
+let used_instances sched =
+  List.filter
+    (fun i -> Schedule.ops_of_inst sched i.Alloc.id <> [])
+    (Alloc.instances sched.Schedule.alloc)
+
+let fu_only sched =
+  List.fold_left (fun acc i -> acc +. i.Alloc.point.Curve.area) 0.0 (used_instances sched)
+
+let fu_of_kind sched rk =
+  List.fold_left
+    (fun acc i ->
+      if Resource_kind.equal i.Alloc.rk rk then acc +. i.Alloc.point.Curve.area else acc)
+    0.0 (used_instances sched)
+
+(* A value needs a register when it outlives its control step: some
+   consumer executes in a later step, the value feeds a loop-carried
+   dependency, or it is an I/O-visible result held at a boundary. *)
+let needs_register sched op =
+  let dfg = sched.Schedule.dfg in
+  match Schedule.placement sched op.Dfg.id with
+  | None -> false
+  | Some p ->
+    (match op.Dfg.kind with
+    | Dfg.Const _ -> false
+    | _ ->
+      List.exists
+        (fun (c, loop_carried) ->
+          loop_carried
+          ||
+          match Schedule.placement sched c with
+          | Some pc -> pc.Schedule.step > p.Schedule.step
+          | None -> false)
+        (Dfg.all_succs dfg op.Dfg.id))
+
+let of_schedule sched =
+  let lib = Alloc.library sched.Schedule.alloc in
+  let dfg = sched.Schedule.dfg in
+  let fu = fu_only sched in
+  let mux =
+    List.fold_left
+      (fun acc i ->
+        let fanin = List.length (Schedule.ops_of_inst sched i.Alloc.id) in
+        if fanin >= 2 then
+          acc +. (2.0 *. Library.mux_area lib ~inputs:fanin ~width:i.Alloc.width)
+        else acc)
+      0.0 (used_instances sched)
+  in
+  let registers = ref 0.0 in
+  Dfg.iter_ops dfg (fun op ->
+      if needs_register sched op then
+        registers := !registers +. Library.register_area lib ~width:op.Dfg.width);
+  let fsm =
+    float_of_int (Schedule.steps_used sched) *. Library.fsm_area_per_state lib
+  in
+  let registers = !registers in
+  { fu; mux; registers; fsm; total = fu +. mux +. registers +. fsm }
+
+let power sched ~cycles_per_sample =
+  if cycles_per_sample <= 0 then invalid_arg "Area_model.power: cycles must be positive";
+  let dfg = sched.Schedule.dfg in
+  let energy = ref 0.0 in
+  Dfg.iter_ops dfg (fun op ->
+      match Schedule.placement sched op.Dfg.id with
+      | Some { Schedule.inst = Some id; _ } ->
+        energy := !energy +. (Alloc.instance sched.Schedule.alloc id).Alloc.point.Curve.area
+      | Some _ | None -> ());
+  let b = of_schedule sched in
+  let sample_period = float_of_int cycles_per_sample *. sched.Schedule.clock in
+  (* Dynamic: one toggle of each executing unit per sample; leakage: 2% of
+     total area per unit time (arbitrary consistent constants). *)
+  (1e3 *. !energy /. sample_period) +. (0.02 *. b.total)
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "fu %.0f + mux %.0f + reg %.0f + fsm %.0f = %.0f" b.fu b.mux
+    b.registers b.fsm b.total

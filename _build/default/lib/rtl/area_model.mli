@@ -1,0 +1,43 @@
+(** Post-"logic synthesis" area model.
+
+    The paper reports cell area after running logic synthesis on the RTL
+    produced by HLS.  This model stands in for that step: it prices the
+    datapath implied by a schedule —
+
+    - functional units at their final speed grades (only instances that
+      actually execute at least one operation are counted);
+    - steering multiplexers in front of shared units (two operand ports,
+      fan-in = number of bound operations);
+    - registers for every value that crosses a control-step boundary or
+      flows around the loop;
+    - the FSM controller, proportional to the number of control steps.
+
+    Both competing flows are priced by the same model, which preserves the
+    relative comparison the paper makes. *)
+
+type breakdown = {
+  fu : float;
+  mux : float;
+  registers : float;
+  fsm : float;
+  total : float;
+}
+
+val of_schedule : Schedule.t -> breakdown
+
+val fu_only : Schedule.t -> float
+(** Functional units only (used instances), the quantity the paper's
+    Table 2 tabulates for the interpolation example. *)
+
+val fu_of_kind : Schedule.t -> Resource_kind.t -> float
+
+val power : Schedule.t -> cycles_per_sample:int -> float
+(** Relative power estimate, used to reproduce the paper's §VII claim that
+    the IDCT exploration spans a ~20x power range: dynamic power is the
+    energy of one sample (every operation toggles its instance once, energy
+    proportional to the instance's area) times the sample rate
+    (1 / (cycles_per_sample * clock)), plus a leakage term proportional to
+    total area.  Units are arbitrary but consistent across designs priced
+    by the same library. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,128 @@
+let buf_printf = Printf.bprintf
+
+let esc s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let cfg g =
+  let b = Buffer.create 1024 in
+  buf_printf b "digraph cfg {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  for i = 0 to Cfg.node_count g - 1 do
+    let n = Cfg.Node_id.of_int i in
+    let kind = Cfg.node_kind g n in
+    let shape, style =
+      match kind with
+      | Cfg.State -> ("circle", "style=filled fillcolor=gray80")
+      | Cfg.Fork -> ("diamond", "")
+      | Cfg.Join -> ("invtriangle", "")
+      | Cfg.Start -> ("doublecircle", "")
+      | Cfg.Exit -> ("doublecircle", "style=filled fillcolor=gray90")
+      | Cfg.Plain -> ("box", "")
+    in
+    buf_printf b "  n%d [label=\"n%d\\n%s\" shape=%s %s];\n" i i
+      (Format.asprintf "%a" Cfg.pp_node_kind kind)
+      shape style
+  done;
+  Cfg.iter_edges g (fun e ->
+      let s = Cfg.Node_id.to_int (Cfg.edge_src g e) in
+      let d = Cfg.Node_id.to_int (Cfg.edge_dst g e) in
+      let back = Cfg.is_sealed g && Cfg.is_backward g e in
+      buf_printf b "  n%d -> n%d [label=\"e%d\"%s];\n" s d (Cfg.Edge_id.to_int e)
+        (if back then " style=dashed constraint=false" else ""));
+  buf_printf b "}\n";
+  Buffer.contents b
+
+let dfg ?spans d =
+  let b = Buffer.create 1024 in
+  buf_printf b "digraph dfg {\n  rankdir=TB;\n  node [fontname=\"monospace\" shape=ellipse];\n";
+  Dfg.iter_ops d (fun op ->
+      let i = Dfg.Op_id.to_int op.Dfg.id in
+      let span_label =
+        match spans with
+        | Some sp ->
+          let s = sp.(i) in
+          Printf.sprintf "\\n{e%d..e%d}" (Cfg.Edge_id.to_int s.Dfg.early)
+            (Cfg.Edge_id.to_int s.Dfg.late)
+        | None -> ""
+      in
+      let style =
+        match op.Dfg.kind with
+        | Dfg.Read _ | Dfg.Write _ -> " style=filled fillcolor=lightblue"
+        | Dfg.Mux -> " shape=trapezium"
+        | Dfg.Const _ -> " shape=plaintext"
+        | _ -> ""
+      in
+      buf_printf b "  o%d [label=\"%s%s\"%s];\n" i (esc op.Dfg.name) span_label style);
+  Dfg.iter_ops d (fun op ->
+      List.iter
+        (fun (succ, lc) ->
+          buf_printf b "  o%d -> o%d%s;\n" (Dfg.Op_id.to_int op.Dfg.id)
+            (Dfg.Op_id.to_int succ)
+            (if lc then " [style=dashed label=\"loop\"]" else ""))
+        (Dfg.all_succs d op.Dfg.id));
+  buf_printf b "}\n";
+  Buffer.contents b
+
+let timed_dfg t =
+  let d = Timed_dfg.dfg t in
+  let b = Buffer.create 1024 in
+  buf_printf b "digraph timed_dfg {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  let node_id = function
+    | Timed_dfg.Op o -> Printf.sprintf "o%d" (Dfg.Op_id.to_int o)
+    | Timed_dfg.Sink o -> Printf.sprintf "s%d" (Dfg.Op_id.to_int o)
+  in
+  List.iter
+    (fun n ->
+      match n with
+      | Timed_dfg.Op o ->
+        buf_printf b "  %s [label=\"%s\"];\n" (node_id n) (esc (Dfg.op d o).Dfg.name)
+      | Timed_dfg.Sink _ ->
+        buf_printf b "  %s [label=\"s\" shape=point width=0.15];\n" (node_id n))
+    (Timed_dfg.topo t);
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (succ, w) ->
+          buf_printf b "  %s -> %s [label=\"%d\"%s];\n" (node_id n) (node_id succ) w
+            (if w > 0 then " color=red" else ""))
+        (Timed_dfg.succs t n))
+    (Timed_dfg.topo t);
+  buf_printf b "}\n";
+  Buffer.contents b
+
+let schedule sched =
+  let d = sched.Schedule.dfg in
+  let b = Buffer.create 1024 in
+  buf_printf b "digraph schedule {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  for s = 0 to Schedule.steps_used sched - 1 do
+    buf_printf b "  subgraph cluster_step%d {\n    label=\"step %d\";\n" s s;
+    Dfg.iter_ops d (fun op ->
+        match Schedule.placement sched op.Dfg.id with
+        | Some p
+          when p.Schedule.step = s
+               && (match op.Dfg.kind with Dfg.Const _ -> false | _ -> true) ->
+          let binding =
+            match p.Schedule.inst with
+            | Some id -> Printf.sprintf "\\nfu%d @ %.0f..%.0f" (Alloc.Inst_id.to_int id)
+                           p.Schedule.start (p.Schedule.start +. p.Schedule.eff_delay)
+            | None -> ""
+          in
+          buf_printf b "    o%d [label=\"%s%s\"];\n" (Dfg.Op_id.to_int op.Dfg.id)
+            (esc op.Dfg.name) binding
+        | _ -> ());
+    buf_printf b "  }\n"
+  done;
+  Dfg.iter_ops d (fun op ->
+      List.iter
+        (fun succ ->
+          buf_printf b "  o%d -> o%d;\n" (Dfg.Op_id.to_int op.Dfg.id)
+            (Dfg.Op_id.to_int succ))
+        (Dfg.succs d op.Dfg.id));
+  buf_printf b "}\n";
+  Buffer.contents b
+
+let write_file contents ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

@@ -1,0 +1,19 @@
+(** Graphviz (DOT) renderings of the intermediate representations, for
+    debugging and documentation (the paper's Figures 4 and 5 are exactly
+    these drawings). *)
+
+val cfg : Cfg.t -> string
+(** Control-flow graph; state nodes shaded, backward edges dashed. *)
+
+val dfg : ?spans:Dfg.span array -> Dfg.t -> string
+(** Data-flow graph; loop-carried dependencies dashed; with [spans], node
+    labels carry each op's early..late edge window (Figure 5a). *)
+
+val timed_dfg : Timed_dfg.t -> string
+(** Timed DFG with latency weights on edges and explicit sink nodes
+    (Figure 5b). *)
+
+val schedule : Schedule.t -> string
+(** DFG clustered by control step, annotated with instance bindings. *)
+
+val write_file : string -> path:string -> unit

@@ -1,0 +1,11 @@
+(** Verilog emission.
+
+    Produces a synthesisable-style RTL rendering of a netlist: one module
+    with a one-hot-encoded FSM, a wire per operation value, a register per
+    step-crossing value, and behavioral expressions for the operations.
+    The emitted text is an {e inspection artifact} (it is not re-simulated
+    by this library); its purpose is to make schedules concrete and
+    reviewable, mirroring what the paper's tool hands to logic synthesis. *)
+
+val emit : ?module_name:string -> Netlist.t -> string
+val write_file : ?module_name:string -> Netlist.t -> path:string -> unit

@@ -1,0 +1,1 @@
+lib/sched/area_recovery.ml: Alloc Array Curve Dfg Float Hashtbl List Schedule

@@ -1,0 +1,1 @@
+lib/sched/area_recovery.mli: Schedule

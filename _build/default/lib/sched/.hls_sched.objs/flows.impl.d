@@ -1,0 +1,1 @@
+lib/sched/flows.ml: Alloc Area_recovery Array Budget Cfg Curve Dfg Float Hashtbl Interval Library List Option Resource_kind Sched_core Schedule Slack Timed_dfg

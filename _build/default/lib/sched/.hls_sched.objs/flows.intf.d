@@ -1,0 +1,1 @@
+lib/sched/flows.mli: Alloc Budget Dfg Library Schedule

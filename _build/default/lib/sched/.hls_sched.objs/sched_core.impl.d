@@ -1,0 +1,1 @@
+lib/sched/sched_core.ml: Alloc Array Cfg Curve Dfg Float Format Hashtbl Int Library List Option Printf Resource_kind Schedule Sys

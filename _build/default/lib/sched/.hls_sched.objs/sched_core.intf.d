@@ -1,0 +1,1 @@
+lib/sched/sched_core.mli: Alloc Cfg Dfg Format Resource_kind Schedule

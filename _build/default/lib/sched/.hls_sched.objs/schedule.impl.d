@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Alloc Array Cfg Curve Dfg Float Format Hashtbl Library List Option Printf

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Alloc Cfg Dfg Format

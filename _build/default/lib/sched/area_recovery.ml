@@ -1,0 +1,91 @@
+let eps = 1e-6
+
+let latest_starts sched =
+  let dfg = sched.Schedule.dfg in
+  let budget = Schedule.step_budget sched in
+  let n = Dfg.op_count dfg in
+  let ls = Array.make n nan in
+  let order = List.rev (Dfg.topo_order dfg) in
+  List.iter
+    (fun oid ->
+      let i = Dfg.Op_id.to_int oid in
+      match Schedule.placement sched oid with
+      | None -> ()
+      | Some p ->
+        (match (Dfg.op dfg oid).Dfg.kind with
+        | Dfg.Const _ -> ()
+        | _ ->
+          let bound = ref (budget -. p.Schedule.eff_delay) in
+          List.iter
+            (fun c ->
+              match Schedule.placement sched c with
+              | Some pc when pc.Schedule.step = p.Schedule.step ->
+                let lc = ls.(Dfg.Op_id.to_int c) in
+                if not (Float.is_nan lc) then
+                  bound := Float.min !bound (lc -. p.Schedule.eff_delay)
+              | Some _ | None -> ())
+            (Dfg.succs dfg oid);
+          ls.(i) <- !bound))
+    order;
+  ls
+
+let run ?(max_iters = 20) sched =
+  let alloc = sched.Schedule.alloc in
+  let regrades = ref 0 in
+  let frozen = Hashtbl.create 8 in
+  let rec sweep k =
+    if k <= 0 then ()
+    else begin
+      (match Schedule.retime sched with
+      | Ok () -> ()
+      | Error v ->
+        invalid_arg ("Area_recovery.run: infeasible input schedule: " ^ v.Schedule.detail));
+      let ls = latest_starts sched in
+      let changed = ref false in
+      List.iter
+        (fun inst ->
+          let id = inst.Alloc.id in
+          if not (Hashtbl.mem frozen id) then begin
+            let ops = Schedule.ops_of_inst sched id in
+            if ops <> [] then begin
+              let headroom =
+                List.fold_left
+                  (fun acc o ->
+                    match Schedule.placement sched o with
+                    | Some p ->
+                      let l = ls.(Dfg.Op_id.to_int o) in
+                      if Float.is_nan l then acc else Float.min acc (l -. p.Schedule.start)
+                    | None -> acc)
+                  infinity ops
+              in
+              if headroom > 1.0 && headroom < infinity then begin
+                let old = inst.Alloc.point in
+                Alloc.set_grade alloc id ~delay:(old.Curve.delay +. headroom);
+                let now = (Alloc.instance alloc id).Alloc.point in
+                if now.Curve.delay > old.Curve.delay +. eps then begin
+                  match Schedule.retime sched with
+                  | Ok () ->
+                    incr regrades;
+                    changed := true
+                  | Error _ ->
+                    Alloc.set_grade alloc id ~delay:old.Curve.delay;
+                    (match Schedule.retime sched with
+                    | Ok () -> ()
+                    | Error v ->
+                      invalid_arg
+                        ("Area_recovery.run: rollback failed: " ^ v.Schedule.detail));
+                    Hashtbl.replace frozen id ()
+                end
+                else Alloc.set_grade alloc id ~delay:old.Curve.delay
+              end
+            end
+          end)
+        (Alloc.instances alloc);
+      if !changed then sweep (k - 1)
+    end
+  in
+  sweep max_iters;
+  (match Schedule.retime sched with
+  | Ok () -> ()
+  | Error v -> invalid_arg ("Area_recovery.run: final retime failed: " ^ v.Schedule.detail));
+  !regrades

@@ -1,0 +1,368 @@
+type flow = Conventional | Slowest_first | Slack_based
+
+let flow_name = function
+  | Conventional -> "conventional"
+  | Slowest_first -> "slowest-first"
+  | Slack_based -> "slack-based"
+
+type report = {
+  flow : flow;
+  schedule : Schedule.t;
+  relaxations : int;
+  regrades : int;
+  targets : float array option;
+}
+
+type sharing = {
+  merge_add_sub : bool;
+  width_buckets : bool;
+}
+
+type config = {
+  grading : Alloc.grading;
+  recover_area : bool;
+  max_relaxations : int;
+  budget_config : Budget.config;
+  rebudget_config : Budget.config option;
+  sharing : sharing;
+}
+
+let default_config =
+  {
+    grading = Alloc.Continuous;
+    recover_area = true;
+    max_relaxations = 128;
+    budget_config = Budget.default_config;
+    rebudget_config =
+      Some { Budget.default_config with max_rounds = 4; bisection_steps = 12 };
+    sharing = { merge_add_sub = false; width_buckets = false };
+  }
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
+
+let op_curve lib (op : Dfg.op) = Library.op_curve lib op.Dfg.kind ~width:op.Dfg.width
+
+(* Delay range of an op, upper end clamped to the step budget so scheduled
+   operations can always fit a cycle. *)
+let op_range lib budget dfg o =
+  let op = Dfg.op dfg o in
+  match op_curve lib op with
+  | Some c ->
+    let lo = Curve.min_delay c in
+    Interval.make lo (Float.max lo (Float.min (Curve.max_delay c) budget))
+  | None -> Interval.point 0.0
+
+let op_sensitivity lib dfg o d =
+  let op = Dfg.op dfg o in
+  match op_curve lib op with Some c -> Curve.sensitivity c d | None -> 0.0
+
+let active_ops dfg =
+  List.filter
+    (fun o -> match (Dfg.op dfg o).Dfg.kind with Dfg.Const _ -> false | _ -> true)
+    (Dfg.ops dfg)
+
+let group_key sharing dfg o =
+  let op = Dfg.op dfg o in
+  match Resource_kind.of_op_kind op.Dfg.kind with
+  | Some rk ->
+    let rk =
+      if
+        sharing.merge_add_sub
+        && (Resource_kind.equal rk Resource_kind.Adder
+           || Resource_kind.equal rk Resource_kind.Subtractor)
+      then Resource_kind.Add_sub
+      else rk
+    in
+    let width = if sharing.width_buckets then next_pow2 op.Dfg.width 4 else op.Dfg.width in
+    Some (rk, width)
+  | None -> None
+
+let groups sharing dfg =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      match group_key sharing dfg o with
+      | Some key ->
+        Hashtbl.replace tbl key (o :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+      | None -> ())
+    (active_ops dfg);
+  Hashtbl.fold (fun key ops acc -> (key, List.rev ops) :: acc) tbl []
+  |> List.sort compare
+
+let median l =
+  match List.sort Float.compare l with
+  | [] -> 0.0
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+(* Peak-demand estimate for the initial allocation of the slack flow: the
+   ops of a group spread over the steps their spans cover. *)
+let slack_instance_count ?ii cfg spans ops =
+  let span_steps o =
+    let s = spans.(Dfg.Op_id.to_int o) in
+    let a = Cfg.state_of_edge cfg s.Dfg.early and b = Cfg.state_of_edge cfg s.Dfg.late in
+    let w = max 1 (b - a + 1) in
+    match ii with Some k -> min w k | None -> w
+  in
+  let total = List.length ops in
+  let mean_span =
+    float_of_int (List.fold_left (fun acc o -> acc + span_steps o) 0 ops)
+    /. float_of_int (max 1 total)
+  in
+  max 1 (int_of_float (ceil (float_of_int total /. Float.max 1.0 mean_span)))
+
+let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
+  (match ii with
+  | Some k when k <= 0 -> invalid_arg "Flows.run: ii must be positive"
+  | Some _ | None -> ());
+  let cfg = Dfg.cfg dfg in
+  let ops = active_ops dfg in
+  let n = Dfg.op_count dfg in
+  let budget_clock = clock -. Library.register_overhead lib in
+  if budget_clock <= 0.0 then Error "clock period below register overhead"
+  else begin
+    let ranges o = op_range lib budget_clock dfg o in
+    let sensitivity o d = op_sensitivity lib dfg o d in
+    (* Delay targets. *)
+    let targets = Array.make n 0.0 in
+    let priorities = Array.make n 0.0 in
+    let set_targets_from del =
+      List.iter (fun o -> targets.(Dfg.Op_id.to_int o) <- del o) ops
+    in
+    let set_priorities_slack tdfg =
+      let res =
+        Slack.analyze ~aligned:true tdfg ~clock:budget_clock ~del:(fun o ->
+            targets.(Dfg.Op_id.to_int o))
+      in
+      List.iter
+        (fun o -> priorities.(Dfg.Op_id.to_int o) <- Slack.op_slack res o)
+        ops
+    in
+    let spans0 = Dfg.compute_spans dfg in
+    let mobility o =
+      let s = spans0.(Dfg.Op_id.to_int o) in
+      float_of_int
+        (Cfg.state_of_edge cfg s.Dfg.late - Cfg.state_of_edge cfg s.Dfg.early)
+    in
+    let pre_budget_error = ref None in
+    (match flow with
+    | Conventional ->
+      set_targets_from (fun o -> Interval.lo (ranges o));
+      List.iter (fun o -> priorities.(Dfg.Op_id.to_int o) <- mobility o) ops
+    | Slowest_first ->
+      set_targets_from (fun o -> Interval.hi (ranges o));
+      List.iter (fun o -> priorities.(Dfg.Op_id.to_int o) <- mobility o) ops
+    | Slack_based -> (
+      let tdfg = Timed_dfg.build dfg ~spans:spans0 in
+      match Budget.run ~config:config.budget_config tdfg ~clock:budget_clock ~ranges ~sensitivity with
+      | Budget.Feasible delays ->
+        Array.blit delays 0 targets 0 n;
+        set_priorities_slack tdfg
+      | Budget.Infeasible _ ->
+        (* Fall back to fastest targets; the schedule pass will tell the
+           caller whether the design truly needs more states. *)
+        pre_budget_error := Some "pre-schedule budgeting infeasible";
+        set_targets_from (fun o -> Interval.lo (ranges o));
+        List.iter (fun o -> priorities.(Dfg.Op_id.to_int o) <- mobility o) ops));
+    ignore !pre_budget_error;
+    (* Instance counts per (kind, width) group, learned across relaxation
+       attempts; the allocation is rebuilt from them before every pass. *)
+    let counts : (Resource_kind.t * int, int ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun ((rk, width), gops) ->
+        let c =
+          match flow with
+          | Conventional | Slowest_first -> 1
+          | Slack_based -> slack_instance_count ?ii cfg spans0 gops
+        in
+        Hashtbl.replace counts (rk, width) (ref c))
+      (groups config.sharing dfg);
+    (* Grade-decay knob: when a pass fails on timing (a slow producer
+       exhausted a consumer's window) and adding resources cannot help,
+       every target is pulled toward the fast end and the pass restarts —
+       for the slowest-first flow this is the paper's "reduce their delays
+       on the fly" (§II Case 2); for the slack flow it is a last-resort
+       fallback when sharing effects defeat the pre-schedule budget. *)
+    let gamma = ref 1.0 in
+    let eff_target o =
+      let i = Dfg.Op_id.to_int o in
+      let lo = Interval.lo (ranges o) in
+      lo +. (!gamma *. (targets.(i) -. lo))
+    in
+    let refresh_slowest_targets () =
+      set_targets_from (fun o -> Interval.hi (ranges o))
+    in
+    let build_alloc () =
+      let alloc = Alloc.create ~grading:config.grading lib in
+      List.iter
+        (fun ((rk, width), gops) ->
+          let grade =
+            match flow with
+            | Conventional -> 0.0
+            | Slowest_first | Slack_based -> median (List.map eff_target gops)
+          in
+          let c = !(Hashtbl.find counts (rk, width)) in
+          for _ = 1 to c do
+            ignore (Alloc.add_instance alloc ~rk ~width ~delay:grade)
+          done)
+        (groups config.sharing dfg);
+      alloc
+    in
+    (* Per-edge re-budgeting hook (slack flow). *)
+    let rebudget =
+      match (flow, config.rebudget_config) with
+      | Slack_based, Some bcfg ->
+        Some
+          (fun sched pin ->
+            let unplaced =
+              List.filter (fun o -> not (Schedule.is_placed sched o)) ops
+            in
+            if unplaced <> [] then begin
+              let spans' = Dfg.compute_spans ~pin dfg in
+              match Timed_dfg.build dfg ~spans:spans' with
+              | exception Timed_dfg.Unrealizable _ -> ()
+              | tdfg' ->
+                let ranges' o =
+                  match Schedule.placement sched o with
+                  | Some p -> Interval.point p.Schedule.eff_delay
+                  | None -> ranges o
+                in
+                let sens' o d = if Schedule.is_placed sched o then 0.0 else sensitivity o d in
+                (match
+                   Budget.run ~config:bcfg tdfg' ~clock:budget_clock ~ranges:ranges'
+                     ~sensitivity:sens'
+                 with
+                | Budget.Feasible delays ->
+                  List.iter
+                    (fun o ->
+                      let i = Dfg.Op_id.to_int o in
+                      if not (Schedule.is_placed sched o) then targets.(i) <- delays.(i))
+                    ops;
+                  let res =
+                    Slack.analyze ~aligned:true tdfg' ~clock:budget_clock ~del:(fun o ->
+                        targets.(Dfg.Op_id.to_int o))
+                  in
+                  List.iter
+                    (fun o -> priorities.(Dfg.Op_id.to_int o) <- Slack.op_slack res o)
+                    ops
+                | Budget.Infeasible _ ->
+                  (* Sharing created violations: demand the fastest grades
+                     for what remains (paper: "fixed by decreasing the
+                     delays of operations"). *)
+                  List.iter
+                    (fun o ->
+                      let i = Dfg.Op_id.to_int o in
+                      if not (Schedule.is_placed sched o) then
+                        targets.(i) <- Interval.lo (ranges o))
+                    ops)
+            end)
+      | (Conventional | Slowest_first | Slack_based), _ -> None
+    in
+    let make_params alloc =
+      ignore alloc;
+      {
+        Sched_core.clock;
+        ii;
+        priority = (fun o -> priorities.(Dfg.Op_id.to_int o));
+        target = eff_target;
+        upgrade_on_miss = (match flow with Conventional -> false | _ -> true);
+        respan = (match flow with Slack_based -> true | _ -> false);
+        rebudget;
+      }
+    in
+    (* Relaxation loop (the paper's expert system, resource additions plus
+       the slowest-first grade decay; adding states is the caller's
+       decision). *)
+    let rec attempt relaxations =
+      if flow = Slowest_first && relaxations = 0 then refresh_slowest_targets ();
+      let alloc = build_alloc () in
+      match Sched_core.run dfg ~alloc (make_params alloc) with
+      | Ok sched -> Ok (sched, relaxations)
+      | Error f when relaxations < config.max_relaxations -> (
+        match f.Sched_core.reason with
+        | Sched_core.No_resource { op; _ } -> (
+          match group_key config.sharing dfg op with
+          | Some key ->
+            (match Hashtbl.find_opt counts key with
+            | Some c -> incr c
+            | None -> Hashtbl.replace counts key (ref 1));
+            attempt (relaxations + 1)
+          | None -> Error f.Sched_core.message)
+        | Sched_core.Retime_failed _ ->
+          (* Mux fan-in pushed a chain over the budget: widen every group
+             by one instance to dilute sharing. *)
+          Hashtbl.iter (fun _ c -> incr c) counts;
+          attempt (relaxations + 1)
+        | Sched_core.Too_slow { op; blame; _ } | Sched_core.No_time { op; blame } ->
+          if flow = Slowest_first && !gamma > 0.02 then begin
+            gamma := !gamma *. 0.8;
+            attempt (relaxations + 1)
+          end
+          else begin
+            (* Timing starvation is displaced resource pressure: the op's
+               producers were deferred until its window closed.  Widen the
+               blamed group (the starved one several links upstream), or
+               the op's own group when no blame was identified; once a
+               group is saturated, fall back to decaying every delay
+               target toward the fast end. *)
+            let decay () =
+              if !gamma > 0.1 then begin
+                gamma := !gamma *. 0.75;
+                attempt (relaxations + 1)
+              end
+              else Error f.Sched_core.message
+            in
+            let key =
+              match blame with
+              | Some (rk, width) -> (
+                (* Map the blamed natural kind through the sharing policy. *)
+                match
+                  List.find_opt
+                    (fun ((_, _), gops) ->
+                      List.exists
+                        (fun o ->
+                          let bop = Dfg.op dfg o in
+                          bop.Dfg.width = width
+                          && Resource_kind.of_op_kind bop.Dfg.kind = Some rk)
+                        gops)
+                    (groups config.sharing dfg)
+                with
+                | Some (key, _) -> Some key
+                | None -> group_key config.sharing dfg op)
+              | None -> group_key config.sharing dfg op
+            in
+            match key with
+            | Some key ->
+              let group_size =
+                List.length
+                  (List.filter (fun o -> group_key config.sharing dfg o = Some key) ops)
+              in
+              let c =
+                match Hashtbl.find_opt counts key with
+                | Some c -> c
+                | None ->
+                  let c = ref 0 in
+                  Hashtbl.replace counts key c;
+                  c
+              in
+              if !c < group_size then begin
+                incr c;
+                attempt (relaxations + 1)
+              end
+              else decay ()
+            | None -> decay ()
+          end)
+      | Error f -> Error f.Sched_core.message
+    in
+    match attempt 0 with
+    | Error m -> Error (flow_name flow ^ ": " ^ m)
+    | Ok (schedule, relaxations) ->
+      let regrades = if config.recover_area then Area_recovery.run schedule else 0 in
+      Ok
+        {
+          flow;
+          schedule;
+          relaxations;
+          regrades;
+          targets = (match flow with Slack_based -> Some (Array.copy targets) | _ -> None);
+        }
+  end

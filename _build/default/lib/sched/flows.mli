@@ -1,0 +1,60 @@
+(** End-to-end scheduling flows.
+
+    - {b Conventional}: the RTL-methodology baseline the paper compares
+      against — allocate the fastest resources, list-schedule, then recover
+      area within single states (paper §II Case 1).
+    - {b Slowest-first}: start from the slowest resources and upgrade
+      grades on the fly when operations miss their windows (paper §II
+      Case 2; shown to also be sub-optimal).
+    - {b Slack-based}: the paper's contribution (Figure 8 with the bold
+      steps): budget sequential slack on the pre-schedule DFG to pick each
+      operation's delay target, allocate instances at those grades,
+      schedule critical-first, re-running span computation and budgeting
+      after every CFG edge; then final area recovery.
+
+    All flows share the relaxation loop: when the schedule pass fails for
+    lack of a resource, an instance is added (at the flow's preferred
+    grade) and the pass restarts — the paper's "expert system" step. *)
+
+type flow = Conventional | Slowest_first | Slack_based
+
+val flow_name : flow -> string
+
+type report = {
+  flow : flow;
+  schedule : Schedule.t;
+  relaxations : int;       (** schedule-pass restarts *)
+  regrades : int;          (** area-recovery re-grades applied *)
+  targets : float array option;  (** budgeted delay per op (slack flow) *)
+}
+
+type sharing = {
+  merge_add_sub : bool;
+      (** allocate combined adder/subtractors serving both op kinds — the
+          paper's §II example of resource-type flexibility *)
+  width_buckets : bool;
+      (** round allocation widths up to the next power of two so
+          near-width operations share units (the paper's add(6,6) /
+          add(3,8) grouping question) *)
+}
+
+type config = {
+  grading : Alloc.grading;
+  recover_area : bool;
+  max_relaxations : int;
+  budget_config : Budget.config;   (** pre-schedule budgeting *)
+  rebudget_config : Budget.config option;
+      (** per-edge re-budgeting; [None] disables the paper's step (d)
+          (ablation) *)
+  sharing : sharing;
+}
+
+val default_config : config
+
+val run :
+  ?config:config -> ?ii:int -> flow -> Dfg.t -> lib:Library.t -> clock:float ->
+  (report, string) result
+(** Requires a validated DFG on a sealed CFG.  [ii] pipelines the loop at
+    the given initiation interval (modulo resource folding plus the
+    loop-carried recurrence constraint).  The returned schedule is retimed
+    and passes {!Schedule.validate}. *)

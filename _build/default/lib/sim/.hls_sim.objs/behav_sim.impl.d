@@ -1,0 +1,1 @@
+lib/sim/behav_sim.ml: Ast Hashtbl List Option Wordops

@@ -1,0 +1,1 @@
+lib/sim/cosim.ml: Behav_sim Dfg_sim Elaborate Hashtbl Int64 List Option Printf Splitmix

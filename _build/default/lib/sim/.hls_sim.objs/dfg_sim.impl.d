@@ -1,0 +1,1 @@
+lib/sim/dfg_sim.ml: Array Ast Cfg Dfg Elaborate Hashtbl Int List Option Printf Schedule Wordops

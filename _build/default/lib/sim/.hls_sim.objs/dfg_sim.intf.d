@@ -1,0 +1,1 @@
+lib/sim/dfg_sim.mli: Elaborate Schedule

@@ -1,0 +1,59 @@
+let run (p : Ast.process) ~iterations ~inputs =
+  let widths = Hashtbl.create 16 in
+  List.iter (fun (d : Ast.var_decl) -> Hashtbl.replace widths d.Ast.var d.Ast.vwidth) p.Ast.vars;
+  let port_width = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ast.port_decl) -> Hashtbl.replace port_width d.Ast.port d.Ast.width)
+    p.Ast.ports;
+  let env = Hashtbl.create 16 in
+  List.iter (fun (d : Ast.var_decl) -> Hashtbl.replace env d.Ast.var 0) p.Ast.vars;
+  let read_idx = Hashtbl.create 8 in
+  let outputs = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ast.port_decl) ->
+      if not d.Ast.is_input then Hashtbl.replace outputs d.Ast.port [])
+    p.Ast.ports;
+  let consume port =
+    let k = Option.value ~default:0 (Hashtbl.find_opt read_idx port) in
+    Hashtbl.replace read_idx port (k + 1);
+    let w = Option.value ~default:16 (Hashtbl.find_opt port_width port) in
+    Wordops.mask ~width:w (inputs port k)
+  in
+  ignore widths;
+  let rec eval = function
+    | Ast.Int v -> v
+    | Ast.Var x -> Option.value ~default:0 (Hashtbl.find_opt env x)
+    | Ast.Read port -> consume port
+    | Ast.Binop (op, a, b) ->
+      (* Evaluation order matters for read consumption: left to right, the
+         same order elaboration creates the read operations in. *)
+      let va = eval a in
+      let vb = eval b in
+      Wordops.binop op ~width:62 va vb
+    | Ast.Unop (op, a) -> Wordops.unop op ~width:62 (eval a)
+  in
+  let rec exec = function
+    | Ast.Assign (x, e) -> Hashtbl.replace env x (eval e)
+    | Ast.Write (port, e) ->
+      let w = Option.value ~default:16 (Hashtbl.find_opt port_width port) in
+      let v = Wordops.mask ~width:w (eval e) in
+      Hashtbl.replace outputs port (v :: Option.value ~default:[] (Hashtbl.find_opt outputs port))
+    | Ast.Wait -> ()
+    | Ast.If (c, t, e) -> List.iter exec (if eval c <> 0 then t else e)
+    | Ast.For { index; from_; below; body } ->
+      for i = from_ to below - 1 do
+        Hashtbl.replace env index i;
+        List.iter exec body
+      done
+  in
+  for _ = 1 to iterations do
+    List.iter exec p.Ast.body
+  done;
+  List.filter_map
+    (fun (d : Ast.port_decl) ->
+      if d.Ast.is_input then None
+      else
+        Some
+          ( d.Ast.port,
+            List.rev (Option.value ~default:[] (Hashtbl.find_opt outputs d.Ast.port)) ))
+    p.Ast.ports

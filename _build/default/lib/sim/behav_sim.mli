@@ -1,0 +1,20 @@
+(** Reference interpreter for the behavioral language.
+
+    Executes the process body for a number of iterations of the implicit
+    outer loop.  Arithmetic is computed at full native width and masked at
+    the port boundaries (reads to the input port's width, writes to the
+    output port's), exactly as the DFG simulator does, so the two agree
+    bit-for-bit.  Variables persist across iterations (initially 0); each
+    [read(p)] consumes the next element of port [p]'s input stream;
+    [write(p, e)] appends to port [p]'s output trace.  This is the
+    semantic reference the DFG and schedule simulators are checked
+    against. *)
+
+val run :
+  Ast.process ->
+  iterations:int ->
+  inputs:(string -> int -> int) ->
+  (string * int list) list
+(** [inputs port k] is the [k]-th value read from [port] (0-based, across
+    all iterations).  Returns the per-output-port write traces in
+    declaration order. *)

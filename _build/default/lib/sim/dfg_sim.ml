@@ -1,0 +1,213 @@
+exception Sim_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+let run ?schedule (elab : Elaborate.t) ~iterations ~inputs =
+  let cfg = elab.Elaborate.cfg and dfg = elab.Elaborate.dfg in
+  let p = elab.Elaborate.process in
+  let port_width = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ast.port_decl) -> Hashtbl.replace port_width d.Ast.port d.Ast.width)
+    p.Ast.ports;
+  let pw port = Option.value ~default:16 (Hashtbl.find_opt port_width port) in
+  (* Loop entry: the target of the (unique) backward edge. *)
+  let loop_top = ref None in
+  Cfg.iter_edges cfg (fun e ->
+      if Cfg.is_backward cfg e && !loop_top = None then loop_top := Some (Cfg.edge_dst cfg e));
+  let loop_top =
+    match !loop_top with Some n -> n | None -> err "design has no loop-back edge"
+  in
+  let n = Dfg.op_count dfg in
+  let topo_pos = Array.make n 0 in
+  List.iteri (fun i o -> topo_pos.(Dfg.Op_id.to_int o) <- i) (Dfg.topo_order dfg);
+  let ops_on_edge = Hashtbl.create 16 in
+  Dfg.iter_ops dfg (fun op ->
+      let k = Cfg.Edge_id.to_int op.Dfg.birth in
+      Hashtbl.replace ops_on_edge k
+        (op.Dfg.id :: Option.value ~default:[] (Hashtbl.find_opt ops_on_edge k)));
+  let edge_ops e =
+    Option.value ~default:[] (Hashtbl.find_opt ops_on_edge (Cfg.Edge_id.to_int e))
+    |> List.sort (fun a b ->
+           Int.compare topo_pos.(Dfg.Op_id.to_int a) topo_pos.(Dfg.Op_id.to_int b))
+  in
+  let prev_env : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let out_traces : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Ast.port_decl) ->
+      if not d.Ast.is_input then Hashtbl.replace out_traces d.Ast.port [])
+    p.Ast.ports;
+  (* Reads consume sequentially in program order; only executed (active)
+     reads consume, exactly as the interpreter's taken-branch execution. *)
+  let read_counters : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  let next_read port =
+    let c =
+      match Hashtbl.find_opt read_counters port with
+      | Some c -> c
+      | None ->
+        let c = ref 0 in
+        Hashtbl.replace read_counters port c;
+        c
+    in
+    let k = !c in
+    incr c;
+    k
+  in
+  for _iter = 1 to iterations do
+    let values : int option array = Array.make n None in
+    let iter_writes : (Dfg.Op_id.t * int) list ref = ref [] in
+    let resolve ~ctx = function
+      | Elaborate.Sop id -> (
+        match values.(Dfg.Op_id.to_int id) with
+        | Some v -> v
+        | None -> err "%s: operand %s consumed before being produced" ctx (Dfg.op dfg id).Dfg.name)
+      | Elaborate.Sconst c -> c
+      | Elaborate.Sprev x -> Option.value ~default:0 (Hashtbl.find_opt prev_env x)
+    in
+    let eval_op oid =
+      let op = Dfg.op dfg oid in
+      let i = Dfg.Op_id.to_int oid in
+      if values.(i) = None then begin
+        let operands = Elaborate.operands_of elab oid in
+        let v =
+          match op.Dfg.kind with
+          | Dfg.Const c -> c
+          | Dfg.Read port ->
+            Wordops.mask ~width:(pw port) (inputs port (next_read port))
+          | Dfg.Write port ->
+            let v =
+              match List.map (resolve ~ctx:op.Dfg.name) operands with
+              | [ v ] -> Wordops.mask ~width:(pw port) v
+              | _ -> err "write arity"
+            in
+            iter_writes := (oid, v) :: !iter_writes;
+            v
+          | Dfg.Mux -> (
+            (* Resolve the condition first: the value from the untaken
+               branch was never computed and must not be touched. *)
+            match operands with
+            | [ t; e; c ] ->
+              if resolve ~ctx:op.Dfg.name c <> 0 then resolve ~ctx:op.Dfg.name t
+              else resolve ~ctx:op.Dfg.name e
+            | _ -> err "mux arity in %s" op.Dfg.name)
+          | kind ->
+            Wordops.op_kind kind ~width:62 (List.map (resolve ~ctx:op.Dfg.name) operands)
+        in
+        values.(i) <- Some v
+      end
+    in
+    (* Control walk: decide the active edges and (in dataflow mode)
+       evaluate each active edge's operations in dependency order. *)
+    let active_nodes = Hashtbl.create 16 in
+    Hashtbl.replace active_nodes (Cfg.Node_id.to_int loop_top) ();
+    let active_edges = Hashtbl.create 16 in
+    let fork_choice = Hashtbl.create 4 in
+    List.iter
+      (fun e ->
+        let src = Cfg.edge_src cfg e in
+        if Hashtbl.mem active_nodes (Cfg.Node_id.to_int src) then begin
+          let selected =
+            match Cfg.node_kind cfg src with
+            | Cfg.Fork -> (
+              let choice =
+                match Hashtbl.find_opt fork_choice (Cfg.Node_id.to_int src) with
+                | Some c -> c
+                | None ->
+                  let cond =
+                    match Elaborate.branch_cond elab src with
+                    | Some c -> c
+                    | None -> err "fork without a recorded branch condition"
+                  in
+                  let taken = resolve ~ctx:"branch" cond <> 0 in
+                  let outs =
+                    List.filter (fun e' -> not (Cfg.is_backward cfg e')) (Cfg.out_edges cfg src)
+                  in
+                  let chosen =
+                    match (outs, taken) with
+                    | e1 :: _, true -> e1
+                    | _ :: e2 :: _, false -> e2
+                    | _ -> err "fork with fewer than two out-edges"
+                  in
+                  Hashtbl.replace fork_choice (Cfg.Node_id.to_int src) chosen;
+                  chosen
+              in
+              Cfg.Edge_id.equal choice e)
+            | Cfg.Start | Cfg.State | Cfg.Join | Cfg.Plain | Cfg.Exit -> true
+          in
+          if selected && not (Cfg.is_backward cfg e) then begin
+            Hashtbl.replace active_edges (Cfg.Edge_id.to_int e) ();
+            List.iter eval_op (edge_ops e);
+            Hashtbl.replace active_nodes (Cfg.Node_id.to_int (Cfg.edge_dst cfg e)) ()
+          end
+        end)
+      (Cfg.forward_edges_topo cfg);
+    (* Scheduled mode: audit that executing the active ops in the
+       schedule's (step, start-time) order never consumes a value before
+       its producer has run.  (Values themselves come from the dataflow
+       evaluation above and are order-independent.) *)
+    (match schedule with
+    | None -> ()
+    | Some sched ->
+      let key o =
+        match Schedule.placement sched o with
+        | Some pl -> (pl.Schedule.step, pl.Schedule.start, topo_pos.(Dfg.Op_id.to_int o))
+        | None -> err "active op %s unplaced in schedule" (Dfg.op dfg o).Dfg.name
+      in
+      let active_ops =
+        Dfg.ops dfg
+        |> List.filter (fun o ->
+               Hashtbl.mem active_edges (Cfg.Edge_id.to_int (Dfg.op dfg o).Dfg.birth))
+        |> List.sort (fun a b -> compare (key a) (key b))
+      in
+      let produced = Hashtbl.create 16 in
+      List.iter
+        (fun o ->
+          List.iter
+            (function
+              | Elaborate.Sop src ->
+                let s_active =
+                  Hashtbl.mem active_edges
+                    (Cfg.Edge_id.to_int (Dfg.op dfg src).Dfg.birth)
+                in
+                if s_active && not (Hashtbl.mem produced (Dfg.Op_id.to_int src)) then
+                  err "schedule consumes %s in %s before it is produced"
+                    (Dfg.op dfg src).Dfg.name (Dfg.op dfg o).Dfg.name
+              | Elaborate.Sconst _ | Elaborate.Sprev _ -> ())
+            (Elaborate.operands_of elab o);
+          Hashtbl.replace produced (Dfg.Op_id.to_int o) ())
+        active_ops);
+    (* Emit writes in program order. *)
+    let writes = List.sort (fun (a, _) (b, _) -> Dfg.Op_id.compare a b) !iter_writes in
+    List.iter
+      (fun (oid, v) ->
+        match (Dfg.op dfg oid).Dfg.kind with
+        | Dfg.Write port ->
+          Hashtbl.replace out_traces port
+            (v :: Option.value ~default:[] (Hashtbl.find_opt out_traces port))
+        | _ -> ())
+      writes;
+    (* Advance the loop state. *)
+    let updates =
+      List.map
+        (fun (x, sop) ->
+          let v =
+            match sop with
+            | Elaborate.Sop id -> (
+              match values.(Dfg.Op_id.to_int id) with
+              | Some v -> v
+              | None -> Option.value ~default:0 (Hashtbl.find_opt prev_env x))
+            | Elaborate.Sconst c -> c
+            | Elaborate.Sprev y -> Option.value ~default:0 (Hashtbl.find_opt prev_env y)
+          in
+          (x, v))
+        elab.Elaborate.final_env
+    in
+    List.iter (fun (x, v) -> Hashtbl.replace prev_env x v) updates
+  done;
+  List.filter_map
+    (fun (d : Ast.port_decl) ->
+      if d.Ast.is_input then None
+      else
+        Some
+          ( d.Ast.port,
+            List.rev (Option.value ~default:[] (Hashtbl.find_opt out_traces d.Ast.port)) ))
+    p.Ast.ports

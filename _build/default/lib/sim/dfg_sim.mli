@@ -1,0 +1,32 @@
+(** Simulator for elaborated designs (CFG + DFG + operand tables).
+
+    Executes one loop iteration at a time:
+
+    - {e control}: walks the CFG from the loop top; at a fork the recorded
+      branch condition selects the first out-edge when true, the second
+      when false; only operations on active edges have architectural
+      effects (reads consume, writes emit), and mux operations select by
+      their condition operand;
+    - {e data}: operations evaluate in data-dependency order with
+      full-width arithmetic, masked at port boundaries, exactly like
+      {!Behav_sim};
+    - {e loop state}: each variable's end-of-iteration value feeds the next
+      iteration's previous-value reads ([Sprev]); conditionally skipped
+      updates leave the previous value in place.
+
+    Passing a {!Schedule.t} makes execution follow the schedule's
+    (step, start-time) order instead of plain dependency order, checking
+    on the way that every consumed value was already produced — a dynamic
+    audit of schedule correctness; the outputs must be identical. *)
+
+exception Sim_error of string
+
+val run :
+  ?schedule:Schedule.t ->
+  Elaborate.t ->
+  iterations:int ->
+  inputs:(string -> int -> int) ->
+  (string * int list) list
+(** Output traces per output port, in declaration order.  Raises
+    {!Sim_error} on structural problems (missing branch condition, a
+    schedule consuming a value before it is produced, ...). *)

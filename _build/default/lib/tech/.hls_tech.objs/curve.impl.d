@@ -1,0 +1,1 @@
+lib/tech/curve.ml: Array Float Format Interval List

@@ -1,0 +1,1 @@
+lib/tech/curve.mli: Format Interval

@@ -1,0 +1,1 @@
+lib/tech/library.ml: Curve Float Hashtbl List Option Resource_kind

@@ -1,0 +1,1 @@
+lib/tech/library.mli: Curve Dfg Interval Resource_kind

@@ -1,0 +1,1 @@
+lib/tech/resource_kind.mli: Dfg Format

@@ -1,0 +1,100 @@
+type point = { delay : float; area : float }
+type t = { pts : point array }
+
+let make pts =
+  match pts with
+  | [] -> invalid_arg "Curve.make: empty curve"
+  | first :: rest ->
+    let _ =
+      List.fold_left
+        (fun prev p ->
+          if p.delay <= prev.delay then
+            invalid_arg "Curve.make: delays must be strictly increasing";
+          if p.area > prev.area then
+            invalid_arg "Curve.make: areas must be non-increasing";
+          p)
+        first rest
+    in
+    List.iter
+      (fun p ->
+        if p.delay < 0.0 || p.area < 0.0 then
+          invalid_arg "Curve.make: negative delay or area")
+      pts;
+    { pts = Array.of_list pts }
+
+let of_pairs l = make (List.map (fun (delay, area) -> { delay; area }) l)
+let points t = Array.to_list t.pts
+let fastest t = t.pts.(0)
+let slowest t = t.pts.(Array.length t.pts - 1)
+let min_delay t = (fastest t).delay
+let max_delay t = (slowest t).delay
+let delay_range t = Interval.make (min_delay t) (max_delay t)
+
+(* Index of the last point with delay <= d, or -1. *)
+let last_at_or_below t d =
+  let n = Array.length t.pts in
+  let rec go lo hi =
+    (* invariant: pts.(lo).delay <= d < pts.(hi).delay, conceptually *)
+    if lo + 1 >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.pts.(mid).delay <= d then go mid hi else go lo mid
+    end
+  in
+  if d < t.pts.(0).delay then -1 else go 0 n
+
+let area_at t d =
+  let n = Array.length t.pts in
+  if d <= t.pts.(0).delay then t.pts.(0).area
+  else if d >= t.pts.(n - 1).delay then t.pts.(n - 1).area
+  else begin
+    let i = last_at_or_below t d in
+    let p = t.pts.(i) and q = t.pts.(i + 1) in
+    let f = (d -. p.delay) /. (q.delay -. p.delay) in
+    p.area +. (f *. (q.area -. p.area))
+  end
+
+let sensitivity t d =
+  let n = Array.length t.pts in
+  if n = 1 || d >= t.pts.(n - 1).delay then 0.0
+  else begin
+    let i = max 0 (last_at_or_below t d) in
+    let i = min i (n - 2) in
+    let p = t.pts.(i) and q = t.pts.(i + 1) in
+    (p.area -. q.area) /. (q.delay -. p.delay)
+  end
+
+let point_at t d =
+  let n = Array.length t.pts in
+  let d = Float.max t.pts.(0).delay (Float.min d t.pts.(n - 1).delay) in
+  { delay = d; area = area_at t d }
+
+let snap_down t d =
+  let i = last_at_or_below t d in
+  if i < 0 then t.pts.(0) else t.pts.(i)
+
+let snap_up t d =
+  let n = Array.length t.pts in
+  let i = last_at_or_below t d in
+  if i >= 0 && t.pts.(i).delay = d then t.pts.(i)
+  else if i + 1 < n then t.pts.(i + 1)
+  else t.pts.(n - 1)
+
+let scale ~delay ~area t =
+  if delay <= 0.0 || area <= 0.0 then invalid_arg "Curve.scale: factors must be positive";
+  { pts = Array.map (fun p -> { delay = p.delay *. delay; area = p.area *. area }) t.pts }
+
+let equal a b =
+  Array.length a.pts = Array.length b.pts
+  && Array.for_all2
+       (fun p q -> Float.equal p.delay q.delay && Float.equal p.area q.area)
+       a.pts b.pts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%g/%g" p.delay p.area)
+    t.pts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,56 @@
+(** Area/delay tradeoff curve of a resource (paper Table 1).
+
+    A curve is a finite set of implementation points of one resource kind at
+    one bit width, ordered by increasing delay and decreasing area (slower
+    implementations are smaller).  Budgeting treats the delay axis as
+    continuous: areas between points are interpolated linearly, which is how
+    the paper's Table 2 obtains e.g. a 550 ps / 572-unit multiplier from the
+    430–610 ps grid. *)
+
+type point = { delay : float; area : float }
+
+type t
+
+val make : point list -> t
+(** Requires at least one point, strictly increasing non-negative delays
+    and non-increasing areas; raises [Invalid_argument] otherwise.  A
+    zero-delay point models interface artefacts (port latches) that consume
+    no combinational time. *)
+
+val of_pairs : (float * float) list -> t
+val points : t -> point list
+val fastest : t -> point
+val slowest : t -> point
+val delay_range : t -> Interval.t
+val min_delay : t -> float
+val max_delay : t -> float
+
+val area_at : t -> float -> float
+(** [area_at c d]: linearly interpolated area of an implementation with
+    delay [d], clamped to the curve's delay range. *)
+
+val sensitivity : t -> float -> float
+(** Local area decrease per unit of added delay at delay [d] (a
+    non-negative number; 0 beyond the slow end).  Budgeting gives more of
+    the slack to high-sensitivity operations. *)
+
+val point_at : t -> float -> point
+(** Continuous implementation point: delay clamped to the curve's range,
+    area linearly interpolated.  Models a library with fine-grained sizing
+    (the paper's Table 2 uses e.g. a 550 ps / 572-unit multiplier that sits
+    between Table 1 grid points). *)
+
+val snap_down : t -> float -> point
+(** Slowest discrete point with [delay <= d]; the fastest point when [d] is
+    below the whole curve.  Used when a continuous delay budget must be
+    realised by an actual resource. *)
+
+val snap_up : t -> float -> point
+(** Fastest discrete point with [delay >= d]; the slowest point when [d] is
+    above the whole curve. *)
+
+val scale : delay:float -> area:float -> t -> t
+(** Multiply all delays/areas by the given factors (> 0). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/timing/affine.ml: Buffer Float Format List Map Printf String

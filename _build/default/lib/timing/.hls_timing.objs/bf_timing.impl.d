@@ -1,0 +1,1 @@
+lib/timing/bf_timing.ml: Array Bellman_ford Dfg List Slack Timed_dfg

@@ -1,0 +1,1 @@
+lib/timing/bf_timing.mli: Dfg Slack Timed_dfg

@@ -1,0 +1,1 @@
+lib/timing/parametric.ml: Affine Array Dfg Float Format List Printf Timed_dfg

@@ -1,0 +1,1 @@
+lib/timing/parametric.mli: Affine Dfg Timed_dfg

@@ -1,0 +1,1 @@
+lib/timing/slack.ml: Array Dfg Float List Timed_dfg

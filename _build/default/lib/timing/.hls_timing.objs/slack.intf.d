@@ -1,0 +1,1 @@
+lib/timing/slack.mli: Dfg Timed_dfg

@@ -1,0 +1,1 @@
+lib/timing/timed_dfg.ml: Array Cfg Dfg Format List Printf

@@ -1,0 +1,1 @@
+lib/timing/timed_dfg.mli: Dfg Format

@@ -1,0 +1,50 @@
+(* Node numbering: op i -> i, sink of op i -> n + i. *)
+
+let slot n = function
+  | Timed_dfg.Op o -> Dfg.Op_id.to_int o
+  | Timed_dfg.Sink o -> n + Dfg.Op_id.to_int o
+
+let analyze tdfg ~clock ~del =
+  if clock <= 0.0 then invalid_arg "Bf_timing.analyze: clock must be positive";
+  let dfg = Timed_dfg.dfg tdfg in
+  let n = Dfg.op_count dfg in
+  let node_del = function Timed_dfg.Op o -> del o | Timed_dfg.Sink _ -> 0.0 in
+  let nodes = Timed_dfg.topo tdfg in
+  let fwd = ref [] and bwd = ref [] in
+  let fwd_sources = ref [] and bwd_sources = ref [] in
+  List.iter
+    (fun u ->
+      let preds = Timed_dfg.preds tdfg u in
+      let succs = Timed_dfg.succs tdfg u in
+      if preds = [] then fwd_sources := slot n u :: !fwd_sources;
+      if succs = [] then bwd_sources := slot n u :: !bwd_sources;
+      List.iter
+        (fun (v, lat) ->
+          let weight = node_del u -. (clock *. float_of_int lat) in
+          fwd :=
+            { Bellman_ford.src = slot n u; dst = slot n v; weight } :: !fwd;
+          bwd :=
+            { Bellman_ford.src = slot n v; dst = slot n u; weight } :: !bwd)
+        succs)
+    nodes;
+  let solve edges sources =
+    match Bellman_ford.solve ~shuffle_seed:0x5eed ~node_count:(2 * n) ~edges ~sources () with
+    | Bellman_ford.Solution dist -> dist
+    | Bellman_ford.Positive_cycle _ ->
+      (* The timed DFG is acyclic by construction; a positive cycle would
+         mean a structural bug upstream. *)
+      failwith "Bf_timing.analyze: unexpected cycle in timed DFG"
+  in
+  let arr_all = solve !fwd !fwd_sources in
+  let lateness = solve !bwd !bwd_sources in
+  let arr = Array.make n nan and req = Array.make n nan and slack = Array.make n nan in
+  let min_slack = ref infinity in
+  List.iter
+    (fun o ->
+      let i = Dfg.Op_id.to_int o in
+      arr.(i) <- arr_all.(i);
+      req.(i) <- clock -. lateness.(i);
+      slack.(i) <- req.(i) -. arr.(i);
+      if slack.(i) < !min_slack then min_slack := slack.(i))
+    (Timed_dfg.active_ops tdfg);
+  { Slack.arr; req; slack; min_slack = !min_slack }

@@ -1,0 +1,10 @@
+(** Bellman–Ford timing-analysis baseline (prior work, paper ref. [10]).
+
+    Computes the same arrival/required/slack values as {!Slack.analyze}
+    (non-aligned) but by fixpoint relaxation over the full constraint edge
+    list instead of a single topologically ordered pass — O(V*E) versus
+    O(E).  The paper's Table 5 measures this formulation at roughly 10x the
+    scheduling time of the sequential-slack formulation; the benchmark
+    harness reproduces that comparison. *)
+
+val analyze : Timed_dfg.t -> clock:float -> del:(Dfg.Op_id.t -> float) -> Slack.result

@@ -1,0 +1,122 @@
+exception Ambiguous of string
+
+type result = {
+  arr : Affine.t array;
+  req : Affine.t array;
+  slack : Affine.t array;
+}
+
+(* Select the extremal candidate under every sample; candidates that tie
+   everywhere are merged (they are equal on the region of interest). *)
+let select ~what ~better samples = function
+  | [] -> invalid_arg ("Parametric.select: no candidates for " ^ what)
+  | first :: _ as candidates ->
+    let best_at valu =
+      List.fold_left
+        (fun best c -> if better (Affine.compare_at valu c best) then c else best)
+        first candidates
+    in
+    (match samples with
+    | [] -> invalid_arg "Parametric: empty sample list"
+    | s0 :: rest ->
+      let b0 = best_at s0 in
+      List.iter
+        (fun s ->
+          let b = best_at s in
+          if not (Affine.equal b b0) then begin
+            (* Equal-valued distinct representations are fine. *)
+            let v0 = Affine.eval b0 s and v = Affine.eval b s in
+            if Float.abs (v0 -. v) > 1e-6 then
+              raise
+                (Ambiguous
+                   (Printf.sprintf "%s: dominance flips between samples (%s vs %s)" what
+                      (Affine.to_string b0) (Affine.to_string b)))
+          end)
+        rest;
+      b0)
+
+let select_max ~what samples cands = select ~what ~better:(fun c -> c > 0) samples cands
+let select_min ~what samples cands = select ~what ~better:(fun c -> c < 0) samples cands
+
+let analyze tdfg ~clock ~del ~samples =
+  let dfg = Timed_dfg.dfg tdfg in
+  let n = Dfg.op_count dfg in
+  let arr = Array.make n Affine.zero and req = Array.make n Affine.zero in
+  let sink_arr = Array.make n Affine.zero and sink_req = Array.make n Affine.zero in
+  let get_arr = function
+    | Timed_dfg.Op o -> arr.(Dfg.Op_id.to_int o)
+    | Timed_dfg.Sink o -> sink_arr.(Dfg.Op_id.to_int o)
+  in
+  let get_req = function
+    | Timed_dfg.Op o -> req.(Dfg.Op_id.to_int o)
+    | Timed_dfg.Sink o -> sink_req.(Dfg.Op_id.to_int o)
+  in
+  let node_del = function Timed_dfg.Op o -> del o | Timed_dfg.Sink _ -> Affine.zero in
+  let node_name = Format.asprintf "%a" Timed_dfg.pp_node in
+  let order = Timed_dfg.topo tdfg in
+  List.iter
+    (fun node ->
+      let preds = Timed_dfg.preds tdfg node in
+      let a =
+        if preds = [] then Affine.zero
+        else begin
+          let cands =
+            List.map
+              (fun (p, lat) ->
+                Affine.add (get_arr p)
+                  (Affine.sub (node_del p) (Affine.scale (float_of_int lat) clock)))
+              preds
+          in
+          select_max ~what:("arr of " ^ node_name node) samples cands
+        end
+      in
+      match node with
+      | Timed_dfg.Op o -> arr.(Dfg.Op_id.to_int o) <- a
+      | Timed_dfg.Sink o -> sink_arr.(Dfg.Op_id.to_int o) <- a)
+    order;
+  List.iter
+    (fun node ->
+      let succs = Timed_dfg.succs tdfg node in
+      let d = node_del node in
+      let r =
+        if succs = [] then clock
+        else begin
+          let cands =
+            List.map
+              (fun (s, lat) ->
+                Affine.add
+                  (Affine.sub (get_req s) d)
+                  (Affine.scale (float_of_int lat) clock))
+              succs
+          in
+          select_min ~what:("req of " ^ node_name node) samples cands
+        end
+      in
+      match node with
+      | Timed_dfg.Op o -> req.(Dfg.Op_id.to_int o) <- r
+      | Timed_dfg.Sink o -> sink_req.(Dfg.Op_id.to_int o) <- r)
+    (List.rev order);
+  let slack = Array.init n (fun i -> Affine.sub req.(i) arr.(i)) in
+  { arr; req; slack }
+
+let critical_ops tdfg result ~samples =
+  let ops = Timed_dfg.active_ops tdfg in
+  match (ops, samples) with
+  | [], _ -> []
+  | _, [] -> invalid_arg "Parametric.critical_ops: empty sample list"
+  | first :: _, s0 :: _ ->
+    let min_slack =
+      List.fold_left
+        (fun best o ->
+          let s = result.slack.(Dfg.Op_id.to_int o) in
+          if Affine.compare_at s0 s best < 0 then s else best)
+        result.slack.(Dfg.Op_id.to_int first)
+        ops
+    in
+    List.filter
+      (fun o ->
+        let s = result.slack.(Dfg.Op_id.to_int o) in
+        List.for_all
+          (fun valu -> Float.abs (Affine.eval s valu -. Affine.eval min_slack valu) < 1e-6)
+          samples)
+      ops

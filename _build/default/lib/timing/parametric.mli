@@ -1,0 +1,32 @@
+(** Symbolic sequential-slack analysis with affine delays.
+
+    Reproduces the paper's Table 3: with [del] returning affine expressions
+    (e.g. [d] for I/O operations and [D] for everything else) and the clock
+    period an affine parameter [T], arrival, required and slack come out as
+    affine expressions such as [2T - 4D - d].
+
+    The max/min in the propagation rules cannot always be resolved
+    symbolically; they are resolved by evaluating the candidates under a
+    set of sample valuations of the parameter region (for Table 3:
+    [D + d < T < 2D]).  If two samples disagree about which candidate
+    dominates, the region is genuinely split and {!Ambiguous} is raised. *)
+
+exception Ambiguous of string
+
+type result = {
+  arr : Affine.t array;   (** by op index; {!Affine.zero} for inactive ops *)
+  req : Affine.t array;
+  slack : Affine.t array;
+}
+
+val analyze :
+  Timed_dfg.t ->
+  clock:Affine.t ->
+  del:(Dfg.Op_id.t -> Affine.t) ->
+  samples:(string -> float) list ->
+  result
+(** [samples] must be non-empty; every valuation should satisfy the
+    intended parameter constraints. *)
+
+val critical_ops : Timed_dfg.t -> result -> samples:(string -> float) list -> Dfg.Op_id.t list
+(** Ops whose slack equals the symbolic minimum (resolved by sampling). *)

@@ -1,0 +1,87 @@
+type result = {
+  arr : float array;
+  req : float array;
+  slack : float array;
+  min_slack : float;
+}
+
+let frac ~clock x = x -. (clock *. Float.floor (x /. clock))
+
+let align_start ~clock ~delay a =
+  let f = frac ~clock a in
+  if f +. delay > clock +. 1e-9 then clock *. (Float.floor (a /. clock) +. 1.0) else a
+
+let align_finish_constraint ~clock ~delay r =
+  let f = frac ~clock r in
+  if f +. delay > clock +. 1e-9 then (clock *. Float.floor (r /. clock)) +. clock -. delay
+  else r
+
+let analyze ?(aligned = false) tdfg ~clock ~del =
+  if clock <= 0.0 then invalid_arg "Slack.analyze: clock must be positive";
+  let dfg = Timed_dfg.dfg tdfg in
+  let n = Dfg.op_count dfg in
+  let arr = Array.make n nan and req = Array.make n nan in
+  let sink_arr = Array.make n nan and sink_req = Array.make n nan in
+  let get_arr = function
+    | Timed_dfg.Op o -> arr.(Dfg.Op_id.to_int o)
+    | Timed_dfg.Sink o -> sink_arr.(Dfg.Op_id.to_int o)
+  in
+  let get_req = function
+    | Timed_dfg.Op o -> req.(Dfg.Op_id.to_int o)
+    | Timed_dfg.Sink o -> sink_req.(Dfg.Op_id.to_int o)
+  in
+  let node_del = function Timed_dfg.Op o -> del o | Timed_dfg.Sink _ -> 0.0 in
+  let order = Timed_dfg.topo tdfg in
+  (* Forward: arrival times. *)
+  List.iter
+    (fun node ->
+      let preds = Timed_dfg.preds tdfg node in
+      let raw =
+        List.fold_left
+          (fun acc (p, lat) ->
+            let a = get_arr p +. node_del p -. (clock *. float_of_int lat) in
+            Float.max acc a)
+          neg_infinity preds
+      in
+      let a0 = if preds = [] then 0.0 else raw in
+      let a = if aligned then align_start ~clock ~delay:(node_del node) a0 else a0 in
+      (match node with
+      | Timed_dfg.Op o -> arr.(Dfg.Op_id.to_int o) <- a
+      | Timed_dfg.Sink o -> sink_arr.(Dfg.Op_id.to_int o) <- a))
+    order;
+  (* Backward: required times. *)
+  List.iter
+    (fun node ->
+      let succs = Timed_dfg.succs tdfg node in
+      let d = node_del node in
+      let raw =
+        List.fold_left
+          (fun acc (s, lat) ->
+            let r = get_req s -. d +. (clock *. float_of_int lat) in
+            Float.min acc r)
+          infinity succs
+      in
+      let r0 = if succs = [] then clock else raw in
+      let r = if aligned then align_finish_constraint ~clock ~delay:d r0 else r0 in
+      (match node with
+      | Timed_dfg.Op o -> req.(Dfg.Op_id.to_int o) <- r
+      | Timed_dfg.Sink o -> sink_req.(Dfg.Op_id.to_int o) <- r))
+    (List.rev order);
+  let slack = Array.make n nan in
+  let min_slack = ref infinity in
+  List.iter
+    (fun o ->
+      let i = Dfg.Op_id.to_int o in
+      slack.(i) <- req.(i) -. arr.(i);
+      if slack.(i) < !min_slack then min_slack := slack.(i))
+    (Timed_dfg.active_ops tdfg);
+  { arr; req; slack; min_slack = !min_slack }
+
+let op_slack r o = r.slack.(Dfg.Op_id.to_int o)
+
+let critical_ops ?(eps = 1e-6) tdfg r =
+  List.filter
+    (fun o -> op_slack r o <= r.min_slack +. eps)
+    (Timed_dfg.active_ops tdfg)
+
+let feasible ?(eps = 1e-6) r = r.min_slack >= -.eps

@@ -1,0 +1,99 @@
+type node = Op of Dfg.Op_id.t | Sink of Dfg.Op_id.t
+
+let node_equal a b =
+  match (a, b) with
+  | Op x, Op y | Sink x, Sink y -> Dfg.Op_id.equal x y
+  | Op _, Sink _ | Sink _, Op _ -> false
+
+let pp_node ppf = function
+  | Op o -> Format.fprintf ppf "op%d" (Dfg.Op_id.to_int o)
+  | Sink o -> Format.fprintf ppf "sink%d" (Dfg.Op_id.to_int o)
+
+type t = {
+  dfg : Dfg.t;
+  spans : Dfg.span array;
+  is_active : bool array; (* by op index *)
+  topo_nodes : node list;
+  pred_arr : (node * int) list array; (* 2n slots: op i at i, sink i at n+i *)
+  succ_arr : (node * int) list array;
+  edges : int;
+}
+
+exception Unrealizable of string
+
+let slot n = function
+  | Op o -> Dfg.Op_id.to_int o
+  | Sink o -> n + Dfg.Op_id.to_int o
+
+let build dfg ~spans =
+  let cfg = Dfg.cfg dfg in
+  let n = Dfg.op_count dfg in
+  if Array.length spans <> n then invalid_arg "Timed_dfg.build: span array size mismatch";
+  let is_active = Array.make n false in
+  Dfg.iter_ops dfg (fun o ->
+      is_active.(Dfg.Op_id.to_int o.Dfg.id) <-
+        (match o.Dfg.kind with Dfg.Const _ -> false | _ -> true));
+  let pred_arr = Array.make (2 * n) [] and succ_arr = Array.make (2 * n) [] in
+  let edges = ref 0 in
+  let add_edge src dst w =
+    succ_arr.(slot n src) <- (dst, w) :: succ_arr.(slot n src);
+    pred_arr.(slot n dst) <- (src, w) :: pred_arr.(slot n dst);
+    incr edges
+  in
+  let early o = spans.(Dfg.Op_id.to_int o).Dfg.early in
+  let late o = spans.(Dfg.Op_id.to_int o).Dfg.late in
+  (* Dependency edges: forward deps between active ops. *)
+  List.iter
+    (fun oid ->
+      if is_active.(Dfg.Op_id.to_int oid) then
+        List.iter
+          (fun sid ->
+            if is_active.(Dfg.Op_id.to_int sid) then begin
+              match Cfg.latency cfg (early oid) (early sid) with
+              | Some w -> add_edge (Op oid) (Op sid) w
+              | None ->
+                raise
+                  (Unrealizable
+                     (Printf.sprintf "dependency %s -> %s has undefined latency"
+                        (Dfg.op dfg oid).Dfg.name (Dfg.op dfg sid).Dfg.name))
+            end)
+          (Dfg.succs dfg oid))
+    (Dfg.ops dfg);
+  (* Sink edges: weight = latency(early o, late o). *)
+  List.iter
+    (fun oid ->
+      if is_active.(Dfg.Op_id.to_int oid) then begin
+        match Cfg.latency cfg (early oid) (late oid) with
+        | Some w -> add_edge (Op oid) (Sink oid) w
+        | None ->
+          raise
+            (Unrealizable
+               (Printf.sprintf "op %s has a span with unreachable late edge"
+                  (Dfg.op dfg oid).Dfg.name))
+      end)
+    (Dfg.ops dfg);
+  (* Topological order: ops in DFG topo order, each immediately followed by
+     its sink (sinks have no successors, so this is a valid extension). *)
+  let topo_nodes =
+    List.concat_map
+      (fun oid ->
+        if is_active.(Dfg.Op_id.to_int oid) then [ Op oid; Sink oid ] else [])
+      (Dfg.topo_order dfg)
+  in
+  { dfg; spans; is_active; topo_nodes; pred_arr; succ_arr; edges = !edges }
+
+let dfg t = t.dfg
+let spans t = t.spans
+let active t o = t.is_active.(Dfg.Op_id.to_int o)
+
+let active_ops t =
+  List.filter (fun o -> active t o) (Dfg.ops t.dfg)
+
+let topo t = t.topo_nodes
+let preds t node = List.rev t.pred_arr.(slot (Dfg.op_count t.dfg) node)
+let succs t node = List.rev t.succ_arr.(slot (Dfg.op_count t.dfg) node)
+let edge_count t = t.edges
+
+let latency_between t o1 o2 =
+  let early o = t.spans.(Dfg.Op_id.to_int o).Dfg.early in
+  Cfg.latency (Dfg.cfg t.dfg) (early o1) (early o2)

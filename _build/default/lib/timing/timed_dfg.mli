@@ -1,0 +1,48 @@
+(** Timed DFG (paper §V, Definition 2).
+
+    Derived from a DFG and the spans of its operations by:
+
+    + dropping loop-carried (backward) dependencies, making the graph
+      acyclic;
+    + dropping constant operands (constants do not affect timing);
+    + adding one sink node [s(o)] per operation with an edge [o -> s(o)]
+      whose weight encodes the operation's span
+      ([early s(o) = late o]);
+    + weighting every edge [(o1, o2)] with
+      [latency (early o1) (early o2)] — the minimum number of state nodes
+      between the frames in which the two operations can begin. *)
+
+type node = Op of Dfg.Op_id.t | Sink of Dfg.Op_id.t
+
+val node_equal : node -> node -> bool
+val pp_node : Format.formatter -> node -> unit
+
+type t
+
+exception Unrealizable of string
+(** Raised by {!build} when some dependency has undefined latency (its
+    endpoint spans are not connected by a forward CFG path). *)
+
+val build : Dfg.t -> spans:Dfg.span array -> t
+(** Requires a sealed CFG and spans as produced by {!Dfg.compute_spans}
+    (one entry per op, indexed by [Op_id.to_int]). *)
+
+val dfg : t -> Dfg.t
+val spans : t -> Dfg.span array
+
+val active : t -> Dfg.Op_id.t -> bool
+(** Whether the op participates in timing (constants do not). *)
+
+val active_ops : t -> Dfg.Op_id.t list
+val topo : t -> node list
+(** All active nodes (ops and sinks), topologically sorted. *)
+
+val preds : t -> node -> (node * int) list
+(** Predecessors with latency weights. *)
+
+val succs : t -> node -> (node * int) list
+val edge_count : t -> int
+
+val latency_between : t -> Dfg.Op_id.t -> Dfg.Op_id.t -> int option
+(** Latency weight that an edge between these two ops would carry:
+    [Cfg.latency (early o1) (early o2)]. *)

@@ -1,0 +1,1 @@
+lib/util/id.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,28 @@
+(** Typed integer identifiers.
+
+    Each instantiation of {!Make} produces a distinct abstract id type, so
+    that e.g. CFG edge ids cannot be confused with DFG operation ids at
+    compile time.  Ids are dense non-negative integers assigned by the
+    owning container. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  (** [of_int i] views [i] as an id.  Raises [Invalid_argument] if [i < 0]. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+
+  module Tbl : sig
+    include Hashtbl.S with type key = t
+  end
+end
+
+module Make () : S

@@ -1,0 +1,1 @@
+lib/workloads/idct.ml: Array Cfg Dfg List Printf

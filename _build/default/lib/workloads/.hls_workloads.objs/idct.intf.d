@@ -1,0 +1,1 @@
+lib/workloads/idct.mli: Cfg Dfg

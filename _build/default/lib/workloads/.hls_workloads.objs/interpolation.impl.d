@@ -1,0 +1,1 @@
+lib/workloads/interpolation.ml: Array Cfg Dfg

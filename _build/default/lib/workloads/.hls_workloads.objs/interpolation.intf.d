@@ -1,0 +1,1 @@
+lib/workloads/interpolation.mli: Cfg Dfg

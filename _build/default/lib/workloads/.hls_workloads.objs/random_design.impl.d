@@ -1,0 +1,1 @@
+lib/workloads/random_design.ml: Array Cfg Dfg Int64 List Printf Splitmix

@@ -1,0 +1,1 @@
+lib/workloads/random_design.mli: Cfg Dfg

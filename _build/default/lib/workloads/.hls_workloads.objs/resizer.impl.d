@@ -1,0 +1,1 @@
+lib/workloads/resizer.ml: Cfg Dfg

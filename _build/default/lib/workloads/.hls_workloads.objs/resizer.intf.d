@@ -1,0 +1,1 @@
+lib/workloads/resizer.mli: Cfg Dfg

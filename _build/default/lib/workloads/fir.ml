@@ -1,0 +1,82 @@
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  step_edges : Cfg.Edge_id.t array;
+  name : string;
+}
+
+let build ?(width = 16) ~taps ~latency () =
+  if taps < 2 then invalid_arg "Fir.build: taps must be >= 2";
+  if latency < 2 then invalid_arg "Fir.build: latency must be >= 2";
+  let cfg = Cfg.create () in
+  let loop_top = Cfg.add_node cfg Cfg.Plain in
+  ignore (Cfg.add_edge cfg (Cfg.start cfg) loop_top);
+  let step_edges = Array.make latency (Cfg.Edge_id.of_int 0) in
+  let prev = ref loop_top in
+  for s = 0 to latency - 1 do
+    let st = Cfg.add_node cfg Cfg.State in
+    step_edges.(s) <- Cfg.add_edge cfg !prev st;
+    prev := st
+  done;
+  let loop_bottom = Cfg.add_node cfg Cfg.Plain in
+  ignore (Cfg.add_edge cfg !prev loop_bottom);
+  ignore (Cfg.add_edge cfg loop_bottom loop_top);
+  Cfg.seal cfg;
+  let dfg = Dfg.create cfg in
+  let first = step_edges.(0) and last = step_edges.(latency - 1) in
+  let rd = Dfg.add_op dfg ~kind:(Dfg.Read "x") ~width ~birth:first ~name:"rd_x" () in
+  (* Shift line: z.(0) is the fresh sample; z.(k) holds x[n-k].  Each shift
+     op copies the previous stage; its consumers in the next iteration use
+     the value through a loop-carried dependency.  Model the copy as an OR
+     with a folded zero (a pass-through logic op). *)
+  let shifts = Array.make taps rd in
+  for k = 1 to taps - 1 do
+    let sh =
+      Dfg.add_op dfg ~kind:Dfg.Lor ~width ~birth:first
+        ~name:(Printf.sprintf "shift_%d" k)
+        ()
+    in
+    (* This iteration's z[k] copies the previous iteration's z[k-1]. *)
+    Dfg.add_dep dfg ~src:shifts.(k - 1) ~dst:sh ~loop_carried:true ();
+    shifts.(k) <- sh
+  done;
+  (* Tap products: coefficient constants folded, so each mul has a single
+     data dependency. *)
+  let prods =
+    Array.mapi
+      (fun k z ->
+        let m =
+          Dfg.add_op dfg ~kind:Dfg.Mul ~width ~birth:first
+            ~name:(Printf.sprintf "tap_%d" k)
+            ()
+        in
+        (if k = 0 then Dfg.add_dep dfg ~src:z ~dst:m ()
+         else Dfg.add_dep dfg ~src:z ~dst:m ~loop_carried:true ());
+        m)
+      shifts
+  in
+  (* Balanced adder tree. *)
+  let rec reduce level = function
+    | [] -> invalid_arg "Fir.build: empty reduction"
+    | [ x ] -> x
+    | xs ->
+      let rec pair acc i = function
+        | a :: b :: rest ->
+          let s =
+            Dfg.add_op dfg ~kind:Dfg.Add ~width ~birth:first
+              ~name:(Printf.sprintf "acc_%d_%d" level i)
+              ()
+          in
+          Dfg.add_dep dfg ~src:a ~dst:s ();
+          Dfg.add_dep dfg ~src:b ~dst:s ();
+          pair (s :: acc) (i + 1) rest
+        | [ a ] -> pair (a :: acc) (i + 1) []
+        | [] -> List.rev acc
+      in
+      reduce (level + 1) (pair [] 0 xs)
+  in
+  let sum = reduce 0 (Array.to_list prods) in
+  let wr = Dfg.add_op dfg ~kind:(Dfg.Write "y") ~width ~birth:last ~name:"wr_y" () in
+  Dfg.add_dep dfg ~src:sum ~dst:wr ();
+  Dfg.validate dfg;
+  { cfg; dfg; step_edges; name = Printf.sprintf "fir%d-L%d" taps latency }

@@ -1,0 +1,18 @@
+(** N-tap FIR filter workload.
+
+    y[n] = sum_k c_k * x[n-k]: one multiply per tap (the coefficient is a
+    constant, folded away from timing) feeding an adder tree of logarithmic
+    depth.  Tap inputs beyond the current sample are previous-iteration
+    values held in the shift line, so they carry loop-carried dependencies
+    from the shift assignments.  A useful mid-size design between the
+    interpolation toy and the IDCT. *)
+
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  step_edges : Cfg.Edge_id.t array;
+  name : string;
+}
+
+val build : ?width:int -> taps:int -> latency:int -> unit -> t
+(** [taps >= 2], [latency >= 2]. *)

@@ -1,0 +1,129 @@
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  step_edges : Cfg.Edge_id.t array;
+  name : string;
+}
+
+(* One 1-D Chen 8-point IDCT stage: inputs are 8 op ids producing the
+   spectral coefficients; returns the 8 spatial outputs.  16 muls, 26
+   add/subs. *)
+let chen_1d dfg ~width ~birth ~tag inputs =
+  let op kind a b name =
+    let id = Dfg.add_op dfg ~kind ~width ~birth ~name:(tag ^ name) () in
+    Dfg.add_dep dfg ~src:a ~dst:id ();
+    (match b with Some b -> Dfg.add_dep dfg ~src:b ~dst:id () | None -> ());
+    id
+  in
+  let mul a name = op Dfg.Mul a None name in
+  let add a b name = op Dfg.Add a (Some b) name in
+  let sub a b name = op Dfg.Sub a (Some b) name in
+  match inputs with
+  | [| x0; x1; x2; x3; x4; x5; x6; x7 |] ->
+    (* Even part. *)
+    let m0 = mul x0 "m_x0c4" and m4 = mul x4 "m_x4c4" in
+    let e0 = add m0 m4 "e0" and e1 = sub m0 m4 "e1" in
+    let m2a = mul x2 "m_x2c2" and m6a = mul x6 "m_x6c6" in
+    let m2b = mul x2 "m_x2c6" and m6b = mul x6 "m_x6c2" in
+    let e2 = add m2a m6a "e2" and e3 = sub m2b m6b "e3" in
+    let f0 = add e0 e2 "f0" and f3 = sub e0 e2 "f3" in
+    let f1 = add e1 e3 "f1" and f2 = sub e1 e3 "f2" in
+    (* Odd part. *)
+    let m1a = mul x1 "m_x1c1" and m7a = mul x7 "m_x7c7" in
+    let m1b = mul x1 "m_x1c7" and m7b = mul x7 "m_x7c1" in
+    let m5a = mul x5 "m_x5c5" and m3a = mul x3 "m_x3c3" in
+    let m5b = mul x5 "m_x5c3" and m3b = mul x3 "m_x3c5" in
+    let o0 = add m1a m7a "o0" and o1 = sub m1b m7b "o1" in
+    let o2 = add m5a m3a "o2" and o3 = sub m5b m3b "o3" in
+    let g0 = add o0 o2 "g0" and g1 = sub o0 o2 "g1" in
+    let g3 = add o1 o3 "g3" and g2 = sub o1 o3 "g2" in
+    let h1s = add g1 g2 "h1s" and h2s = sub g2 g1 "h2s" in
+    let h1 = mul h1s "h1c4" and h2 = mul h2s "h2c4" in
+    (* Recombination. *)
+    [|
+      add f0 g0 "y0"; add f1 h1 "y1"; add f2 h2 "y2"; add f3 g3 "y3";
+      sub f3 g3 "y4"; sub f2 h2 "y5"; sub f1 h1 "y6"; sub f0 g0 "y7";
+    |]
+  | _ -> invalid_arg "Idct.chen_1d: expected 8 inputs"
+
+let build ?(width = 16) ~latency ~passes () =
+  if latency < 2 then invalid_arg "Idct.build: latency must be >= 2";
+  if passes < 1 then invalid_arg "Idct.build: passes must be >= 1";
+  let cfg = Cfg.create () in
+  let loop_top = Cfg.add_node cfg Cfg.Plain in
+  ignore (Cfg.add_edge cfg (Cfg.start cfg) loop_top);
+  let step_edges = Array.make latency (Cfg.Edge_id.of_int 0) in
+  let prev = ref loop_top in
+  for s = 0 to latency - 1 do
+    let st = Cfg.add_node cfg Cfg.State in
+    step_edges.(s) <- Cfg.add_edge cfg !prev st;
+    prev := st
+  done;
+  let loop_bottom = Cfg.add_node cfg Cfg.Plain in
+  ignore (Cfg.add_edge cfg !prev loop_bottom);
+  ignore (Cfg.add_edge cfg loop_bottom loop_top);
+  Cfg.seal cfg;
+  let dfg = Dfg.create cfg in
+  let first = step_edges.(0) and last = step_edges.(latency - 1) in
+  let reads =
+    Array.init 8 (fun i ->
+        Dfg.add_op dfg
+          ~kind:(Dfg.Read (Printf.sprintf "x%d" i))
+          ~width ~birth:first
+          ~name:(Printf.sprintf "rd_x%d" i)
+          ())
+  in
+  let outs = ref reads in
+  for p = 1 to passes do
+    let tag = if passes = 1 then "" else Printf.sprintf "p%d_" p in
+    outs := chen_1d dfg ~width ~birth:first ~tag !outs
+  done;
+  Array.iteri
+    (fun i v ->
+      let wr =
+        Dfg.add_op dfg
+          ~kind:(Dfg.Write (Printf.sprintf "y%d" i))
+          ~width ~birth:last
+          ~name:(Printf.sprintf "wr_y%d" i)
+          ()
+      in
+      Dfg.add_dep dfg ~src:v ~dst:wr ())
+    !outs;
+  Dfg.validate dfg;
+  {
+    cfg;
+    dfg;
+    step_edges;
+    name = Printf.sprintf "idct8x%d-L%d" passes latency;
+  }
+
+let count_kind t k =
+  let n = ref 0 in
+  Dfg.iter_ops t.dfg (fun o -> if o.Dfg.kind = k then incr n);
+  !n
+
+let mul_count t = count_kind t Dfg.Mul
+let add_count t = count_kind t Dfg.Add + count_kind t Dfg.Sub
+
+type design_point = {
+  id : string;
+  latency : int;
+  passes : int;
+  ii : int option;
+  clock : float;
+}
+
+let table4_points =
+  let clock = 2500.0 in
+  let single = [ 32; 28; 24; 20; 16; 12; 10; 8 ] in
+  let pipelined = [ 12; 10; 8; 6; 5; 4; 3 ] in
+  List.mapi
+    (fun i latency ->
+      { id = Printf.sprintf "D%d" (i + 1); latency; passes = 1; ii = None; clock })
+    single
+  @ List.mapi
+      (fun i ii ->
+        { id = Printf.sprintf "D%d" (i + 9); latency = 16; passes = 1; ii = Some ii; clock })
+      pipelined
+
+let instantiate p = build ~latency:p.latency ~passes:p.passes ()

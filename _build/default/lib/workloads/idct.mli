@@ -1,0 +1,47 @@
+(** 8-point IDCT dataflow (the paper's Table 4 design-space benchmark).
+
+    The kernel is the classic Chen even/odd-decomposed 8-point inverse DCT:
+    16 multiplications by cosine constants and 26 additions/subtractions
+    per 1-D transform, arranged in the usual butterfly stages.  The 2-D
+    transform of an 8x8 block is row-column separable; [passes] chains that
+    many 1-D transforms back to back (the output of pass [k] feeds pass
+    [k+1]) for heavier workloads.
+
+    The CFG is a loop whose body spans [latency] control steps; spectral
+    inputs are read on the first step edge and spatial outputs written on
+    the last.  All computation is free to move across the steps.
+    ([passes > 1] chains kernels and remains available as a heavier
+    workload; the Table 4 pipelined points use true initiation-interval
+    pipelining instead.) *)
+
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  step_edges : Cfg.Edge_id.t array;  (** one per control step, in order *)
+  name : string;
+}
+
+val build : ?width:int -> latency:int -> passes:int -> unit -> t
+(** [latency >= 2], [passes >= 1], [width] defaults to 16 bits. *)
+
+val mul_count : t -> int
+val add_count : t -> int
+
+(** {1 The paper's Table 4 design points}
+
+    Fifteen configurations: D1-D8 are the single-pass kernel at latencies
+    32 down to 8 (the paper's non-pipelined sweep); D9-D15 pipeline the
+    latency-16 kernel at initiation intervals 12 down to 3 (the paper's
+    pipelined implementations; overlapped iterations raise resource
+    pressure). *)
+
+type design_point = {
+  id : string;
+  latency : int;
+  passes : int;
+  ii : int option;  (** pipelining initiation interval *)
+  clock : float;
+}
+
+val table4_points : design_point list
+val instantiate : design_point -> t

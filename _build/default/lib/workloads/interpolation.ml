@@ -1,0 +1,57 @@
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  step_edges : Cfg.Edge_id.t array;
+  muls_x : Dfg.Op_id.t array;
+  muls_d : Dfg.Op_id.t array;
+  adds : Dfg.Op_id.t array;
+  wr : Dfg.Op_id.t;
+}
+
+let clock = 1100.0
+
+let unrolled () =
+  let cfg = Cfg.create () in
+  let loop_top = Cfg.add_node cfg Cfg.Plain in
+  let s1 = Cfg.add_node cfg Cfg.State in
+  let s2 = Cfg.add_node cfg Cfg.State in
+  let s3 = Cfg.add_node cfg Cfg.State in
+  let loop_bottom = Cfg.add_node cfg Cfg.Plain in
+  let _e0 = Cfg.add_edge cfg (Cfg.start cfg) loop_top in
+  let e1 = Cfg.add_edge cfg loop_top s1 in
+  let e2 = Cfg.add_edge cfg s1 s2 in
+  let e3 = Cfg.add_edge cfg s2 s3 in
+  let _e4 = Cfg.add_edge cfg s3 loop_bottom in
+  let _e_back = Cfg.add_edge cfg loop_bottom loop_top in
+  Cfg.seal cfg;
+  let dfg = Dfg.create cfg in
+  (* x-chain: x1 = x0*dX0, x2 = x1*dX1, x3 = x2*dX2, x4 = x3*dX3(d-chain
+     only has three live updates).  All births on the first step edge. *)
+  let mul i name = Dfg.add_op dfg ~kind:Dfg.Mul ~width:8 ~birth:e1 ~name:(name ^ string_of_int i) () in
+  let muls_x = Array.init 4 (fun i -> mul (i + 1) "mx") in
+  let muls_d = Array.init 3 (fun i -> mul (i + 1) "md") in
+  let adds =
+    Array.init 4 (fun i ->
+        Dfg.add_op dfg ~kind:Dfg.Add ~width:16 ~birth:e1 ~name:("a" ^ string_of_int (i + 1)) ())
+  in
+  let wr = Dfg.add_op dfg ~kind:(Dfg.Write "fx") ~width:16 ~birth:e3 ~name:"wr" () in
+  (* x_{i+1} = x_i * dX_i: mx.(i) consumes mx.(i-1) and md.(i-1). *)
+  for i = 1 to 3 do
+    Dfg.add_dep dfg ~src:muls_x.(i - 1) ~dst:muls_x.(i) ();
+    Dfg.add_dep dfg ~src:muls_d.(i - 1) ~dst:muls_x.(i) ()
+  done;
+  (* deltaX chain: dX_{i+1} = dX_i * scale (scale constant). *)
+  for i = 1 to 2 do
+    Dfg.add_dep dfg ~src:muls_d.(i - 1) ~dst:muls_d.(i) ()
+  done;
+  (* sum chain: a_i = a_{i-1} + x_i. *)
+  for i = 0 to 3 do
+    Dfg.add_dep dfg ~src:muls_x.(i) ~dst:adds.(i) ();
+    if i > 0 then Dfg.add_dep dfg ~src:adds.(i - 1) ~dst:adds.(i) ()
+  done;
+  Dfg.add_dep dfg ~src:adds.(3) ~dst:wr ();
+  Dfg.validate dfg;
+  { cfg; dfg; step_edges = [| e1; e2; e3 |]; muls_x; muls_d; adds; wr }
+
+let all_muls t = Array.to_list t.muls_x @ Array.to_list t.muls_d
+let all_adds t = Array.to_list t.adds

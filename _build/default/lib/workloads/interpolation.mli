@@ -1,0 +1,38 @@
+(** The paper's §II interpolation example (Figures 1–2, Table 2).
+
+    {v
+    while (true) {
+      for (int i = 0; i < 4; i++) {   // unrolled: 4 iterations / 3 cycles
+        x *= deltaX; deltaX *= scale; sum += x;
+      }
+      wait(); fx.write(sum);
+    }
+    v}
+
+    Unrolling yields the Figure 2(a) DFG: seven multiplications (four on
+    the [x] chain, three on the [deltaX] chain — the last [deltaX] update
+    is dead) and four additions accumulating [sum], closed by the write.
+    The CFG provides the three control steps of the paper's target
+    throughput; all computation is born on the first step's edge and is
+    free to move, while the write is fixed on the last step's edge.
+
+    Clock period: 1100 ps.  Multipliers are the paper's 8x8 Table 1 curve
+    and adders the 16-bit one. *)
+
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  step_edges : Cfg.Edge_id.t array;  (** the three control-step edges *)
+  muls_x : Dfg.Op_id.t array;  (** x-chain multiplications, length 4 *)
+  muls_d : Dfg.Op_id.t array;  (** deltaX-chain multiplications, length 3 *)
+  adds : Dfg.Op_id.t array;    (** sum accumulation, length 4 *)
+  wr : Dfg.Op_id.t;
+}
+
+val clock : float
+(** 1100 ps. *)
+
+val unrolled : unit -> t
+
+val all_muls : t -> Dfg.Op_id.t list
+val all_adds : t -> Dfg.Op_id.t list

@@ -1,0 +1,118 @@
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  name : string;
+  latency : int;
+  suggested_clock : float;
+}
+
+type profile = {
+  min_ops : int;
+  max_ops : int;
+  min_states : int;
+  max_states : int;
+  mul_bias : float;
+}
+
+let default_profile =
+  { min_ops = 24; max_ops = 80; min_states = 4; max_states = 12; mul_bias = 0.35 }
+
+let pick_kind rng bias : Dfg.op_kind =
+  let r = Splitmix.float rng 1.0 in
+  if r < bias then Dfg.Mul
+  else if r < bias +. 0.35 then Dfg.Add
+  else if r < bias +. 0.5 then Dfg.Sub
+  else if r < bias +. 0.6 then Dfg.Cmp Dfg.Lt
+  else if r < bias +. 0.75 then Dfg.Shl
+  else Dfg.Lxor
+
+let generate ?(profile = default_profile) ~seed () =
+  let rng = Splitmix.create seed in
+  let n_ops = profile.min_ops + Splitmix.int rng (profile.max_ops - profile.min_ops + 1) in
+  let n_states =
+    profile.min_states + Splitmix.int rng (profile.max_states - profile.min_states + 1)
+  in
+  let width = [| 8; 12; 16; 24; 32 |].(Splitmix.int rng 5) in
+  let cfg = Cfg.create () in
+  let loop_top = Cfg.add_node cfg Cfg.Plain in
+  ignore (Cfg.add_edge cfg (Cfg.start cfg) loop_top);
+  let step_edges = Array.make n_states (Cfg.Edge_id.of_int 0) in
+  let prev = ref loop_top in
+  for s = 0 to n_states - 1 do
+    let st = Cfg.add_node cfg Cfg.State in
+    step_edges.(s) <- Cfg.add_edge cfg !prev st;
+    prev := st
+  done;
+  let loop_bottom = Cfg.add_node cfg Cfg.Plain in
+  ignore (Cfg.add_edge cfg !prev loop_bottom);
+  ignore (Cfg.add_edge cfg loop_bottom loop_top);
+  Cfg.seal cfg;
+  let dfg = Dfg.create cfg in
+  let first = step_edges.(0) and last = step_edges.(n_states - 1) in
+  (* Sources: a handful of port reads. *)
+  let n_reads = 2 + Splitmix.int rng 4 in
+  let values = ref [] in
+  for i = 0 to n_reads - 1 do
+    let rd =
+      Dfg.add_op dfg
+        ~kind:(Dfg.Read (Printf.sprintf "p%d" i))
+        ~width ~birth:first
+        ~name:(Printf.sprintf "rd_%d" i)
+        ()
+    in
+    values := rd :: !values
+  done;
+  (* Layered random ops: each draws 1-2 producers among earlier values
+     (recent values preferred, giving chains a realistic depth). *)
+  let value_arr () = Array.of_list !values in
+  for i = 0 to n_ops - 1 do
+    let kind = pick_kind rng profile.mul_bias in
+    let w = if kind = Dfg.Cmp Dfg.Lt then 1 else width in
+    let op =
+      Dfg.add_op dfg ~kind ~width:w ~birth:first ~name:(Printf.sprintf "op_%d" i) ()
+    in
+    let vals = value_arr () in
+    let n = Array.length vals in
+    let pick_recent () =
+      (* Triangular bias toward recent values. *)
+      let a = Splitmix.int rng n and b = Splitmix.int rng n in
+      vals.(min a b)
+    in
+    let p1 = pick_recent () in
+    Dfg.add_dep dfg ~src:p1 ~dst:op ();
+    if Splitmix.float rng 1.0 < 0.8 then begin
+      let p2 = pick_recent () in
+      if not (Dfg.Op_id.equal p2 p1) then Dfg.add_dep dfg ~src:p2 ~dst:op ()
+    end;
+    values := op :: !values
+  done;
+  (* Sinks: write a few of the most recent values. *)
+  let n_writes = 1 + Splitmix.int rng 3 in
+  let vals = value_arr () in
+  for i = 0 to n_writes - 1 do
+    let wr =
+      Dfg.add_op dfg
+        ~kind:(Dfg.Write (Printf.sprintf "q%d" i))
+        ~width ~birth:last
+        ~name:(Printf.sprintf "wr_%d" i)
+        ()
+    in
+    Dfg.add_dep dfg ~src:vals.(min i (Array.length vals - 1)) ~dst:wr ()
+  done;
+  Dfg.validate dfg;
+  (* Clock: a mid-grade multiplier plus margin, so designs have real
+     tradeoff room without being trivially loose. *)
+  let suggested_clock = 1500.0 +. (float_of_int width *. 40.0) in
+  {
+    cfg;
+    dfg;
+    name = Printf.sprintf "rand-%d" seed;
+    latency = n_states;
+    suggested_clock;
+  }
+
+let suite ?profile ~count ~seed () =
+  let master = Splitmix.create seed in
+  List.init count (fun i ->
+      ignore i;
+      generate ?profile ~seed:(Int64.to_int (Splitmix.next_int64 master) land 0xFFFFFF) ())

@@ -1,0 +1,31 @@
+(** Seeded random behavioral designs — the surrogate for the paper's "over
+    100 customer designs" (confidential, so unavailable; §VII).
+
+    Each design is a layered random DAG of arithmetic/logic operations over
+    a linear multi-state loop body, with reads feeding the first layer and
+    writes consuming final values, optionally with one fork/join diamond.
+    Sizes, widths, operation mix and latency are drawn from the given seed,
+    so the whole suite is reproducible. *)
+
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  name : string;
+  latency : int;
+  suggested_clock : float;
+}
+
+type profile = {
+  min_ops : int;
+  max_ops : int;
+  min_states : int;
+  max_states : int;
+  mul_bias : float;  (** probability weight of multipliers vs adders *)
+}
+
+val default_profile : profile
+
+val generate : ?profile:profile -> seed:int -> unit -> t
+
+val suite : ?profile:profile -> count:int -> seed:int -> unit -> t list
+(** [count] independent designs derived from one master seed. *)

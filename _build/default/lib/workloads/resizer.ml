@@ -1,0 +1,89 @@
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  e1 : Cfg.Edge_id.t;
+  e2 : Cfg.Edge_id.t;
+  e3 : Cfg.Edge_id.t;
+  e4 : Cfg.Edge_id.t;
+  e5 : Cfg.Edge_id.t;
+  e6 : Cfg.Edge_id.t;
+  e7 : Cfg.Edge_id.t;
+  rd_a : Dfg.Op_id.t;
+  add : Dfg.Op_id.t;
+  div : Dfg.Op_id.t;
+  sub : Dfg.Op_id.t;
+  rd_b : Dfg.Op_id.t;
+  mul : Dfg.Op_id.t;
+  mux : Dfg.Op_id.t;
+  wr : Dfg.Op_id.t;
+}
+
+let build ~with_control () =
+  let cfg = Cfg.create () in
+  let loop_top = Cfg.add_node cfg Cfg.Plain in
+  let if_top = Cfg.add_node cfg Cfg.Fork in
+  let s0 = Cfg.add_node cfg Cfg.State in
+  let s1 = Cfg.add_node cfg Cfg.State in
+  let if_bottom = Cfg.add_node cfg Cfg.Join in
+  let s2 = Cfg.add_node cfg Cfg.State in
+  let loop_bottom = Cfg.add_node cfg Cfg.Plain in
+  let _e0 = Cfg.add_edge cfg (Cfg.start cfg) loop_top in
+  let e1 = Cfg.add_edge cfg loop_top if_top in
+  let e2 = Cfg.add_edge cfg if_top s0 in
+  let e3 = Cfg.add_edge cfg if_top s1 in
+  let e4 = Cfg.add_edge cfg s0 if_bottom in
+  let e5 = Cfg.add_edge cfg s1 if_bottom in
+  let e6 = Cfg.add_edge cfg if_bottom s2 in
+  let e7 = Cfg.add_edge cfg s2 loop_bottom in
+  let _e_back = Cfg.add_edge cfg loop_bottom loop_top in
+  Cfg.seal cfg;
+  let dfg = Dfg.create cfg in
+  let w = 16 in
+  let rd_a = Dfg.add_op dfg ~kind:(Dfg.Read "a") ~width:w ~birth:e1 ~name:"rd_a" () in
+  let add = Dfg.add_op dfg ~kind:Dfg.Add ~width:w ~birth:e1 ~name:"add" () in
+  let div = Dfg.add_op dfg ~kind:Dfg.Div ~width:w ~birth:e4 ~name:"div" () in
+  let sub = Dfg.add_op dfg ~kind:Dfg.Sub ~width:w ~birth:e4 ~name:"sub" () in
+  let rd_b = Dfg.add_op dfg ~kind:(Dfg.Read "b") ~width:w ~birth:e5 ~name:"rd_b" () in
+  let mul = Dfg.add_op dfg ~kind:Dfg.Mul ~width:w ~birth:e5 ~name:"mul" () in
+  let mux = Dfg.add_op dfg ~kind:Dfg.Mux ~width:w ~birth:e6 ~name:"mux" () in
+  let wr = Dfg.add_op dfg ~kind:(Dfg.Write "out") ~width:w ~birth:e7 ~name:"wr" () in
+  Dfg.add_dep dfg ~src:rd_a ~dst:add ();
+  Dfg.add_dep dfg ~src:add ~dst:div ();
+  Dfg.add_dep dfg ~src:div ~dst:sub ();
+  Dfg.add_dep dfg ~src:add ~dst:mul ();
+  Dfg.add_dep dfg ~src:rd_b ~dst:mul ();
+  Dfg.add_dep dfg ~src:sub ~dst:mux ();
+  Dfg.add_dep dfg ~src:mul ~dst:mux ();
+  Dfg.add_dep dfg ~src:mux ~dst:wr ();
+  if with_control then begin
+    (* x > th feeds the fork: fixed on e1. *)
+    let cmp =
+      Dfg.add_op dfg ~kind:(Dfg.Cmp Dfg.Gt) ~width:w ~birth:e1 ~fixed:true ~name:"cmp_th" ()
+    in
+    Dfg.add_dep dfg ~src:add ~dst:cmp ();
+    (* Loop index computation: i = i + 1; i < 1024 (loop-carried). *)
+    let one = Dfg.add_op dfg ~kind:(Dfg.Const 1) ~width:11 ~birth:e1 ~name:"one" () in
+    let i_add = Dfg.add_op dfg ~kind:Dfg.Add ~width:11 ~birth:e1 ~name:"i_add" () in
+    let i_cmp =
+      Dfg.add_op dfg ~kind:(Dfg.Cmp Dfg.Lt) ~width:11 ~birth:e1 ~fixed:true ~name:"i_cmp" ()
+    in
+    Dfg.add_dep dfg ~src:one ~dst:i_add ();
+    Dfg.add_dep dfg ~src:i_add ~dst:i_add ~loop_carried:true ();
+    Dfg.add_dep dfg ~src:i_add ~dst:i_cmp ()
+  end;
+  Dfg.validate dfg;
+  { cfg; dfg; e1; e2; e3; e4; e5; e6; e7; rd_a; add; div; sub; rd_b; mul; mux; wr }
+
+let table3 () = build ~with_control:false ()
+let full () = build ~with_control:true ()
+
+let table3_samples =
+  let mk t dd d = fun x ->
+    match x with
+    | "T" -> t
+    | "D" -> dd
+    | "d" -> d
+    | _ -> invalid_arg ("Resizer.table3_samples: unknown parameter " ^ x)
+  in
+  (* All satisfy D + d < T < 2D. *)
+  [ mk 10.0 6.0 1.0; mk 11.0 6.5 2.0; mk 10.2 9.0 0.3; mk 19.0 10.0 8.0 ]

@@ -1,0 +1,51 @@
+(** The paper's resizer/filter example (Figures 3–5, Table 3).
+
+    {v
+    for (int i = 0; i < 1024; i++) {
+      int x = a.read() + offset;
+      if (x > th) { wait(); /* s0 */ y = x / scale - offset; }
+      else        { wait(); /* s1 */ y = x * b.read(); }
+      wait(); /* s2 */
+      out.write(y);
+    }
+    v}
+
+    The CFG has a fork after the comparison, one state per branch, a join,
+    and a final state before the write; the loop-back edge is backward.
+    [table3] builds exactly the "main computation" DFG of Figure 5(a) —
+    eight operations — whose symbolic slack the paper tabulates. *)
+
+type t = {
+  cfg : Cfg.t;
+  dfg : Dfg.t;
+  (* Edges, numbered as in Figure 4(a). *)
+  e1 : Cfg.Edge_id.t;  (** loop top -> if fork: carries rd_a, add *)
+  e2 : Cfg.Edge_id.t;  (** fork -> s0 (then branch) *)
+  e3 : Cfg.Edge_id.t;  (** fork -> s1 (else branch) *)
+  e4 : Cfg.Edge_id.t;  (** s0 -> join: carries div, sub *)
+  e5 : Cfg.Edge_id.t;  (** s1 -> join: carries rd_b, mul *)
+  e6 : Cfg.Edge_id.t;  (** join -> s2: carries mux *)
+  e7 : Cfg.Edge_id.t;  (** s2 -> loop bottom: carries wr *)
+  (* Operations of the main computation. *)
+  rd_a : Dfg.Op_id.t;
+  add : Dfg.Op_id.t;
+  div : Dfg.Op_id.t;
+  sub : Dfg.Op_id.t;
+  rd_b : Dfg.Op_id.t;
+  mul : Dfg.Op_id.t;
+  mux : Dfg.Op_id.t;
+  wr : Dfg.Op_id.t;
+}
+
+val table3 : unit -> t
+(** The eight-op main computation, CFG sealed and DFG validated. *)
+
+val full : unit -> t
+(** [table3] plus the comparison feeding the branch and the loop index
+    computation (increment and bound check, with the loop-carried
+    dependency), for integration tests.  The extra ops are reachable via
+    {!Dfg.ops}. *)
+
+val table3_samples : (string -> float) list
+(** Valuations of [T], [D], [d] satisfying the paper's constraint
+    [D + d < T < 2D], for resolving symbolic max/min. *)

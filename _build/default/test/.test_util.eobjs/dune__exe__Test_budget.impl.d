@@ -1,0 +1,1 @@
+test/test_budget.ml: Alcotest Array Budget Curve Dfg Float Interpolation Interval Library List Printf QCheck QCheck_alcotest Resizer Slack Timed_dfg

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Cfg Gen Lazy List Printf QCheck QCheck_alcotest Resizer

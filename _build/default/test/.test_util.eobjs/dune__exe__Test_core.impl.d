@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Cosim Elaborate Float Flows Hls Idct Library List Netlist Parser Printf Schedule Slack String

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Cfg Dfg Format Hashtbl Interpolation List QCheck QCheck_alcotest Resizer Splitmix

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Cfg Dfg Elaborate Format Lexer List Parser QCheck QCheck_alcotest Splitmix Transform

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bellman_ford Dag_paths Digraph Float Hashtbl List QCheck QCheck_alcotest Splitmix Traverse

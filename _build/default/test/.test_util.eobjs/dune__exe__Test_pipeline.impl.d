@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Alloc Area_model Array Dfg Fir Flows Idct Library List Printf QCheck QCheck_alcotest Resource_kind Schedule String

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Alloc Area_model Dfg Filename Flows Interpolation Library List Netlist Resource_kind Schedule String Sys Verilog

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Alloc Area_recovery Array Cfg Curve Dfg Float Flows Interpolation Library List Printf QCheck QCheck_alcotest Resizer Resource_kind Schedule String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ast Behav_sim Cosim Dfg Dfg_sim Elaborate Flows Hashtbl Library List Parser QCheck QCheck_alcotest Wordops

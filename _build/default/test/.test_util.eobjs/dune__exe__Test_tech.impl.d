@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Curve Dfg Library List Printf QCheck QCheck_alcotest Resource_kind

@@ -1,0 +1,1 @@
+test/test_timing.ml: Affine Alcotest Array Bf_timing Dfg Float Interpolation Lazy List Parametric QCheck QCheck_alcotest Resizer Slack Timed_dfg

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Id Interval List QCheck QCheck_alcotest Splitmix String Text_table Vec

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Dfg Fir Flows Idct Interpolation Library List Printf QCheck QCheck_alcotest Random_design Schedule String Timed_dfg

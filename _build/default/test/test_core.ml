@@ -1,0 +1,119 @@
+(* The Hls façade and whole-pipeline integration: language source to area
+   report, feasibility checks, DSE driver. *)
+
+let src = {|
+process kernel {
+  port in a : 16;
+  port in b : 16;
+  port out y : 16;
+  var t : 16;
+  var u : 16;
+  loop {
+    t = read(a) * read(b);
+    u = t + u;
+    wait;
+    wait;
+    write(y, u);
+  }
+}
+|}
+
+let elab () = Elaborate.elaborate (Parser.parse src)
+
+let test_run_and_report () =
+  let e = elab () in
+  let d = Hls.design ~name:"kernel" ~clock:2500.0 e.Elaborate.dfg in
+  match Hls.run Flows.Slack_based d with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    Alcotest.(check bool) "positive area" true (Hls.total_area r > 0.0);
+    Alcotest.(check bool) "fu <= total" true (Hls.fu_area r <= Hls.total_area r);
+    let stats = Netlist.stats r.Hls.netlist in
+    Alcotest.(check bool) "netlist has FUs" true (stats.Netlist.n_fus > 0);
+    (match Schedule.validate r.Hls.report.Flows.schedule with
+    | Ok () -> ()
+    | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es))
+
+let test_compare_flows () =
+  let e = elab () in
+  let d = Hls.design ~name:"kernel" ~clock:2500.0 e.Elaborate.dfg in
+  let c = Hls.compare_flows d in
+  (match (c.Hls.conventional, c.Hls.slack_based) with
+  | Ok _, Ok _ -> ()
+  | Error m, _ | _, Error m -> Alcotest.fail m);
+  match c.Hls.saving_pct with
+  | Some s -> Alcotest.(check bool) "saving computed" true (s > -100.0 && s < 100.0)
+  | None -> Alcotest.fail "saving missing"
+
+let test_feasibility_check () =
+  let e = elab () in
+  let ok_design = Hls.design ~name:"kernel" ~clock:3000.0 e.Elaborate.dfg in
+  (match Hls.feasibility_check ok_design with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "generous clock must be feasible");
+  let e2 = elab () in
+  let tight = Hls.design ~name:"kernel" ~clock:300.0 e2.Elaborate.dfg in
+  match Hls.feasibility_check tight with
+  | Ok () -> Alcotest.fail "300 ps cannot fit a 16-bit multiply"
+  | Error critical -> Alcotest.(check bool) "critical ops named" true (critical <> [])
+
+let test_explore_and_render () =
+  let points =
+    List.map
+      (fun latency ->
+        let d = Idct.build ~latency ~passes:1 () in
+        (Printf.sprintf "L%d" latency, Hls.design ~name:d.Idct.name ~clock:2500.0 d.Idct.dfg))
+      [ 16; 12 ]
+  in
+  let rows = Hls.explore points in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.Hls.point_name ^ " both flows ok") true
+        (r.Hls.a_conv <> None && r.Hls.a_slack <> None))
+    rows;
+  (match Hls.average_saving rows with
+  | Some avg -> Alcotest.(check bool) "average in range" true (avg > -50.0 && avg < 60.0)
+  | None -> Alcotest.fail "no average");
+  let rendered = Hls.render_dse rows in
+  Alcotest.(check bool) "render mentions rows" true (String.length rendered > 40)
+
+let test_design_validation () =
+  let e = elab () in
+  match Hls.design ~name:"x" ~clock:(-5.0) e.Elaborate.dfg with
+  | _ -> Alcotest.fail "negative clock rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_pipeline_cosim_integration () =
+  (* Full pipeline: source -> schedule (both flows) -> co-simulate. *)
+  let e = elab () in
+  List.iter
+    (fun flow ->
+      match Flows.run flow e.Elaborate.dfg ~lib:Library.default ~clock:2500.0 with
+      | Error m -> Alcotest.fail m
+      | Ok r ->
+        let res = Cosim.check ~schedule:r.Flows.schedule ~iterations:32 ~seed:3 e in
+        Alcotest.(check int)
+          (Flows.flow_name flow ^ " cosim clean")
+          0
+          (List.length res.Cosim.mismatches))
+    [ Flows.Conventional; Flows.Slowest_first; Flows.Slack_based ]
+
+let test_analyze_slack_facade () =
+  let e = elab () in
+  let d = Hls.design ~name:"kernel" ~clock:2500.0 e.Elaborate.dfg in
+  let res = Hls.analyze_slack d ~del:(fun _ -> 100.0) in
+  Alcotest.(check bool) "finite min slack" true (Float.is_finite res.Slack.min_slack)
+
+let suite =
+  [
+    Alcotest.test_case "run and report" `Quick test_run_and_report;
+    Alcotest.test_case "compare flows" `Quick test_compare_flows;
+    Alcotest.test_case "feasibility check (prop 1)" `Quick test_feasibility_check;
+    Alcotest.test_case "explore and render" `Quick test_explore_and_render;
+    Alcotest.test_case "design validation" `Quick test_design_validation;
+    Alcotest.test_case "pipeline cosim integration" `Quick test_pipeline_cosim_integration;
+    Alcotest.test_case "analyze_slack facade" `Quick test_analyze_slack_facade;
+  ]
+
+let () = Alcotest.run "core" [ ("core", suite) ]

@@ -1,0 +1,226 @@
+(* Front end: lexer, parser, transforms, and elaboration structure. *)
+
+let resizer_src = {|
+process resizer {
+  port in a : 16;
+  port in b : 16;
+  port out y : 16;
+  var x : 16;
+  var r : 16;
+  loop {
+    x = read(a) + 100;
+    if (x > 50) { wait; r = x / 3 - 100; }
+    else { wait; r = x * read(b); }
+    wait;
+    write(y, r);
+  }
+}
+|}
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Lexer.tokenize "process p { var x : 16; loop { x = x + 1; } }") in
+  Alcotest.(check bool) "starts with process" true (List.hd toks = Lexer.KW_PROCESS);
+  Alcotest.(check bool) "ends with eof" true (List.nth toks (List.length toks - 1) = Lexer.EOF)
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "// line\n/* block\nspanning */ process" in
+  Alcotest.(check int) "comments skipped" 2 (List.length toks);
+  (match Lexer.tokenize "/* unterminated" with
+  | _ -> Alcotest.fail "unterminated comment"
+  | exception Lexer.Error _ -> ());
+  (match Lexer.tokenize "process @ x" with
+  | _ -> Alcotest.fail "illegal char"
+  | exception Lexer.Error { line = 1; _ } -> ()
+  | exception Lexer.Error _ -> Alcotest.fail "wrong line")
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "a\nb\nc" in
+  match toks with
+  | [ (_, 1); (_, 2); (_, 3); (Lexer.EOF, _) ] -> ()
+  | _ -> Alcotest.fail "line numbers wrong"
+
+let test_parser_roundtrip () =
+  let p = Parser.parse resizer_src in
+  Alcotest.(check string) "name" "resizer" p.Ast.proc_name;
+  Alcotest.(check int) "ports" 3 (List.length p.Ast.ports);
+  Alcotest.(check int) "vars" 2 (List.length p.Ast.vars);
+  (* Re-print and re-parse: must round-trip structurally. *)
+  let printed = Format.asprintf "%a" Ast.pp_process p in
+  let p2 = Parser.parse printed in
+  Alcotest.(check string) "round-trip name" p.Ast.proc_name p2.Ast.proc_name;
+  Alcotest.(check int) "round-trip stmt count"
+    (Transform.count_statements p.Ast.body)
+    (Transform.count_statements p2.Ast.body)
+
+let test_parser_precedence () =
+  let p = Parser.parse
+      "process p { port out o : 16; loop { write(o, 1 + 2 * 3 < 4 | 5); wait; } }"
+  in
+  match p.Ast.body with
+  | [ Ast.Write (_, e); Ast.Wait ] ->
+    (* | binds loosest: (((1 + (2*3)) < 4) | 5) *)
+    (match e with
+    | Ast.Binop (Ast.Bor, Ast.Binop (Ast.Blt, Ast.Binop (Ast.Badd, _, _), _), Ast.Int 5) -> ()
+    | _ -> Alcotest.failf "wrong parse: %s" (Format.asprintf "%a" Ast.pp_expr e))
+  | _ -> Alcotest.fail "unexpected body"
+
+let test_parser_errors () =
+  let bad = [
+    "process { }";                         (* missing name *)
+    "process p { loop { x = ; } }";        (* missing expr *)
+    "process p { loop { wait } }";         (* missing semicolon *)
+    "process p { loop { for (i = 0; j < 3; i++) {} } }"; (* index mismatch *)
+  ] in
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | _ -> Alcotest.failf "should fail: %s" src
+      | exception Parser.Error _ -> ()
+      | exception Lexer.Error _ -> ())
+    bad
+
+let test_unroll () =
+  let body =
+    [ Ast.For
+        { index = "i"; from_ = 0; below = 3;
+          body = [ Ast.Assign ("x", Ast.Binop (Ast.Badd, Ast.Var "x", Ast.Var "i")) ] } ]
+  in
+  match Transform.unroll body with
+  | [ Ast.Assign (_, e0); Ast.Assign (_, e1); Ast.Assign (_, e2) ] ->
+    let expect k e =
+      match e with
+      | Ast.Binop (Ast.Badd, Ast.Var "x", Ast.Int v) -> Alcotest.(check int) "index" k v
+      | _ -> Alcotest.fail "bad substitution"
+    in
+    expect 0 e0;
+    expect 1 e1;
+    expect 2 e2
+  | _ -> Alcotest.fail "unroll shape"
+
+let test_unroll_nested () =
+  let body =
+    [ Ast.For
+        { index = "i"; from_ = 0; below = 2;
+          body =
+            [ Ast.For
+                { index = "j"; from_ = 0; below = 2;
+                  body = [ Ast.Assign ("x", Ast.Binop (Ast.Bmul, Ast.Var "i", Ast.Var "j")) ] } ] } ]
+  in
+  Alcotest.(check int) "4 copies" 4 (List.length (Transform.unroll body))
+
+let test_unroll_empty_rejected () =
+  let body = [ Ast.For { index = "i"; from_ = 3; below = 3; body = [ Ast.Wait ] } ] in
+  match Transform.unroll body with
+  | _ -> Alcotest.fail "empty loop must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_states_in () =
+  let p = Parser.parse resizer_src in
+  Alcotest.(check int) "two states per iteration" 2 (Transform.states_in p.Ast.body)
+
+let test_elaborate_structure () =
+  let e = Elaborate.elaborate (Parser.parse resizer_src) in
+  (* Figure 4 structure: fork, join, three states (one per branch + final). *)
+  let kinds = ref [] in
+  for i = 0 to Cfg.node_count e.Elaborate.cfg - 1 do
+    kinds := Cfg.node_kind e.Elaborate.cfg (Cfg.Node_id.of_int i) :: !kinds
+  done;
+  let count k = List.length (List.filter (( = ) k) !kinds) in
+  Alcotest.(check int) "one fork" 1 (count Cfg.Fork);
+  Alcotest.(check int) "one join" 1 (count Cfg.Join);
+  Alcotest.(check int) "three states" 3 (count Cfg.State);
+  (* One mux for r (the only divergent variable). *)
+  let muxes = ref 0 in
+  Dfg.iter_ops e.Elaborate.dfg (fun o -> if o.Dfg.kind = Dfg.Mux then incr muxes);
+  Alcotest.(check int) "one mux" 1 !muxes;
+  (* The branch condition is fixed. *)
+  Dfg.iter_ops e.Elaborate.dfg (fun o ->
+      match o.Dfg.kind with
+      | Dfg.Cmp _ -> Alcotest.(check bool) "cmp fixed" true o.Dfg.fixed
+      | _ -> ())
+
+let test_elaborate_errors () =
+  let cases =
+    [
+      ("undeclared var", "process p { port out o:8; loop { x = 1; wait; } }");
+      ("undeclared port", "process p { var x:8; loop { x = read(q); wait; } }");
+      ("write to input", "process p { port in i:8; loop { write(i, 1); wait; } }");
+      ("read from output", "process p { port out o:8; var x:8; loop { x = read(o); wait; } }");
+      ("no state in loop", "process p { port out o:8; loop { write(o, 1); } }");
+      ("const div by zero", "process p { port out o:8; loop { write(o, 1 / 0); wait; } }");
+      ("duplicate var", "process p { var x:8; var x:8; port out o:8; loop { wait; write(o,1); } }");
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      match Elaborate.elaborate (Parser.parse src) with
+      | _ -> Alcotest.failf "%s must fail" name
+      | exception Elaborate.Error _ -> ())
+    cases
+
+let test_operand_table () =
+  let e = Elaborate.elaborate (Parser.parse resizer_src) in
+  (* Every non-read op has as many operands recorded as its arity. *)
+  Dfg.iter_ops e.Elaborate.dfg (fun o ->
+      let n = List.length (Elaborate.operands_of e o.Dfg.id) in
+      match o.Dfg.kind with
+      | Dfg.Read _ -> Alcotest.(check int) "read has no operands" 0 n
+      | Dfg.Write _ -> Alcotest.(check int) "write has one" 1 n
+      | Dfg.Mux -> Alcotest.(check int) "mux has three" 3 n
+      | Dfg.Add | Dfg.Sub | Dfg.Mul | Dfg.Div | Dfg.Cmp _ ->
+        Alcotest.(check int) (o.Dfg.name ^ " binary") 2 n
+      | _ -> ())
+
+let test_step_edges_recorded () =
+  let e = Elaborate.elaborate (Parser.parse resizer_src) in
+  Alcotest.(check bool) "step edges recorded" true (e.Elaborate.step_edges <> [])
+
+let prop_random_exprs_parse =
+  (* Printing a random expression and parsing it back preserves structure
+     (tests the precedence table both ways). *)
+  let rec gen_expr rng depth =
+    if depth = 0 || Splitmix.int rng 3 = 0 then
+      if Splitmix.bool rng then Ast.Int (Splitmix.int rng 100) else Ast.Var "x"
+    else begin
+      let ops =
+        [| Ast.Badd; Ast.Bsub; Ast.Bmul; Ast.Bdiv; Ast.Blt; Ast.Band; Ast.Bor; Ast.Bxor;
+           Ast.Bshl |]
+      in
+      Ast.Binop (Splitmix.choose rng ops, gen_expr rng (depth - 1), gen_expr rng (depth - 1))
+    end
+  in
+  QCheck.Test.make ~name:"expression print/parse round-trip" ~count:100
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let e = gen_expr rng 4 in
+      let src =
+        Format.asprintf
+          "process p { port out o : 16; var x : 16; loop { write(o, %a); wait; } }"
+          Ast.pp_expr e
+      in
+      let p = Parser.parse src in
+      match p.Ast.body with
+      | [ Ast.Write (_, e'); Ast.Wait ] -> e = e'
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer comments and errors" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer line numbers" `Quick test_lexer_line_numbers;
+    Alcotest.test_case "parser round-trip" `Quick test_parser_roundtrip;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "unroll" `Quick test_unroll;
+    Alcotest.test_case "unroll nested" `Quick test_unroll_nested;
+    Alcotest.test_case "unroll empty rejected" `Quick test_unroll_empty_rejected;
+    Alcotest.test_case "states_in" `Quick test_states_in;
+    Alcotest.test_case "elaborate structure (fig 4)" `Quick test_elaborate_structure;
+    Alcotest.test_case "elaborate errors" `Quick test_elaborate_errors;
+    Alcotest.test_case "operand table" `Quick test_operand_table;
+    Alcotest.test_case "step edges recorded" `Quick test_step_edges_recorded;
+    QCheck_alcotest.to_alcotest prop_random_exprs_parse;
+  ]
+
+let () = Alcotest.run "frontend" [ ("frontend", suite) ]

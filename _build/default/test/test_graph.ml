@@ -1,0 +1,194 @@
+(* Digraph, traversal, DAG paths and Bellman-Ford. *)
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let g = Digraph.create () in
+  let a = Digraph.add_node g in
+  let b = Digraph.add_node g in
+  let c = Digraph.add_node g in
+  let d = Digraph.add_node g in
+  Digraph.add_edge g a b;
+  Digraph.add_edge g a c;
+  Digraph.add_edge g b d;
+  Digraph.add_edge g c d;
+  (g, a, b, c, d)
+
+let test_digraph_basics () =
+  let g, a, b, c, d = diamond () in
+  Alcotest.(check int) "nodes" 4 (Digraph.node_count g);
+  Alcotest.(check int) "edges" 4 (Digraph.edge_count g);
+  Alcotest.(check (list int)) "succs a" [ b; c ] (Digraph.succs g a);
+  Alcotest.(check (list int)) "preds d" [ b; c ] (Digraph.preds g d);
+  Alcotest.(check bool) "mem" true (Digraph.mem_edge g a b);
+  Alcotest.(check bool) "not mem" false (Digraph.mem_edge g b a);
+  let r = Digraph.reverse g in
+  Alcotest.(check (list int)) "reverse succs d" [ b; c ] (Digraph.succs r d)
+
+let test_topo_sort () =
+  let g, a, b, c, d = diamond () in
+  match Traverse.topo_sort g with
+  | Error _ -> Alcotest.fail "diamond is a DAG"
+  | Ok order ->
+    let pos = Array.make 4 0 in
+    List.iteri (fun i v -> pos.(v) <- i) order;
+    Alcotest.(check bool) "a before b" true (pos.(a) < pos.(b));
+    Alcotest.(check bool) "a before c" true (pos.(a) < pos.(c));
+    Alcotest.(check bool) "b before d" true (pos.(b) < pos.(d));
+    Alcotest.(check bool) "c before d" true (pos.(c) < pos.(d))
+
+let test_cycle_detection () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g in
+  let b = Digraph.add_node g in
+  Digraph.add_edge g a b;
+  Digraph.add_edge g b a;
+  Alcotest.(check bool) "cycle found" false (Traverse.is_dag g);
+  (match Traverse.topo_sort g with
+  | Error cyc -> Alcotest.(check int) "both nodes cyclic" 2 (List.length cyc)
+  | Ok _ -> Alcotest.fail "cycle not detected")
+
+let test_back_edges () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g in
+  let b = Digraph.add_node g in
+  let c = Digraph.add_node g in
+  Digraph.add_edge g a b;
+  Digraph.add_edge g b c;
+  Digraph.add_edge g c b;
+  (* loop back *)
+  Alcotest.(check (list (pair int int))) "one back edge" [ (c, b) ]
+    (Traverse.back_edges g ~roots:[ a ])
+
+let test_reachable () =
+  let g, a, b, _, d = diamond () in
+  let r = Traverse.reachable g b in
+  Alcotest.(check bool) "b reaches d" true r.(d);
+  Alcotest.(check bool) "b not reaches a" false r.(a);
+  Alcotest.(check bool) "self" true r.(b);
+  ignore a
+
+let test_min_node_weight () =
+  (* weights: 0:0 1:5 2:1 3:0 — min path 0->3 goes through 2. *)
+  let g, a, b, c, d = diamond () in
+  let weight v = if v = b then 5 else if v = c then 1 else 0 in
+  let dist = Dag_paths.min_node_weight_paths g ~weight ~source:a in
+  Alcotest.(check (option int)) "dist to d" (Some 1) dist.(d);
+  Alcotest.(check (option int)) "dist to b" (Some 5) dist.(b);
+  Alcotest.(check (option int)) "dist to self" (Some 0) dist.(a)
+
+let test_all_pairs () =
+  let g, a, _, c, d = diamond () in
+  let m = Dag_paths.all_pairs_min_node_weight g ~weight:(fun _ -> 1) in
+  Alcotest.(check (option int)) "a->d three nodes" (Some 3) m.(a).(d);
+  Alcotest.(check (option int)) "c->a unreachable" None m.(c).(a)
+
+let test_longest_paths () =
+  let g, a, b, c, d = diamond () in
+  let ew u v = if u = a && v = b then 10.0 else 1.0 in
+  let dist = Dag_paths.longest_paths g ~edge_weight:ew ~sources:[ a ] in
+  (match dist.(d) with
+  | Some x -> Alcotest.(check (float 1e-9)) "longest a->d" 11.0 x
+  | None -> Alcotest.fail "d reachable");
+  ignore c
+
+let test_bellman_ford_solution () =
+  let edges =
+    [
+      { Bellman_ford.src = 0; dst = 1; weight = 2.0 };
+      { Bellman_ford.src = 1; dst = 2; weight = -1.0 };
+      { Bellman_ford.src = 0; dst = 2; weight = 0.5 };
+    ]
+  in
+  match Bellman_ford.solve ~node_count:3 ~edges ~sources:[ 0 ] () with
+  | Bellman_ford.Positive_cycle _ -> Alcotest.fail "acyclic graph"
+  | Bellman_ford.Solution d ->
+    Alcotest.(check (float 1e-9)) "longest to 2" 1.0 d.(2);
+    Alcotest.(check (float 1e-9)) "longest to 1" 2.0 d.(1)
+
+let test_bellman_ford_positive_cycle () =
+  let edges =
+    [
+      { Bellman_ford.src = 0; dst = 1; weight = 1.0 };
+      { Bellman_ford.src = 1; dst = 0; weight = 1.0 };
+    ]
+  in
+  match Bellman_ford.solve ~node_count:2 ~edges ~sources:[ 0 ] () with
+  | Bellman_ford.Positive_cycle ws -> Alcotest.(check bool) "witnesses" true (ws <> [])
+  | Bellman_ford.Solution _ -> Alcotest.fail "positive cycle must be reported"
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topo order respects random DAG edges" ~count:100
+    QCheck.(pair (int_range 2 20) (int_range 0 1000000))
+    (fun (n, seed) ->
+      let rng = Splitmix.create seed in
+      let g = Digraph.create () in
+      for _ = 1 to n do
+        ignore (Digraph.add_node g)
+      done;
+      (* Random DAG: edges only from lower to higher index. *)
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Splitmix.int rng 100 < 30 then Digraph.add_edge g u v
+        done
+      done;
+      match Traverse.topo_sort g with
+      | Error _ -> false
+      | Ok order ->
+        let pos = Array.make n 0 in
+        List.iteri (fun i v -> pos.(v) <- i) order;
+        let ok = ref true in
+        Digraph.iter_edges g (fun u v -> if pos.(u) >= pos.(v) then ok := false);
+        !ok)
+
+let prop_bf_agrees_with_dag_longest =
+  QCheck.Test.make ~name:"bellman-ford equals DAG longest path" ~count:60
+    QCheck.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let n = 2 + Splitmix.int rng 15 in
+      let g = Digraph.create () in
+      for _ = 1 to n do
+        ignore (Digraph.add_node g)
+      done;
+      let weights = Hashtbl.create 16 in
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Splitmix.int rng 100 < 35 then begin
+            Digraph.add_edge g u v;
+            Hashtbl.replace weights (u, v) (Splitmix.float rng 10.0 -. 5.0)
+          end
+        done
+      done;
+      let ew u v = Hashtbl.find weights (u, v) in
+      let dag = Dag_paths.longest_paths g ~edge_weight:ew ~sources:[ 0 ] in
+      let edges = ref [] in
+      Digraph.iter_edges g (fun u v ->
+          edges := { Bellman_ford.src = u; dst = v; weight = ew u v } :: !edges);
+      match Bellman_ford.solve ~shuffle_seed:7 ~node_count:n ~edges:!edges ~sources:[ 0 ] () with
+      | Bellman_ford.Positive_cycle _ -> false
+      | Bellman_ford.Solution bf ->
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          match dag.(v) with
+          | Some x -> if Float.abs (bf.(v) -. x) > 1e-6 then ok := false
+          | None -> if bf.(v) > neg_infinity then ok := false
+        done;
+        !ok)
+
+let suite =
+  [
+    Alcotest.test_case "digraph basics" `Quick test_digraph_basics;
+    Alcotest.test_case "topo sort" `Quick test_topo_sort;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "back edge classification" `Quick test_back_edges;
+    Alcotest.test_case "reachability" `Quick test_reachable;
+    Alcotest.test_case "min node-weight paths" `Quick test_min_node_weight;
+    Alcotest.test_case "all-pairs min node-weight" `Quick test_all_pairs;
+    Alcotest.test_case "longest paths" `Quick test_longest_paths;
+    Alcotest.test_case "bellman-ford solution" `Quick test_bellman_ford_solution;
+    Alcotest.test_case "bellman-ford positive cycle" `Quick test_bellman_ford_positive_cycle;
+    QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+    QCheck_alcotest.to_alcotest prop_bf_agrees_with_dag_longest;
+  ]
+
+let () = Alcotest.run "graph" [ ("graph", suite) ]

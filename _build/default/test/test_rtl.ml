@@ -1,0 +1,149 @@
+(* RTL back end: area model consistency, netlist structure and Verilog
+   emission sanity. *)
+
+let schedule_of flow =
+  let ip = Interpolation.unrolled () in
+  match Flows.run flow ip.Interpolation.dfg ~lib:Library.default ~clock:1400.0 with
+  | Ok r -> r.Flows.schedule
+  | Error m -> Alcotest.failf "flow failed: %s" m
+
+let test_breakdown_adds_up () =
+  let sched = schedule_of Flows.Slack_based in
+  let b = Area_model.of_schedule sched in
+  Alcotest.(check (float 1e-6)) "total = fu+mux+reg+fsm" b.Area_model.total
+    (b.Area_model.fu +. b.Area_model.mux +. b.Area_model.registers +. b.Area_model.fsm);
+  Alcotest.(check bool) "fu positive" true (b.Area_model.fu > 0.0);
+  Alcotest.(check bool) "fsm positive" true (b.Area_model.fsm > 0.0)
+
+let test_fu_only_counts_used () =
+  let sched = schedule_of Flows.Conventional in
+  (* Add an instance nobody uses: areas must not change. *)
+  let before = Area_model.fu_only sched in
+  ignore
+    (Alloc.add_instance sched.Schedule.alloc ~rk:Resource_kind.Divider ~width:64 ~delay:0.0);
+  let after = Area_model.fu_only sched in
+  Alcotest.(check (float 1e-9)) "unused instance not priced" before after
+
+let test_fu_of_kind_partitions () =
+  let sched = schedule_of Flows.Slack_based in
+  let total = Area_model.fu_only sched in
+  let by_kind =
+    List.fold_left
+      (fun acc rk -> acc +. Area_model.fu_of_kind sched rk)
+      0.0 Resource_kind.all
+  in
+  Alcotest.(check (float 1e-6)) "kinds partition the FU area" total by_kind
+
+let test_idealized_has_no_overhead_area () =
+  let ip = Interpolation.unrolled () in
+  match Flows.run Flows.Slack_based ip.Interpolation.dfg ~lib:Library.idealized ~clock:1100.0 with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    let b = Area_model.of_schedule r.Flows.schedule in
+    Alcotest.(check (float 1e-9)) "no mux area" 0.0 b.Area_model.mux;
+    Alcotest.(check (float 1e-9)) "no register area" 0.0 b.Area_model.registers;
+    Alcotest.(check (float 1e-9)) "no fsm area" 0.0 b.Area_model.fsm
+
+let test_netlist_structure () =
+  let sched = schedule_of Flows.Slack_based in
+  let nl = Netlist.build sched in
+  let stats = Netlist.stats nl in
+  Alcotest.(check bool) "has FUs" true (stats.Netlist.n_fus > 0);
+  Alcotest.(check int) "3 states" 3 stats.Netlist.states;
+  (* The interpolation writes one port. *)
+  Alcotest.(check int) "one port" 1 stats.Netlist.n_ports;
+  (* x-chain values cross step boundaries: registers exist. *)
+  Alcotest.(check bool) "registers exist" true (stats.Netlist.n_registers > 0);
+  (* Every FU in the netlist executes at least one op. *)
+  List.iter
+    (fun f -> Alcotest.(check bool) "fu used" true (f.Netlist.ops <> []))
+    nl.Netlist.fus
+
+let test_register_needed_for_cross_step () =
+  let sched = schedule_of Flows.Conventional in
+  let nl = Netlist.build sched in
+  let dfg = sched.Schedule.dfg in
+  (* Every register's source value is consumed in a later step (or loops). *)
+  List.iter
+    (fun r ->
+      let consumers = Dfg.all_succs dfg r.Netlist.source in
+      let src_step =
+        match Schedule.placement sched r.Netlist.source with
+        | Some p -> p.Schedule.step
+        | None -> Alcotest.fail "register source unplaced"
+      in
+      let crosses =
+        List.exists
+          (fun (c, lc) ->
+            lc
+            ||
+            match Schedule.placement sched c with
+            | Some pc -> pc.Schedule.step > src_step
+            | None -> false)
+          consumers
+      in
+      Alcotest.(check bool) (r.Netlist.reg_name ^ " justified") true crosses)
+    nl.Netlist.registers
+
+let test_verilog_emission () =
+  let sched = schedule_of Flows.Slack_based in
+  let nl = Netlist.build sched in
+  let v = Verilog.emit ~module_name:"interp" nl in
+  let contains needle =
+    let nl_ = String.length needle and vl = String.length v in
+    let rec go i = i + nl_ <= vl && (String.sub v i nl_ = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "module header" true (contains "module interp");
+  Alcotest.(check bool) "endmodule" true (contains "endmodule");
+  Alcotest.(check bool) "clock port" true (contains "input wire clk");
+  Alcotest.(check bool) "fsm register" true (contains "reg");
+  Alcotest.(check bool) "output port" true (contains "out_fx");
+  Alcotest.(check bool) "case dispatch" true (contains "case (state)");
+  (* Balanced begin/end pairs in the always block region is hard to check
+     textually; at least the op wires must all be declared. *)
+  Dfg.iter_ops sched.Schedule.dfg (fun op ->
+      match op.Dfg.kind with
+      | Dfg.Const _ | Dfg.Write _ -> ()
+      | _ -> Alcotest.(check bool) ("wire for " ^ op.Dfg.name) true (contains ("w_" ^ op.Dfg.name)))
+
+let test_verilog_write_file () =
+  let sched = schedule_of Flows.Slack_based in
+  let nl = Netlist.build sched in
+  let path = Filename.temp_file "slackhls" ".v" in
+  Verilog.write_file nl ~path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "non-empty file" true (len > 200)
+
+let test_area_model_register_count_matches_netlist () =
+  let sched = schedule_of Flows.Slack_based in
+  let nl = Netlist.build sched in
+  let b = Area_model.of_schedule sched in
+  let lib = Alloc.library sched.Schedule.alloc in
+  let expected =
+    List.fold_left
+      (fun acc r -> acc +. Library.register_area lib ~width:r.Netlist.reg_width)
+      0.0 nl.Netlist.registers
+  in
+  Alcotest.(check (float 1e-6)) "register area matches netlist" expected
+    b.Area_model.registers
+
+let suite =
+  [
+    Alcotest.test_case "breakdown adds up" `Quick test_breakdown_adds_up;
+    Alcotest.test_case "unused instances not priced" `Quick test_fu_only_counts_used;
+    Alcotest.test_case "fu area partitions by kind" `Quick test_fu_of_kind_partitions;
+    Alcotest.test_case "idealized has no overhead area" `Quick
+      test_idealized_has_no_overhead_area;
+    Alcotest.test_case "netlist structure" `Quick test_netlist_structure;
+    Alcotest.test_case "registers justified" `Quick test_register_needed_for_cross_step;
+    Alcotest.test_case "verilog emission" `Quick test_verilog_emission;
+    Alcotest.test_case "verilog write_file" `Quick test_verilog_write_file;
+    Alcotest.test_case "register area consistency" `Quick
+      test_area_model_register_count_matches_netlist;
+  ]
+
+let () = Alcotest.run "rtl" [ ("rtl", suite) ]

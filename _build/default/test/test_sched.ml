@@ -1,0 +1,231 @@
+(* Scheduling flows: the paper's §II example (Figure 2 / Table 2), schedule
+   validity on branching CFGs, binding rules and area recovery. *)
+
+let lib = Library.idealized
+
+let kind_area sched rk =
+  List.fold_left
+    (fun acc i ->
+      if Resource_kind.equal i.Alloc.rk rk then acc +. i.Alloc.point.Curve.area else acc)
+    0.0
+    (Alloc.instances sched.Schedule.alloc)
+
+let fu_area_muls_adds sched =
+  kind_area sched Resource_kind.Multiplier +. kind_area sched Resource_kind.Adder
+
+let run_flow flow dfg clock =
+  match Flows.run flow dfg ~lib ~clock with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "%s failed: %s" (Flows.flow_name flow) m
+
+let test_table2_reproduction () =
+  (* Paper Table 2: Case 1 (conventional) 3408, Case 2 (slowest-first)
+     3419, optimum (slack-based) 2180 — multiplier + adder area only.
+     Exact values depend on the recovery details; the shape must hold:
+     slack-based close to 2180 and far below both baselines. *)
+  let area flow =
+    let ip = Interpolation.unrolled () in
+    let r = run_flow flow ip.Interpolation.dfg Interpolation.clock in
+    (match Schedule.validate r.Flows.schedule with
+    | Ok () -> ()
+    | Error es -> Alcotest.failf "invalid schedule: %s" (String.concat "; " es));
+    fu_area_muls_adds r.Flows.schedule
+  in
+  let conv = area Flows.Conventional in
+  let slow = area Flows.Slowest_first in
+  let slack = area Flows.Slack_based in
+  Alcotest.(check bool)
+    (Printf.sprintf "slack %.0f within 5%% of paper optimum 2180" slack)
+    true
+    (Float.abs (slack -. 2180.0) /. 2180.0 < 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "conventional %.0f in the paper's 3408 ballpark" conv)
+    true
+    (conv > 3000.0 && conv < 4000.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "slack %.0f beats conventional %.0f by >25%%" slack conv)
+    true
+    (slack < 0.75 *. conv);
+  Alcotest.(check bool)
+    (Printf.sprintf "slowest-first %.0f is not better than slack %.0f" slow slack)
+    true (slow >= slack)
+
+let test_slack_flow_resources () =
+  (* The slack flow must settle on the paper's allocation: 3 multipliers
+     and 2 adders around 550 ps. *)
+  let ip = Interpolation.unrolled () in
+  let r = run_flow Flows.Slack_based ip.Interpolation.dfg Interpolation.clock in
+  let insts = Alloc.instances r.Flows.schedule.Schedule.alloc in
+  let muls = List.filter (fun i -> i.Alloc.rk = Resource_kind.Multiplier) insts in
+  let adds = List.filter (fun i -> i.Alloc.rk = Resource_kind.Adder) insts in
+  Alcotest.(check int) "3 multipliers" 3 (List.length muls);
+  Alcotest.(check int) "2 adders" 2 (List.length adds);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "multiplier at %.0f ps in [500,560]" i.Alloc.point.Curve.delay)
+        true
+        (i.Alloc.point.Curve.delay >= 500.0 && i.Alloc.point.Curve.delay <= 560.0))
+    muls
+
+let test_conventional_case1_shape () =
+  (* Case 1: all multipliers at (or near) the fastest grade; critical path
+     2 muls + 1 add within 1100 ps. *)
+  let ip = Interpolation.unrolled () in
+  let r = run_flow Flows.Conventional ip.Interpolation.dfg Interpolation.clock in
+  let sched = r.Flows.schedule in
+  Alcotest.(check int) "three steps" 3 (Schedule.steps_used sched);
+  Array.iter
+    (fun o ->
+      match Schedule.placement sched o with
+      | Some p ->
+        Alcotest.(check bool) "x-chain muls near fastest grade" true
+          (p.Schedule.eff_delay <= 460.0)
+      | None -> Alcotest.fail "unplaced mul")
+    ip.Interpolation.muls_x
+
+let test_resizer_branches () =
+  (* The full resizer: ops on exclusive branches may share instances; the
+     schedule must be valid and the div/mul branch ops placed on their
+     branch edges. *)
+  let r = Resizer.full () in
+  let rep = run_flow Flows.Slack_based r.Resizer.dfg 4000.0 in
+  let sched = rep.Flows.schedule in
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  let edge_of o =
+    match Schedule.placement sched o with
+    | Some p -> p.Schedule.edge
+    | None -> Alcotest.fail "unplaced"
+  in
+  (* Fixed ops stay on their birth edges. *)
+  Alcotest.(check int) "wr on e7" (Cfg.Edge_id.to_int r.Resizer.e7)
+    (Cfg.Edge_id.to_int (edge_of r.Resizer.wr));
+  Alcotest.(check int) "mux on e6" (Cfg.Edge_id.to_int r.Resizer.e6)
+    (Cfg.Edge_id.to_int (edge_of r.Resizer.mux));
+  (* mul must stay on its only span edge e5. *)
+  Alcotest.(check int) "mul on e5" (Cfg.Edge_id.to_int r.Resizer.e5)
+    (Cfg.Edge_id.to_int (edge_of r.Resizer.mul))
+
+let test_exclusive_branch_sharing () =
+  (* Two same-kind ops on exclusive branches in the same step can share one
+     instance.  Build: fork with an add on each branch. *)
+  let cfg = Cfg.create () in
+  let fork = Cfg.add_node cfg Cfg.Fork in
+  let s0 = Cfg.add_node cfg Cfg.State in
+  let s1 = Cfg.add_node cfg Cfg.State in
+  let join = Cfg.add_node cfg Cfg.Join in
+  let ex = Cfg.add_node cfg Cfg.Exit in
+  let e_in = Cfg.add_edge cfg (Cfg.start cfg) fork in
+  let e_a = Cfg.add_edge cfg fork s0 in
+  let e_b = Cfg.add_edge cfg fork s1 in
+  let e_a2 = Cfg.add_edge cfg s0 join in
+  let e_b2 = Cfg.add_edge cfg s1 join in
+  let e_out = Cfg.add_edge cfg join ex in
+  ignore (e_in, e_a, e_b, e_out);
+  Cfg.seal cfg;
+  let dfg = Dfg.create cfg in
+  let add1 = Dfg.add_op dfg ~kind:Dfg.Add ~width:16 ~birth:e_a2 ~fixed:true ~name:"add1" () in
+  let add2 = Dfg.add_op dfg ~kind:Dfg.Add ~width:16 ~birth:e_b2 ~fixed:true ~name:"add2" () in
+  Dfg.validate dfg;
+  let rep = run_flow Flows.Conventional dfg 2000.0 in
+  let sched = rep.Flows.schedule in
+  let inst_of o =
+    match Schedule.placement sched o with
+    | Some { Schedule.inst = Some i; _ } -> i
+    | _ -> Alcotest.fail "unbound"
+  in
+  Alcotest.(check bool) "exclusive adds share one instance" true
+    (Alloc.Inst_id.equal (inst_of add1) (inst_of add2));
+  Alcotest.(check int) "single adder allocated" 1
+    (List.length
+       (List.filter
+          (fun i -> i.Alloc.rk = Resource_kind.Adder)
+          (Alloc.instances sched.Schedule.alloc)))
+
+let test_area_recovery_monotone () =
+  (* Area recovery must never increase FU area and must keep the schedule
+     valid. *)
+  let ip = Interpolation.unrolled () in
+  let config = { Flows.default_config with recover_area = false } in
+  match Flows.run ~config Flows.Conventional ip.Interpolation.dfg ~lib ~clock:Interpolation.clock with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    let before = Alloc.fu_area r.Flows.schedule.Schedule.alloc in
+    let n = Area_recovery.run r.Flows.schedule in
+    let after = Alloc.fu_area r.Flows.schedule.Schedule.alloc in
+    Alcotest.(check bool) "recovery applied" true (n >= 0);
+    Alcotest.(check bool)
+      (Printf.sprintf "area %.0f -> %.0f non-increasing" before after)
+      true (after <= before +. 1e-6);
+    (match Schedule.validate r.Flows.schedule with
+    | Ok () -> ()
+    | Error es -> Alcotest.failf "invalid after recovery: %s" (String.concat "; " es))
+
+let test_latest_starts_bounds () =
+  let ip = Interpolation.unrolled () in
+  let r = run_flow Flows.Slack_based ip.Interpolation.dfg Interpolation.clock in
+  let sched = r.Flows.schedule in
+  let ls = Area_recovery.latest_starts sched in
+  Dfg.iter_ops sched.Schedule.dfg (fun op ->
+      match (op.Dfg.kind, Schedule.placement sched op.Dfg.id) with
+      | Dfg.Const _, _ | _, None -> ()
+      | _, Some p ->
+        let l = ls.(Dfg.Op_id.to_int op.Dfg.id) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: start %.0f <= latest %.0f" op.Dfg.name p.Schedule.start l)
+          true
+          (p.Schedule.start <= l +. 1e-6))
+
+let test_infeasible_clock_errors () =
+  let ip = Interpolation.unrolled () in
+  List.iter
+    (fun flow ->
+      match Flows.run flow ip.Interpolation.dfg ~lib ~clock:600.0 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s must fail at 600 ps" (Flows.flow_name flow))
+    [ Flows.Conventional; Flows.Slowest_first; Flows.Slack_based ]
+
+let test_generous_clock_all_flows () =
+  (* With one op per step essentially, all flows should succeed and slack
+     should not be worse than conventional. *)
+  let clock = 5000.0 in
+  let ip = Interpolation.unrolled () in
+  let conv = run_flow Flows.Conventional ip.Interpolation.dfg clock in
+  let ip2 = Interpolation.unrolled () in
+  let slack = run_flow Flows.Slack_based ip2.Interpolation.dfg clock in
+  let a_conv = fu_area_muls_adds conv.Flows.schedule in
+  let a_slack = fu_area_muls_adds slack.Flows.schedule in
+  Alcotest.(check bool)
+    (Printf.sprintf "slack %.0f <= conv %.0f * 1.05 at generous clock" a_slack a_conv)
+    true
+    (a_slack <= (a_conv *. 1.05) +. 1e-6)
+
+let prop_flows_valid_across_clocks =
+  QCheck.Test.make ~name:"flow schedules validate across clocks" ~count:12
+    QCheck.(pair (oneofl [ Flows.Conventional; Flows.Slowest_first; Flows.Slack_based ])
+              (float_range 1100.0 6000.0))
+    (fun (flow, clock) ->
+      let ip = Interpolation.unrolled () in
+      match Flows.run flow ip.Interpolation.dfg ~lib ~clock with
+      | Error _ -> true (* tight clocks may legitimately fail *)
+      | Ok r -> (
+        match Schedule.validate r.Flows.schedule with Ok () -> true | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "table 2 reproduction" `Quick test_table2_reproduction;
+    Alcotest.test_case "slack flow resources (3 mul, 2 add @550)" `Quick
+      test_slack_flow_resources;
+    Alcotest.test_case "conventional case 1 shape" `Quick test_conventional_case1_shape;
+    Alcotest.test_case "resizer with branches" `Quick test_resizer_branches;
+    Alcotest.test_case "exclusive branch sharing" `Quick test_exclusive_branch_sharing;
+    Alcotest.test_case "area recovery monotone" `Quick test_area_recovery_monotone;
+    Alcotest.test_case "latest starts bound starts" `Quick test_latest_starts_bounds;
+    Alcotest.test_case "infeasible clock errors" `Quick test_infeasible_clock_errors;
+    Alcotest.test_case "generous clock, all flows" `Quick test_generous_clock_all_flows;
+    QCheck_alcotest.to_alcotest prop_flows_valid_across_clocks;
+  ]
+
+let () = Alcotest.run "sched" [ ("sched", suite) ]

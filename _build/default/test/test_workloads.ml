@@ -1,0 +1,134 @@
+(* Workload generators: structure of the IDCT/FIR kernels and determinism
+   and well-formedness of the random customer-design surrogate. *)
+
+let test_idct_op_counts () =
+  let d = Idct.build ~latency:16 ~passes:1 () in
+  (* Chen 8-point IDCT: 16 multiplications, 26 additions/subtractions. *)
+  Alcotest.(check int) "16 muls" 16 (Idct.mul_count d);
+  Alcotest.(check int) "26 add/subs" 26 (Idct.add_count d);
+  let d2 = Idct.build ~latency:16 ~passes:2 () in
+  Alcotest.(check int) "double kernel muls" 32 (Idct.mul_count d2);
+  Alcotest.(check int) "double kernel adds" 52 (Idct.add_count d2)
+
+let test_idct_io () =
+  let d = Idct.build ~latency:8 ~passes:1 () in
+  let reads = ref 0 and writes = ref 0 in
+  Dfg.iter_ops d.Idct.dfg (fun o ->
+      match o.Dfg.kind with
+      | Dfg.Read _ -> incr reads
+      | Dfg.Write _ -> incr writes
+      | _ -> ());
+  Alcotest.(check int) "8 reads" 8 !reads;
+  Alcotest.(check int) "8 writes" 8 !writes;
+  Alcotest.(check int) "latency states" 8 (Cfg.max_state_index d.Idct.cfg)
+
+let test_idct_validates_and_schedules () =
+  let d = Idct.build ~latency:10 ~passes:1 () in
+  match Flows.run Flows.Slack_based d.Idct.dfg ~lib:Library.default ~clock:2500.0 with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (
+    match Schedule.validate r.Flows.schedule with
+    | Ok () -> ()
+    | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es))
+
+let test_idct_param_validation () =
+  (match Idct.build ~latency:1 ~passes:1 () with
+  | _ -> Alcotest.fail "latency 1 rejected"
+  | exception Invalid_argument _ -> ());
+  (match Idct.build ~latency:8 ~passes:0 () with
+  | _ -> Alcotest.fail "passes 0 rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_table4_points () =
+  Alcotest.(check int) "15 design points" 15 (List.length Idct.table4_points);
+  let ids = List.map (fun p -> p.Idct.id) Idct.table4_points in
+  Alcotest.(check bool) "D1..D15" true
+    (List.for_all (fun i -> List.mem (Printf.sprintf "D%d" i) ids) (List.init 15 (fun i -> i + 1)))
+
+let test_fir_structure () =
+  let f = Fir.build ~taps:8 ~latency:6 () in
+  let muls = ref 0 and adds = ref 0 and lc = ref 0 in
+  Dfg.iter_ops f.Fir.dfg (fun o ->
+      match o.Dfg.kind with
+      | Dfg.Mul -> incr muls
+      | Dfg.Add -> incr adds
+      | _ -> ());
+  Dfg.iter_ops f.Fir.dfg (fun o ->
+      List.iter (fun (_, is_lc) -> if is_lc then incr lc) (Dfg.all_preds f.Fir.dfg o.Dfg.id));
+  Alcotest.(check int) "one mul per tap" 8 !muls;
+  Alcotest.(check int) "n-1 adds in the tree" 7 !adds;
+  Alcotest.(check bool) "loop-carried shift line" true (!lc > 0)
+
+let test_fir_schedules () =
+  let f = Fir.build ~taps:8 ~latency:6 () in
+  match Flows.run Flows.Slack_based f.Fir.dfg ~lib:Library.default ~clock:2500.0 with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (
+    match Schedule.validate r.Flows.schedule with
+    | Ok () -> ()
+    | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es))
+
+let test_random_design_determinism () =
+  let a = Random_design.generate ~seed:99 () in
+  let b = Random_design.generate ~seed:99 () in
+  Alcotest.(check int) "same op count" (Dfg.op_count a.Random_design.dfg)
+    (Dfg.op_count b.Random_design.dfg);
+  Alcotest.(check int) "same latency" a.Random_design.latency b.Random_design.latency;
+  let c = Random_design.generate ~seed:100 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Dfg.op_count a.Random_design.dfg <> Dfg.op_count c.Random_design.dfg
+    || a.Random_design.latency <> c.Random_design.latency
+    || Dfg.dep_count a.Random_design.dfg <> Dfg.dep_count c.Random_design.dfg)
+
+let test_random_suite_well_formed () =
+  let designs = Random_design.suite ~count:12 ~seed:5 () in
+  Alcotest.(check int) "12 designs" 12 (List.length designs);
+  List.iter
+    (fun (d : Random_design.t) ->
+      (* validate raises on malformed DFGs; spans/timed DFG must build. *)
+      let spans = Dfg.compute_spans d.Random_design.dfg in
+      let tdfg = Timed_dfg.build d.Random_design.dfg ~spans in
+      Alcotest.(check bool) "has active ops" true (Timed_dfg.active_ops tdfg <> []))
+    designs
+
+let test_interpolation_structure () =
+  let ip = Interpolation.unrolled () in
+  Alcotest.(check int) "7 muls" 7 (List.length (Interpolation.all_muls ip));
+  Alcotest.(check int) "4 adds" 4 (List.length (Interpolation.all_adds ip));
+  Alcotest.(check int) "three step edges" 3 (Array.length ip.Interpolation.step_edges);
+  (* x-chain: each mx depends on the previous one. *)
+  for i = 1 to 3 do
+    let preds = Dfg.preds ip.Interpolation.dfg ip.Interpolation.muls_x.(i) in
+    Alcotest.(check bool) "x chain linked" true
+      (List.exists (Dfg.Op_id.equal ip.Interpolation.muls_x.(i - 1)) preds)
+  done
+
+let prop_random_designs_feasibility_reported =
+  QCheck.Test.make ~name:"random designs either schedule or fail cleanly" ~count:10
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let d = Random_design.generate ~seed () in
+      match
+        Flows.run Flows.Slack_based d.Random_design.dfg ~lib:Library.default
+          ~clock:d.Random_design.suggested_clock
+      with
+      | Ok r -> (
+        match Schedule.validate r.Flows.schedule with Ok () -> true | Error _ -> false)
+      | Error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "idct op counts (Chen)" `Quick test_idct_op_counts;
+    Alcotest.test_case "idct I/O and latency" `Quick test_idct_io;
+    Alcotest.test_case "idct schedules" `Quick test_idct_validates_and_schedules;
+    Alcotest.test_case "idct parameter validation" `Quick test_idct_param_validation;
+    Alcotest.test_case "table 4 design points" `Quick test_table4_points;
+    Alcotest.test_case "fir structure" `Quick test_fir_structure;
+    Alcotest.test_case "fir schedules" `Quick test_fir_schedules;
+    Alcotest.test_case "random design determinism" `Quick test_random_design_determinism;
+    Alcotest.test_case "random suite well-formed" `Quick test_random_suite_well_formed;
+    Alcotest.test_case "interpolation structure" `Quick test_interpolation_structure;
+    QCheck_alcotest.to_alcotest prop_random_designs_feasibility_reported;
+  ]
+
+let () = Alcotest.run "workloads" [ ("workloads", suite) ]
