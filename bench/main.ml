@@ -1,21 +1,68 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md for the experiment index), then runs the
    ablation sweeps.  `dune exec bench/main.exe` prints everything;
-   `dune exec bench/main.exe -- --quick` skips the slow sections. *)
+   `dune exec bench/main.exe -- --quick` skips the slow sections;
+   `--json FILE` additionally dumps per-section wall clock and the full
+   telemetry counter snapshot as JSON. *)
+
+let json_path () =
+  let rec find = function
+    | [ "--json" ] ->
+      prerr_endline "bench: --json requires a FILE argument";
+      exit 2
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let write_json ~path =
+  let open Obs.Json in
+  let sections =
+    List.map
+      (fun (p, calls, total_ns) ->
+        Obj
+          [
+            ("span", String p);
+            ("calls", Int calls);
+            ("total_ns", Float total_ns);
+          ])
+      (Obs.span_stats ())
+  in
+  let counters =
+    List.map (fun (name, v) -> (name, Int v)) (Obs.counters_snapshot ())
+  in
+  let doc =
+    Obj
+      [
+        ("harness", String "slackhls-bench");
+        ("sections", List sections);
+        ("counters", Obj counters);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let json = json_path () in
+  if json <> None then Obs.enable_stats ();
+  let sec name f = Obs.span ("bench." ^ name) f in
   print_endline "slackhls benchmark harness";
   print_endline "reproducing: Kondratyev et al., 'Exploiting area/delay tradeoffs";
   print_endline "in high-level synthesis', DATE 2012";
-  Tables.table1 ();
-  Tables.table2 ();
-  Tables.table3 ();
-  Tables.table4 ();
-  Tables.customer ~count:(if quick then 20 else 100) ();
-  if not quick then Tables.table5 ()
+  sec "table1" Tables.table1;
+  sec "table2" Tables.table2;
+  sec "table3" Tables.table3;
+  sec "table4" Tables.table4;
+  sec "customer" (Tables.customer ~count:(if quick then 20 else 100));
+  if not quick then sec "table5" Tables.table5
   else print_endline "\n(table 5 timing skipped in --quick mode)";
-  if not quick then Ablations.run ()
+  if not quick then sec "ablations" Ablations.run
   else print_endline "(ablations skipped in --quick mode)";
   print_newline ();
+  (match json with Some path -> write_json ~path | None -> ());
   print_endline "done."

@@ -38,7 +38,7 @@ let table1 () =
 let flow_fu_areas flow =
   let ip = Interpolation.unrolled () in
   match Flows.run flow ip.Interpolation.dfg ~lib:ideal ~clock:Interpolation.clock with
-  | Error m -> Error m
+  | Error e -> Error (Flows.error_message e)
   | Ok r ->
     let sched = r.Flows.schedule in
     let mul = Area_model.fu_of_kind sched Resource_kind.Multiplier in
@@ -255,7 +255,7 @@ let table5 () =
     let d = Idct.instantiate p in
     match Flows.run ~config flow d.Idct.dfg ~lib:realistic ~clock:p.Idct.clock with
     | Ok _ -> ()
-    | Error m -> failwith m
+    | Error e -> failwith (Flows.error_message e)
   in
   let base_cfg = Flows.default_config in
   let bf_cfg =

@@ -6,7 +6,13 @@
      compare  run conventional and slack-based flows side by side
      slack    print the pre-schedule sequential-slack report
      emit     run a flow and write the Verilog rendering
-     explore  IDCT design-space exploration (the paper's Table 4) *)
+     explore  IDCT design-space exploration (the paper's Table 4)
+     dot      dump Graphviz renderings
+
+   Every subcommand accepts --stats (per-phase telemetry report on stderr)
+   and --trace FILE (Chrome trace-event JSON, loadable in Perfetto or
+   chrome://tracing).  Any failing flow exits non-zero with the scheduler's
+   failure diagnosis on stderr. *)
 
 open Cmdliner
 
@@ -85,7 +91,37 @@ let flow_arg =
   Arg.(value & opt string "slack" & info [ "flow"; "f" ] ~docv:"FLOW"
          ~doc:"Scheduling flow: conventional, slowest or slack (default).")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print a per-phase telemetry report (timings, counters, distributions) to stderr on exit.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON file on exit (open in Perfetto or chrome://tracing).")
+
+(* Enable the requested telemetry sinks, run [k], then emit the report
+   and/or trace file.  Emission happens even when [k] fails, so a failing
+   flow still leaves its telemetry behind for diagnosis. *)
+let with_obs ~stats ~trace k =
+  if stats then Obs.enable_stats ();
+  (match trace with Some _ -> Obs.enable_trace () | None -> ());
+  let code = k () in
+  if stats then prerr_string (Obs.report ());
+  match trace with
+  | None -> code
+  | Some path -> (
+    try
+      Obs.write_trace ~path;
+      Printf.eprintf "hlsc: wrote trace to %s\n" path;
+      code
+    with Sys_error m ->
+      Printf.eprintf "hlsc: cannot write trace: %s\n" m;
+      if code = 0 then 1 else code)
+
 let ( let* ) = Result.bind
+
+let fail m =
+  Printf.eprintf "hlsc: %s\n" m;
+  1
 
 let report_result r =
   let sched = r.Hls.report.Flows.schedule in
@@ -99,43 +135,43 @@ let report_result r =
   Format.printf "relaxations: %d, recovery re-grades: %d@." r.Hls.report.Flows.relaxations
     r.Hls.report.Flows.regrades
 
-let run_cmd source builtin clock lib flow =
+let run_cmd source builtin clock lib flow stats trace =
+  with_obs ~stats ~trace @@ fun () ->
   let result =
     let* lib = lib_of lib in
     let* flow = flow_of flow in
     let* d = load_design ~source ~builtin ~clock in
-    let* r = Hls.run ~lib flow d in
+    let* r = Result.map_error Flows.error_message (Hls.run ~lib flow d) in
     Ok (report_result r)
   in
-  match result with
-  | Ok () -> 0
-  | Error m ->
-    Printf.eprintf "hlsc: %s\n" m;
-    1
+  match result with Ok () -> 0 | Error m -> fail m
 
-let compare_cmd source builtin clock lib =
+let compare_cmd source builtin clock lib stats trace =
+  with_obs ~stats ~trace @@ fun () ->
   let result =
     let* lib = lib_of lib in
     let* d = load_design ~source ~builtin ~clock in
     let c = Hls.compare_flows ~lib d in
-    (match c.Hls.conventional with
-    | Ok r -> Printf.printf "conventional: total area %.0f\n" (Hls.total_area r)
-    | Error m -> Printf.printf "conventional: FAILED (%s)\n" m);
-    (match c.Hls.slack_based with
-    | Ok r -> Printf.printf "slack-based:  total area %.0f\n" (Hls.total_area r)
-    | Error m -> Printf.printf "slack-based:  FAILED (%s)\n" m);
+    let show label = function
+      | Ok r ->
+        Printf.printf "%s total area %.0f\n" label (Hls.total_area r);
+        true
+      | Error e ->
+        Printf.printf "%s FAILED\n" label;
+        Format.eprintf "hlsc: %s@." (Flows.error_message e);
+        false
+    in
+    let ok_c = show "conventional:" c.Hls.conventional in
+    let ok_s = show "slack-based: " c.Hls.slack_based in
     (match c.Hls.saving_pct with
     | Some s -> Printf.printf "saving: %.1f%%\n" s
     | None -> ());
-    Ok ()
+    if ok_c && ok_s then Ok () else Error "one or more flows failed"
   in
-  match result with
-  | Ok () -> 0
-  | Error m ->
-    Printf.eprintf "hlsc: %s\n" m;
-    1
+  match result with Ok () -> 0 | Error m -> fail m
 
-let slack_cmd source builtin clock lib =
+let slack_cmd source builtin clock lib stats trace =
+  with_obs ~stats ~trace @@ fun () ->
   let result =
     let* lib = lib_of lib in
     let* d = load_design ~source ~builtin ~clock in
@@ -159,18 +195,15 @@ let slack_cmd source builtin clock lib =
       (if Slack.feasible res then "feasible (Prop. 1)" else "INFEASIBLE: relax latency or clock");
     Ok ()
   in
-  match result with
-  | Ok () -> 0
-  | Error m ->
-    Printf.eprintf "hlsc: %s\n" m;
-    1
+  match result with Ok () -> 0 | Error m -> fail m
 
-let emit_cmd source builtin clock lib flow output =
+let emit_cmd source builtin clock lib flow output stats trace =
+  with_obs ~stats ~trace @@ fun () ->
   let result =
     let* lib = lib_of lib in
     let* flow = flow_of flow in
     let* d = load_design ~source ~builtin ~clock in
-    let* r = Hls.run ~lib flow d in
+    let* r = Result.map_error Flows.error_message (Hls.run ~lib flow d) in
     let path =
       Option.value ~default:(d.Hls.design_name ^ ".v") output
     in
@@ -178,26 +211,22 @@ let emit_cmd source builtin clock lib flow output =
     Printf.printf "wrote %s\n" path;
     Ok ()
   in
-  match result with
-  | Ok () -> 0
-  | Error m ->
-    Printf.eprintf "hlsc: %s\n" m;
-    1
+  match result with Ok () -> 0 | Error m -> fail m
 
-let dot_cmd source builtin clock lib flow output =
+let dot_cmd source builtin clock lib flow output stats trace =
+  with_obs ~stats ~trace @@ fun () ->
   let result =
     let* lib = lib_of lib in
     let* flow = flow_of flow in
     let* d = load_design ~source ~builtin ~clock in
-    let* r = Hls.run ~lib flow d in
+    let* r = Result.map_error Flows.error_message (Hls.run ~lib flow d) in
     let sched = r.Hls.report.Flows.schedule in
     let spans = Dfg.compute_spans d.Hls.dfg in
     let base = Option.value ~default:d.Hls.design_name output in
     let dump suffix contents =
       let path = base ^ suffix in
       Dot.write_file contents ~path;
-      Printf.printf "wrote %s
-" path
+      Printf.printf "wrote %s\n" path
     in
     dump ".cfg.dot" (Dot.cfg (Dfg.cfg d.Hls.dfg));
     dump ".dfg.dot" (Dot.dfg ~spans d.Hls.dfg);
@@ -205,18 +234,12 @@ let dot_cmd source builtin clock lib flow output =
     dump ".sched.dot" (Dot.schedule sched);
     Ok ()
   in
-  match result with
-  | Ok () -> 0
-  | Error m ->
-    Printf.eprintf "hlsc: %s
-" m;
-    1
+  match result with Ok () -> 0 | Error m -> fail m
 
-let explore_cmd lib =
+let explore_cmd lib stats trace =
+  with_obs ~stats ~trace @@ fun () ->
   match lib_of lib with
-  | Error m ->
-    Printf.eprintf "hlsc: %s\n" m;
-    1
+  | Error m -> fail m
   | Ok lib ->
     let points =
       List.map
@@ -227,19 +250,29 @@ let explore_cmd lib =
     in
     let rows = Hls.explore ~lib points in
     print_string (Hls.render_dse rows);
-    0
+    let failed =
+      List.filter (fun r -> r.Hls.a_conv = None || r.Hls.a_slack = None) rows
+    in
+    if failed = [] then 0
+    else
+      fail
+        (Printf.sprintf "%d of %d exploration points failed (see table)"
+           (List.length failed) (List.length rows))
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
-    Term.(const run_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg)
+    Term.(const run_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
+          $ stats_arg $ trace_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"Conventional vs slack-based, side by side")
-    Term.(const compare_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg)
+    Term.(const compare_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
+          $ stats_arg $ trace_arg)
 
 let slack_t =
   Cmd.v (Cmd.info "slack" ~doc:"Pre-schedule sequential-slack report")
-    Term.(const slack_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg)
+    Term.(const slack_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
+          $ stats_arg $ trace_arg)
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
@@ -247,16 +280,18 @@ let output_arg =
 
 let emit_t =
   Cmd.v (Cmd.info "emit" ~doc:"Run a flow and write the Verilog rendering")
-    Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg $ output_arg)
+    Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
+          $ output_arg $ stats_arg $ trace_arg)
 
 let explore_t =
   Cmd.v (Cmd.info "explore" ~doc:"IDCT design-space exploration (paper Table 4)")
-    Term.(const explore_cmd $ lib_arg)
+    Term.(const explore_cmd $ lib_arg $ stats_arg $ trace_arg)
 
 let dot_t =
   Cmd.v
     (Cmd.info "dot" ~doc:"Dump Graphviz renderings (CFG, DFG+spans, timed DFG, schedule)")
-    Term.(const dot_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg $ output_arg)
+    Term.(const dot_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
+          $ output_arg $ stats_arg $ trace_arg)
 
 let () =
   let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in

@@ -58,7 +58,7 @@ let () =
       (Hls.total_area conv) (Hls.total_area slack) s
   | _ -> print_endline "a flow failed");
   match Hls.run Flows.Slack_based design with
-  | Error m -> print_endline ("slack flow failed: " ^ m)
+  | Error e -> print_endline ("slack flow failed: " ^ Flows.error_message e)
   | Ok r ->
     let path = Filename.concat (Filename.get_temp_dir_name ()) "cmac.v" in
     Verilog.write_file ~module_name:"cmac" r.Hls.netlist ~path;

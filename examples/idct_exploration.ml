@@ -27,4 +27,4 @@ let () =
       slack.Hls.report.Flows.schedule.Schedule.alloc;
     Format.printf "conventional area: %a@." Area_model.pp_breakdown conv.Hls.area;
     Format.printf "slack-based  area: %a@." Area_model.pp_breakdown slack.Hls.area
-  | Error m, _ | _, Error m -> print_endline ("flow failed: " ^ m)
+  | Error e, _ | _, Error e -> print_endline ("flow failed: " ^ Flows.error_message e)

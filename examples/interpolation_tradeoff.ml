@@ -16,7 +16,7 @@ let () =
     (fun (label, flow) ->
       let ip = Interpolation.unrolled () in
       match Flows.run flow ip.Interpolation.dfg ~lib ~clock:Interpolation.clock with
-      | Error m -> Printf.printf "%-22s FAILED: %s\n" label m
+      | Error e -> Printf.printf "%-22s FAILED: %s\n" label (Flows.error_message e)
       | Ok r ->
         let sched = r.Flows.schedule in
         let mul = Area_model.fu_of_kind sched Resource_kind.Multiplier in

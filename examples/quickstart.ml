@@ -49,7 +49,7 @@ let () =
       Format.printf "--- %s ---@.%a@.area: %a@.@."
         (Flows.flow_name flow) Schedule.pp r.Hls.report.Flows.schedule
         Area_model.pp_breakdown r.Hls.area
-    | Error m -> Format.printf "%s failed: %s@." (Flows.flow_name flow) m
+    | Error e -> Format.printf "%s failed: %s@." (Flows.flow_name flow) (Flows.error_message e)
   in
   show Flows.Conventional;
   show Flows.Slack_based

@@ -21,12 +21,20 @@ let snap t curve delay =
   | Continuous -> Curve.point_at curve delay
   | Discrete -> Curve.snap_down curve delay
 
+(* Telemetry: instance/grade churn quantifies the binding work each flow
+   pays (the conventional flow regrades in recovery, the slowest-first
+   flow upgrades on the fly, the slack flow should do little of either). *)
+let c_instances = Obs.counter "bind.instances"
+let c_upgrades = Obs.counter "bind.upgrades"
+let c_regrades = Obs.counter "bind.regrades"
+
 let add_instance t ~rk ~width ~delay =
   let curve = Library.curve t.lib rk ~width in
   let point = snap t curve delay in
   let id = Inst_id.of_int (Vec.length t.insts) in
   let inst = { id; rk; width; curve; point } in
   ignore (Vec.push t.insts inst);
+  Obs.incr c_instances;
   inst
 
 let instance t id = Vec.get t.insts (Inst_id.to_int id)
@@ -43,6 +51,7 @@ let candidates t ~op_kind ~width =
 
 let set_grade t id ~delay =
   let i = instance t id in
+  Obs.incr c_regrades;
   i.point <- snap t i.curve delay
 
 let upgrade_to_fit t id ~max_delay =
@@ -51,6 +60,7 @@ let upgrade_to_fit t id ~max_delay =
   else if Curve.min_delay i.curve > max_delay then false
   else begin
     i.point <- snap t i.curve max_delay;
+    Obs.incr c_upgrades;
     true
   end
 

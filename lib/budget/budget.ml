@@ -24,6 +24,19 @@ type infeasible = {
 
 type outcome = Feasible of float array | Infeasible of infeasible
 
+(* Telemetry (paper §V): phase-1 bisection steps repair negative slack,
+   phase-2 rounds distribute positive slack as per-op delay updates;
+   freezes bound the updates any op can trigger (the slack-binning
+   argument for bounded budgeting work). *)
+let c_runs = Obs.counter "budget.runs"
+let c_infeasible = Obs.counter "budget.infeasible"
+let c_probes = Obs.counter "budget.feasibility_probes"
+let c_bisect = Obs.counter "budget.bisection_steps"
+let c_rounds = Obs.counter "budget.rounds"
+let c_updates = Obs.counter "budget.delay_updates"
+let c_half = Obs.counter "budget.half_retries"
+let c_freezes = Obs.counter "budget.freezes"
+
 let delays_at ~lambda tdfg ~ranges =
   let dfg = Timed_dfg.dfg tdfg in
   let n = Dfg.op_count dfg in
@@ -45,13 +58,16 @@ let analyze config tdfg ~clock delays =
 let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
   let eps = 1e-6 in
   let margin = config.margin_frac *. clock in
+  Obs.incr c_runs;
   let feasible_with delays =
+    Obs.incr c_probes;
     Slack.feasible ~eps (analyze config tdfg ~clock delays)
   in
   (* Phase 1 (negative slack repair): find the largest uniform knob that is
      feasible.  Monotonicity: raising any delay can only lower slacks. *)
   let at lambda = delays_at ~lambda tdfg ~ranges in
   if not (feasible_with (at 0.0)) then begin
+    Obs.incr c_infeasible;
     let r = analyze config tdfg ~clock (at 0.0) in
     Infeasible { slack_at_min = r; critical = Slack.critical_ops tdfg r }
   end
@@ -61,6 +77,7 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
       else begin
         let lo = ref 0.0 and hi = ref 1.0 in
         for _ = 1 to config.bisection_steps do
+          Obs.incr c_bisect;
           let mid = 0.5 *. (!lo +. !hi) in
           if feasible_with (at mid) then lo := mid else hi := mid
         done;
@@ -68,6 +85,14 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
       end
     in
     let delays = at lambda in
+    (* The uniform raise is itself a per-op budget update for every op with
+       a non-degenerate delay range. *)
+    if lambda > 0.0 then
+      Obs.add c_updates
+        (List.length
+           (List.filter
+              (fun o -> Interval.width (ranges o) > eps)
+              (Timed_dfg.active_ops tdfg)));
     (* Phase 2 (positive budgeting): raise individual delays up to their
        binned slack, most area-sensitive ops first, verifying after each
        tentative increase.  An op whose increase fails verification is
@@ -76,6 +101,7 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
     let frozen = Array.make n false in
     let ops = Timed_dfg.active_ops tdfg in
     let round () =
+      Obs.incr c_rounds;
       let result = ref (analyze config tdfg ~clock delays) in
       let by_gain =
         let gain o =
@@ -110,21 +136,25 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
               delays.(i) <- old +. bump;
               let r' = analyze config tdfg ~clock delays in
               if Slack.feasible ~eps r' then begin
+                Obs.incr c_updates;
                 result := r';
                 changed := true
               end
               else begin
                 (* Retry with half the bump before freezing: alignment makes
                    slack a conservative, not exact, headroom estimate. *)
+                Obs.incr c_half;
                 delays.(i) <- old +. (0.5 *. bump);
                 let r'' = analyze config tdfg ~clock delays in
                 if Slack.feasible ~eps r'' && 0.5 *. bump > margin then begin
+                  Obs.incr c_updates;
                   result := r'';
                   changed := true
                 end
                 else begin
                   delays.(i) <- old;
-                  frozen.(i) <- true
+                  frozen.(i) <- true;
+                  Obs.incr c_freezes
                 end
               end
             end

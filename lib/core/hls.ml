@@ -20,25 +20,24 @@ type result = {
 }
 
 let run ?(lib = Library.default) ?config flow d =
+  Obs.span "hls.run"
+    ~attrs:[ ("design", d.design_name); ("flow", Flows.flow_name flow) ]
+  @@ fun () ->
   match Flows.run ?config ?ii:d.ii flow d.dfg ~lib ~clock:d.clock with
-  | Error m -> Error m
+  | Error e -> Error e
   | Ok report ->
     let sched = report.Flows.schedule in
-    Ok
-      {
-        design = d;
-        report;
-        area = Area_model.of_schedule sched;
-        netlist = Netlist.build sched;
-      }
+    let area = Obs.span "hls.area_model" (fun () -> Area_model.of_schedule sched) in
+    let netlist = Obs.span "hls.netlist" (fun () -> Netlist.build sched) in
+    Ok { design = d; report; area; netlist }
 
 let fu_area r = r.area.Area_model.fu
 let total_area r = r.area.Area_model.total
 
 type comparison = {
   cdesign : design;
-  conventional : (result, string) Stdlib.result;
-  slack_based : (result, string) Stdlib.result;
+  conventional : (result, Flows.error) Stdlib.result;
+  slack_based : (result, Flows.error) Stdlib.result;
   saving_pct : float option;
 }
 
@@ -94,6 +93,8 @@ let render_dse rows =
   Text_table.render t
 
 let analyze_slack ?aligned d ~del =
+  Obs.span "hls.analyze_slack" ~attrs:[ ("design", d.design_name) ]
+  @@ fun () ->
   let spans = Dfg.compute_spans d.dfg in
   let tdfg = Timed_dfg.build d.dfg ~spans in
   Slack.analyze ?aligned tdfg ~clock:d.clock ~del

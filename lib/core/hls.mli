@@ -26,8 +26,10 @@ type result = {
 
 val run :
   ?lib:Library.t -> ?config:Flows.config -> Flows.flow -> design ->
-  (result, string) Stdlib.result
-(** [lib] defaults to {!Library.default}. *)
+  (result, Flows.error) Stdlib.result
+(** [lib] defaults to {!Library.default}.  Errors are structured
+    ({!Flows.error}): render them with {!Flows.pp_error} or
+    {!Flows.error_message}. *)
 
 val fu_area : result -> float
 val total_area : result -> float
@@ -36,8 +38,8 @@ val total_area : result -> float
 
 type comparison = {
   cdesign : design;
-  conventional : (result, string) Stdlib.result;
-  slack_based : (result, string) Stdlib.result;
+  conventional : (result, Flows.error) Stdlib.result;
+  slack_based : (result, Flows.error) Stdlib.result;
   saving_pct : float option;
       (** [(A_conv - A_slack) / A_conv * 100] when both flows succeeded *)
 }

@@ -256,8 +256,28 @@ let rec elab_block st stmts ~from_node ~sink ~main =
   | _, (Ast.Assign _ | Ast.Write _) :: _ ->
     assert false (* split_segment consumed every leading simple statement *)
 
+let c_elaborations = Obs.counter "frontend.elaborations"
+let c_ast_nodes = Obs.counter "frontend.ast_nodes"
+let c_dfg_ops = Obs.counter "frontend.dfg_ops"
+
+let rec expr_nodes = function
+  | Ast.Int _ | Ast.Var _ | Ast.Read _ -> 1
+  | Ast.Binop (_, a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Ast.Unop (_, e) -> 1 + expr_nodes e
+
+let rec stmt_nodes = function
+  | Ast.Assign (_, e) | Ast.Write (_, e) -> 1 + expr_nodes e
+  | Ast.Wait -> 1
+  | Ast.If (c, t, f) -> 1 + expr_nodes c + block_nodes t + block_nodes f
+  | Ast.For { body; _ } -> 1 + block_nodes body
+
+and block_nodes stmts = List.fold_left (fun acc s -> acc + stmt_nodes s) 0 stmts
+
 let elaborate (p : Ast.process) =
+  Obs.span "frontend.elaborate" @@ fun () ->
   let p = Transform.unroll_process p in
+  Obs.incr c_elaborations;
+  Obs.add c_ast_nodes (block_nodes p.Ast.body);
   let cfg = Cfg.create () in
   let dfg = Dfg.create cfg in
   let st =
@@ -309,6 +329,7 @@ let elaborate (p : Ast.process) =
   let final_env =
     Hashtbl.fold (fun x v acc -> (x, sim_operand_of_value v) :: acc) st.env []
   in
+  Obs.add c_dfg_ops (Dfg.op_count dfg);
   {
     cfg;
     dfg;

@@ -152,8 +152,14 @@ and block s =
   expect s Lexer.RBRACE;
   List.rev !stmts
 
+let c_parses = Obs.counter "frontend.parses"
+let c_tokens = Obs.counter "frontend.tokens"
+
 let parse src =
+  Obs.span "frontend.parse" @@ fun () ->
   let s = { toks = Lexer.tokenize src } in
+  Obs.incr c_parses;
+  Obs.add c_tokens (List.length s.toks);
   expect s Lexer.KW_PROCESS;
   let proc_name = ident s in
   expect s Lexer.LBRACE;

@@ -1,6 +1,11 @@
 type edge = { src : int; dst : int; weight : float }
 type result = Solution of float array | Positive_cycle of int list
 
+(* Telemetry: the fixpoint's cost is what the paper's two-pass analysis
+   avoids, so count its sweeps and per-edge scans (O(V*E) worst case). *)
+let c_sweeps = Obs.counter "graph.bf.sweeps"
+let c_scans = Obs.counter "graph.bf.edge_scans"
+
 let solve ?shuffle_seed ~node_count ~edges ~sources () =
   let edges =
     match shuffle_seed with
@@ -17,8 +22,10 @@ let solve ?shuffle_seed ~node_count ~edges ~sources () =
   while !changed && !iter < node_count do
     changed := false;
     incr iter;
+    Obs.incr c_sweeps;
     List.iter
       (fun { src; dst; weight } ->
+        Obs.incr c_scans;
         if dist.(src) > neg_infinity then begin
           let cand = dist.(src) +. weight in
           if cand > dist.(dst) +. 1e-9 then begin

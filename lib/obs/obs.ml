@@ -1,0 +1,349 @@
+external now_ns : unit -> int64 = "hls_obs_monotonic_ns"
+
+let epoch_ns = now_ns ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: counters are monotone";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+
+(* ------------------------------------------------------------------ *)
+(* Distributions *)
+
+type dist = {
+  d_name : string;
+  mutable d_count : int;
+  mutable d_sum : float;
+  mutable d_min : float;
+  mutable d_max : float;
+  d_values : float Vec.t;
+}
+
+let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
+
+let dist name =
+  match Hashtbl.find_opt dists name with
+  | Some d -> d
+  | None ->
+    let d =
+      {
+        d_name = name;
+        d_count = 0;
+        d_sum = 0.0;
+        d_min = infinity;
+        d_max = neg_infinity;
+        d_values = Vec.create ();
+      }
+    in
+    Hashtbl.replace dists name d;
+    d
+
+let observe d v =
+  d.d_count <- d.d_count + 1;
+  d.d_sum <- d.d_sum +. v;
+  if v < d.d_min then d.d_min <- v;
+  if v > d.d_max then d.d_max <- v;
+  ignore (Vec.push d.d_values v)
+
+type dist_stats = {
+  n : int;
+  dmin : float;
+  dmax : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let dist_stats d =
+  if d.d_count = 0 then None
+  else begin
+    let sorted = Vec.to_array d.d_values in
+    Array.sort Float.compare sorted;
+    Some
+      {
+        n = d.d_count;
+        dmin = d.d_min;
+        dmax = d.d_max;
+        mean = d.d_sum /. float_of_int d.d_count;
+        p50 = percentile sorted 50.0;
+        p95 = percentile sorted 95.0;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Spans and sinks *)
+
+type span_agg = { mutable s_count : int; mutable s_total_ns : int64 }
+
+type trace_event = {
+  ev_name : string;
+  ev_path : string;
+  ev_ts_ns : int64;  (* relative to [epoch_ns] *)
+  ev_dur_ns : int64;
+  ev_attrs : (string * string) list;
+}
+
+type state = {
+  mutable stats_on : bool;
+  mutable trace_on : bool;
+  mutable collecting : bool;  (* stats_on || trace_on, the fast-path test *)
+  mutable path : string list; (* innermost first *)
+  span_aggs : (string, span_agg) Hashtbl.t;
+  mutable trace_buf : trace_event Vec.t;
+}
+
+let st =
+  {
+    stats_on = false;
+    trace_on = false;
+    collecting = false;
+    path = [];
+    span_aggs = Hashtbl.create 32;
+    trace_buf = Vec.create ();
+  }
+
+let collecting () = st.collecting
+let enable_stats () = st.stats_on <- true; st.collecting <- true
+let enable_trace () = st.trace_on <- true; st.collecting <- true
+let disable () = st.stats_on <- false; st.trace_on <- false; st.collecting <- false
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.reset dists;
+  Hashtbl.reset st.span_aggs;
+  st.path <- [];
+  st.trace_buf <- Vec.create ()
+
+let span ?(attrs = []) name f =
+  if not st.collecting then f ()
+  else begin
+    let outer = st.path in
+    let path = String.concat "/" (List.rev (name :: outer)) in
+    st.path <- name :: outer;
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (now_ns ()) t0 in
+        st.path <- outer;
+        if st.stats_on then begin
+          match Hashtbl.find_opt st.span_aggs path with
+          | Some a ->
+            a.s_count <- a.s_count + 1;
+            a.s_total_ns <- Int64.add a.s_total_ns dur
+          | None ->
+            Hashtbl.replace st.span_aggs path { s_count = 1; s_total_ns = dur }
+        end;
+        if st.trace_on then
+          ignore
+            (Vec.push st.trace_buf
+               {
+                 ev_name = name;
+                 ev_path = path;
+                 ev_ts_ns = Int64.sub t0 epoch_ns;
+                 ev_dur_ns = dur;
+                 ev_attrs = attrs;
+               }))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Outputs *)
+
+let counters_snapshot () =
+  Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let span_stats () =
+  Hashtbl.fold
+    (fun path a acc -> (path, a.s_count, Int64.to_float a.s_total_ns) :: acc)
+    st.span_aggs []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let pp_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let report () =
+  let buf = Buffer.create 1024 in
+  let spans = span_stats () in
+  if spans <> [] then begin
+    Buffer.add_string buf "== phases (wall clock) ==\n";
+    let t = Text_table.create ~headers:[ "span"; "calls"; "total"; "mean" ] in
+    List.iter
+      (fun (path, count, total) ->
+        let depth =
+          String.fold_left (fun acc ch -> if ch = '/' then acc + 1 else acc) 0 path
+        in
+        let leaf =
+          match String.rindex_opt path '/' with
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+          | None -> path
+        in
+        Text_table.add_row t
+          [
+            String.make (2 * depth) ' ' ^ leaf;
+            string_of_int count;
+            pp_ns total;
+            pp_ns (total /. float_of_int count);
+          ])
+      spans;
+    Buffer.add_string buf (Text_table.render t)
+  end;
+  let nonzero = List.filter (fun (_, v) -> v <> 0) (counters_snapshot ()) in
+  if nonzero <> [] then begin
+    Buffer.add_string buf "== counters ==\n";
+    List.iter
+      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-42s %12d\n" name v))
+      nonzero
+  end;
+  let dist_rows =
+    Hashtbl.fold (fun _ d acc -> (d.d_name, dist_stats d) :: acc) dists []
+    |> List.filter_map (fun (name, s) -> Option.map (fun s -> (name, s)) s)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if dist_rows <> [] then begin
+    Buffer.add_string buf "== distributions ==\n";
+    let t =
+      Text_table.create ~headers:[ "dist"; "n"; "min"; "mean"; "p50"; "p95"; "max" ]
+    in
+    List.iter
+      (fun (name, s) ->
+        Text_table.add_row t
+          [
+            name;
+            string_of_int s.n;
+            Printf.sprintf "%.1f" s.dmin;
+            Printf.sprintf "%.1f" s.mean;
+            Printf.sprintf "%.1f" s.p50;
+            Printf.sprintf "%.1f" s.p95;
+            Printf.sprintf "%.1f" s.dmax;
+          ])
+      dist_rows;
+    Buffer.add_string buf (Text_table.render t)
+  end;
+  if Buffer.length buf = 0 then "== no telemetry collected ==\n" else Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    emit buf t;
+    Buffer.contents buf
+end
+
+let trace_json () =
+  let events =
+    Vec.fold_left
+      (fun acc ev ->
+        let args =
+          Json.Obj
+            (("path", Json.String ev.ev_path)
+            :: List.map (fun (k, v) -> (k, Json.String v)) ev.ev_attrs)
+        in
+        Json.Obj
+          [
+            ("name", Json.String ev.ev_name);
+            ("cat", Json.String "hls");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (Int64.to_float ev.ev_ts_ns /. 1e3));
+            ("dur", Json.Float (Int64.to_float ev.ev_dur_ns /. 1e3));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int 1);
+            ("args", args);
+          ]
+        :: acc)
+      [] st.trace_buf
+    |> List.rev
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ])
+
+let write_trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (trace_json ()))

@@ -1,0 +1,126 @@
+(** Telemetry for the HLS pipeline: hierarchical spans, monotone counters,
+    value distributions, and pluggable output sinks.
+
+    The paper's claims are about {e algorithmic} efficiency — slack passes
+    linear in the timed-DFG connections (§IV–V), bounded budgeting updates
+    (§V), a scheduler that re-budgets after every CFG edge (§VI, Fig. 8).
+    This module makes those quantities observable at runtime without
+    changing any result: every probe is either a constant-time counter
+    bump or a span that compiles down to a single flag test when no sink
+    is enabled (the default "null sink").
+
+    Counters are always collected — they are deterministic event counts,
+    cheap enough for hot paths, and two identical runs produce identical
+    {!counters_snapshot}s.  Span wall-clock aggregation and Chrome trace
+    events are only recorded after {!enable_stats} / {!enable_trace}.
+
+    The module is a process-wide singleton: the pipeline is sequential and
+    the CLI, benchmark harness and tests all want one shared ledger. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock (CLOCK_MONOTONIC), nanoseconds. *)
+
+(** {1 Counters}
+
+    Named monotone counters.  Obtain the handle once (at module
+    initialisation) and bump it in the hot path: a bump is one record
+    mutation, no hashing. *)
+
+type counter
+
+val counter : string -> counter
+(** Interned by name: the same name always yields the same counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on a negative amount — counters are
+    monotone. *)
+
+val value : counter -> int
+
+(** {1 Distributions}
+
+    Named value distributions (min/max/mean/p50/p95 over all observed
+    samples). *)
+
+type dist
+
+val dist : string -> dist
+(** Interned by name, like {!counter}. *)
+
+val observe : dist -> float -> unit
+
+type dist_stats = {
+  n : int;
+  dmin : float;
+  dmax : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+}
+
+val dist_stats : dist -> dist_stats option
+(** [None] until at least one sample has been observed. *)
+
+(** {1 Spans} *)
+
+val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], timing it when stats or trace collection is
+    enabled.  Nesting builds a path ("hls.run/flow.schedule/…") used for
+    the hierarchical text report and the Chrome trace.  Exceptions
+    propagate; the span still closes. *)
+
+val collecting : unit -> bool
+(** Whether spans are currently being timed (stats or trace enabled). *)
+
+(** {1 Sinks} *)
+
+val enable_stats : unit -> unit
+(** Aggregate span timings for {!report}. *)
+
+val enable_trace : unit -> unit
+(** Buffer Chrome-trace events for {!trace_json} / {!write_trace}. *)
+
+val disable : unit -> unit
+(** Back to the null sink.  Collected data is kept until {!reset}. *)
+
+val reset : unit -> unit
+(** Zero every counter, clear distributions, span aggregates and the
+    trace buffer.  Sink enablement is unchanged. *)
+
+(** {1 Outputs} *)
+
+val counters_snapshot : unit -> (string * int) list
+(** Every interned counter with its value, sorted by name.  Deterministic
+    across identical runs. *)
+
+val span_stats : unit -> (string * int * float) list
+(** Aggregated spans as [(path, count, total_ns)], sorted by path. *)
+
+val report : unit -> string
+(** Human-readable text report: per-phase wall-clock (if stats were
+    enabled), counters, distributions. *)
+
+val trace_json : unit -> string
+(** Chrome trace-event JSON ("X" complete events); loads in
+    [chrome://tracing] and Perfetto. *)
+
+val write_trace : path:string -> unit
+
+(** {1 JSON}
+
+    A minimal JSON emitter, shared by the trace sink and the benchmark
+    harness (the repo deliberately has no JSON package dependency). *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+end

@@ -1,0 +1,15 @@
+/* Monotonic clock for the telemetry layer: CLOCK_MONOTONIC nanoseconds,
+   immune to wall-clock adjustments.  Kept as a local stub so lib/obs has
+   no dependency beyond the OCaml runtime. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value hls_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

@@ -40,7 +40,13 @@ let needs_register sched op =
           | None -> false)
         (Dfg.all_succs dfg op.Dfg.id))
 
+let c_evals = Obs.counter "area.evaluations"
+let d_total = Obs.dist "area.total"
+let d_fu = Obs.dist "area.fu"
+let d_mux = Obs.dist "area.mux"
+
 let of_schedule sched =
+  Obs.incr c_evals;
   let lib = Alloc.library sched.Schedule.alloc in
   let dfg = sched.Schedule.dfg in
   let fu = fu_only sched in
@@ -61,7 +67,11 @@ let of_schedule sched =
     float_of_int (Schedule.steps_used sched) *. Library.fsm_area_per_state lib
   in
   let registers = !registers in
-  { fu; mux; registers; fsm; total = fu +. mux +. registers +. fsm }
+  let total = fu +. mux +. registers +. fsm in
+  Obs.observe d_total total;
+  Obs.observe d_fu fu;
+  Obs.observe d_mux mux;
+  { fu; mux; registers; fsm; total }
 
 let power sched ~cycles_per_sample =
   if cycles_per_sample <= 0 then invalid_arg "Area_model.power: cycles must be positive";

@@ -17,6 +17,12 @@ type t = {
   n_states : int;
 }
 
+let c_builds = Obs.counter "rtl.netlists"
+let c_fus = Obs.counter "rtl.fu_instances"
+let c_regs = Obs.counter "rtl.registers"
+let c_mux_inputs = Obs.counter "rtl.mux_inputs"
+let d_fanin = Obs.dist "rtl.mux_fanin"
+
 let build schedule =
   let dfg = schedule.Schedule.dfg in
   let fus =
@@ -65,6 +71,17 @@ let build schedule =
       | Dfg.Add | Dfg.Sub | Dfg.Mul | Dfg.Div | Dfg.Modulo | Dfg.Shl | Dfg.Shr
       | Dfg.Land | Dfg.Lor | Dfg.Lxor | Dfg.Lnot | Dfg.Cmp _ | Dfg.Mux | Dfg.Const _ ->
         ());
+  Obs.incr c_builds;
+  Obs.add c_fus (List.length fus);
+  Obs.add c_regs (List.length !registers);
+  List.iter
+    (fun f ->
+      let k = List.length f.ops in
+      if k >= 2 then begin
+        Obs.add c_mux_inputs k;
+        Obs.observe d_fanin (float_of_int k)
+      end)
+    fus;
   {
     schedule;
     fus;

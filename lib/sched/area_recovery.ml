@@ -29,6 +29,12 @@ let latest_starts sched =
     order;
   ls
 
+(* Telemetry: area-recovery slowdowns are the paper's "conventional flow"
+   cost centre the slack budget tries to make unnecessary. *)
+let c_sweeps = Obs.counter "recovery.sweeps"
+let c_regrades = Obs.counter "recovery.regrades"
+let c_rollbacks = Obs.counter "recovery.rollbacks"
+
 let run ?(max_iters = 20) sched =
   let alloc = sched.Schedule.alloc in
   let regrades = ref 0 in
@@ -36,6 +42,7 @@ let run ?(max_iters = 20) sched =
   let rec sweep k =
     if k <= 0 then ()
     else begin
+      Obs.incr c_sweeps;
       (match Schedule.retime sched with
       | Ok () -> ()
       | Error v ->
@@ -66,8 +73,10 @@ let run ?(max_iters = 20) sched =
                   match Schedule.retime sched with
                   | Ok () ->
                     incr regrades;
+                    Obs.incr c_regrades;
                     changed := true
                   | Error _ ->
+                    Obs.incr c_rollbacks;
                     Alloc.set_grade alloc id ~delay:old.Curve.delay;
                     (match Schedule.retime sched with
                     | Ok () -> ()

@@ -13,6 +13,26 @@ type report = {
   targets : float array option;
 }
 
+type error =
+  | Invalid of string
+  | Sched_failed of { failed_flow : flow; failure : Sched_core.failure }
+
+let pp_error ppf = function
+  | Invalid m -> Format.pp_print_string ppf m
+  | Sched_failed { failed_flow; failure } ->
+    Format.fprintf ppf "%s: %a" (flow_name failed_flow) Sched_core.pp_failure failure
+
+let error_message e = Format.asprintf "%a" pp_error e
+
+(* Telemetry: the relaxation loop is the paper's "expert system"; its event
+   counts say how hard the allocator had to fight for a feasible schedule. *)
+let c_attempts = Obs.counter "flow.attempts"
+let c_relaxations = Obs.counter "flow.relaxations"
+let c_resource_adds = Obs.counter "flow.resource_additions"
+let c_gamma_decays = Obs.counter "flow.gamma_decays"
+let c_rebudget_runs = Obs.counter "sched.rebudget.runs"
+let c_rebudget_infeasible = Obs.counter "sched.rebudget.infeasible"
+
 type sharing = {
   merge_add_sub : bool;
   width_buckets : bool;
@@ -118,7 +138,7 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
   let ops = active_ops dfg in
   let n = Dfg.op_count dfg in
   let budget_clock = clock -. Library.register_overhead lib in
-  if budget_clock <= 0.0 then Error "clock period below register overhead"
+  if budget_clock <= 0.0 then Error (Invalid "clock period below register overhead")
   else begin
     let ranges o = op_range lib budget_clock dfg o in
     let sensitivity o d = op_sensitivity lib dfg o d in
@@ -153,7 +173,11 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
       List.iter (fun o -> priorities.(Dfg.Op_id.to_int o) <- mobility o) ops
     | Slack_based -> (
       let tdfg = Timed_dfg.build dfg ~spans:spans0 in
-      match Budget.run ~config:config.budget_config tdfg ~clock:budget_clock ~ranges ~sensitivity with
+      match
+        Obs.span "flow.budget" (fun () ->
+            Budget.run ~config:config.budget_config tdfg ~clock:budget_clock ~ranges
+              ~sensitivity)
+      with
       | Budget.Feasible delays ->
         Array.blit delays 0 targets 0 n;
         set_priorities_slack tdfg
@@ -227,6 +251,7 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
                   | None -> ranges o
                 in
                 let sens' o d = if Schedule.is_placed sched o then 0.0 else sensitivity o d in
+                Obs.incr c_rebudget_runs;
                 (match
                    Budget.run ~config:bcfg tdfg' ~clock:budget_clock ~ranges:ranges'
                      ~sensitivity:sens'
@@ -248,6 +273,7 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
                   (* Sharing created violations: demand the fastest grades
                      for what remains (paper: "fixed by decreasing the
                      delays of operations"). *)
+                  Obs.incr c_rebudget_infeasible;
                   List.iter
                     (fun o ->
                       let i = Dfg.Op_id.to_int o in
@@ -274,10 +300,12 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
        decision). *)
     let rec attempt relaxations =
       if flow = Slowest_first && relaxations = 0 then refresh_slowest_targets ();
+      Obs.incr c_attempts;
       let alloc = build_alloc () in
-      match Sched_core.run dfg ~alloc (make_params alloc) with
+      match Obs.span "flow.schedule" (fun () -> Sched_core.run dfg ~alloc (make_params alloc)) with
       | Ok sched -> Ok (sched, relaxations)
       | Error f when relaxations < config.max_relaxations -> (
+        Obs.incr c_relaxations;
         match f.Sched_core.reason with
         | Sched_core.No_resource { op; _ } -> (
           match group_key config.sharing dfg op with
@@ -285,16 +313,19 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
             (match Hashtbl.find_opt counts key with
             | Some c -> incr c
             | None -> Hashtbl.replace counts key (ref 1));
+            Obs.incr c_resource_adds;
             attempt (relaxations + 1)
-          | None -> Error f.Sched_core.message)
+          | None -> Error f)
         | Sched_core.Retime_failed _ ->
           (* Mux fan-in pushed a chain over the budget: widen every group
              by one instance to dilute sharing. *)
           Hashtbl.iter (fun _ c -> incr c) counts;
+          Obs.incr c_resource_adds;
           attempt (relaxations + 1)
         | Sched_core.Too_slow { op; blame; _ } | Sched_core.No_time { op; blame } ->
           if flow = Slowest_first && !gamma > 0.02 then begin
             gamma := !gamma *. 0.8;
+            Obs.incr c_gamma_decays;
             attempt (relaxations + 1)
           end
           else begin
@@ -307,9 +338,10 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
             let decay () =
               if !gamma > 0.1 then begin
                 gamma := !gamma *. 0.75;
+                Obs.incr c_gamma_decays;
                 attempt (relaxations + 1)
               end
-              else Error f.Sched_core.message
+              else Error f
             in
             let key =
               match blame with
@@ -346,17 +378,22 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
               in
               if !c < group_size then begin
                 incr c;
+                Obs.incr c_resource_adds;
                 attempt (relaxations + 1)
               end
               else decay ()
             | None -> decay ()
           end)
-      | Error f -> Error f.Sched_core.message
+      | Error f -> Error f
     in
     match attempt 0 with
-    | Error m -> Error (flow_name flow ^ ": " ^ m)
+    | Error failure -> Error (Sched_failed { failed_flow = flow; failure })
     | Ok (schedule, relaxations) ->
-      let regrades = if config.recover_area then Area_recovery.run schedule else 0 in
+      let regrades =
+        if config.recover_area then
+          Obs.span "flow.recovery" (fun () -> Area_recovery.run schedule)
+        else 0
+      in
       Ok
         {
           flow;

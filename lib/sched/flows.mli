@@ -51,9 +51,23 @@ type config = {
 
 val default_config : config
 
+(** Structured flow errors: [Invalid] for configuration problems, and
+    [Sched_failed] carrying the scheduler's {!Sched_core.failure} so
+    callers (the CLI in particular) can surface the actionable diagnosis
+    — which operation starved, which resource group is to blame — instead
+    of a flattened string. *)
+type error =
+  | Invalid of string
+  | Sched_failed of { failed_flow : flow; failure : Sched_core.failure }
+
+val pp_error : Format.formatter -> error -> unit
+(** Renders [Sched_failed] through {!Sched_core.pp_failure}. *)
+
+val error_message : error -> string
+
 val run :
   ?config:config -> ?ii:int -> flow -> Dfg.t -> lib:Library.t -> clock:float ->
-  (report, string) result
+  (report, error) result
 (** Requires a validated DFG on a sealed CFG.  [ii] pipelines the loop at
     the given initiation interval (modulo resource folding plus the
     loop-carried recurrence constraint).  The returned schedule is retimed

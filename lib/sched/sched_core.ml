@@ -24,7 +24,30 @@ let eps = 1e-6
 
 type attempt = Placed | Defer of failure_reason
 
+(* Telemetry (paper §VI, Fig. 8): per-CFG-edge scheduler events.  Deferral
+   counters split by reason so a failing run's event stream shows whether
+   the bottleneck was resources, windows, or ready-time starvation. *)
+let c_runs = Obs.counter "sched.runs"
+let c_edges = Obs.counter "sched.edges"
+let c_sweeps = Obs.counter "sched.ready_sweeps"
+let c_ready = Obs.counter "sched.ready_ops"
+let c_placements = Obs.counter "sched.placements"
+let c_defer_res = Obs.counter "sched.defer.no_resource"
+let c_defer_slow = Obs.counter "sched.defer.too_slow"
+let c_defer_time = Obs.counter "sched.defer.no_time"
+let c_upgrades = Obs.counter "sched.upgrades_on_miss"
+let c_respans = Obs.counter "sched.respans"
+let c_failures = Obs.counter "sched.failures"
+let c_retime_repairs = Obs.counter "sched.retime_repairs"
+
+let count_defer = function
+  | No_resource _ -> Obs.incr c_defer_res
+  | Too_slow _ -> Obs.incr c_defer_slow
+  | No_time _ -> Obs.incr c_defer_time
+  | Retime_failed _ -> ()
+
 let run dfg ~alloc params =
+  Obs.incr c_runs;
   let cfg = Dfg.cfg dfg in
   let sched = Schedule.create ?ii:params.ii dfg ~clock:params.clock ~alloc in
   let budget = Schedule.step_budget sched in
@@ -114,7 +137,7 @@ let run dfg ~alloc params =
         | Some _ | None -> acc)
       0.0 (Dfg.preds dfg o)
   in
-  let try_place o e step =
+  let try_place_raw o e step =
     let op = Dfg.op dfg o in
     let rt = ready_time o step in
     let window = budget -. rt in
@@ -189,7 +212,10 @@ let run dfg ~alloc params =
             (match best with
             | Some c ->
               let needed = window -. mux_pen (fanin_of c.Alloc.id + 1) in
-              if Alloc.upgrade_to_fit alloc c.Alloc.id ~max_delay:needed then do_place c
+              if Alloc.upgrade_to_fit alloc c.Alloc.id ~max_delay:needed then begin
+                Obs.incr c_upgrades;
+                do_place c
+              end
               else Defer (Too_slow { op = o; window; blame = blame_for o step })
             | None -> Defer (Too_slow { op = o; window; blame = blame_for o step }))
         end
@@ -197,6 +223,15 @@ let run dfg ~alloc params =
         else if window <= eps then Defer (No_time { op = o; blame = blame_for o step })
         else Defer (Too_slow { op = o; window; blame = blame_for o step })
     end
+  in
+  let try_place o e step =
+    match try_place_raw o e step with
+    | Placed ->
+      Obs.incr c_placements;
+      Placed
+    | Defer reason as d ->
+      count_defer reason;
+      d
   in
   let fail op_name reason =
     let message =
@@ -212,15 +247,18 @@ let run dfg ~alloc params =
           op_name
       | Retime_failed m -> m
     in
+    Obs.incr c_failures;
     raise (Fail { reason; message })
   in
   try
     List.iter
       (fun e ->
+        Obs.incr c_edges;
         let step = Cfg.state_of_edge cfg e in
         let progress = ref true in
         while !progress do
           progress := false;
+          Obs.incr c_sweeps;
           let ready =
             Dfg.ops dfg
             |> List.filter (fun o ->
@@ -235,6 +273,7 @@ let run dfg ~alloc params =
                      | c -> c)
                    | c -> c)
           in
+          Obs.add c_ready (List.length ready);
           List.iter
             (fun o ->
               if not (Schedule.is_placed sched o) then
@@ -281,7 +320,10 @@ let run dfg ~alloc params =
                 fail (Dfg.op dfg o).Dfg.name reason
             end)
           (Dfg.topo_order dfg);
-        if params.respan then spans := Dfg.compute_spans ~pin dfg;
+        if params.respan then begin
+          Obs.incr c_respans;
+          spans := Dfg.compute_spans ~pin dfg
+        end;
         match params.rebudget with Some f -> f sched pin | None -> ())
       (Cfg.forward_edges_topo cfg);
     (* Everything must be placed by now. *)
@@ -342,6 +384,7 @@ let run dfg ~alloc params =
               { reason = Retime_failed v.Schedule.detail;
                 message = "final retiming failed (chain already fastest): " ^ v.Schedule.detail }
           | i :: _ ->
+            Obs.incr c_retime_repairs;
             let want = i.Alloc.point.Curve.delay -. v.Schedule.overshoot -. 1.0 in
             Alloc.set_grade alloc i.Alloc.id
               ~delay:(Float.max (Curve.min_delay i.Alloc.curve) want);

@@ -4,7 +4,10 @@ let slot n = function
   | Timed_dfg.Op o -> Dfg.Op_id.to_int o
   | Timed_dfg.Sink o -> n + Dfg.Op_id.to_int o
 
+let c_analyses = Obs.counter "slack.bf_analyses"
+
 let analyze tdfg ~clock ~del =
+  Obs.incr c_analyses;
   if clock <= 0.0 then invalid_arg "Bf_timing.analyze: clock must be positive";
   let dfg = Timed_dfg.dfg tdfg in
   let n = Dfg.op_count dfg in

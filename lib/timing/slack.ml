@@ -5,6 +5,16 @@ type result = {
   min_slack : float;
 }
 
+(* Telemetry (paper §IV–V): one analysis = one forward + one backward
+   linear pass, each relaxing every timed-DFG connection exactly once —
+   the counters below are the evidence for the linearity claim that the
+   Bellman–Ford baseline ([Bf_timing]) cannot match. *)
+let c_analyses = Obs.counter "slack.analyses"
+let c_fwd = Obs.counter "slack.forward_passes"
+let c_bwd = Obs.counter "slack.backward_passes"
+let c_relax = Obs.counter "slack.edge_relaxations"
+let c_nodes = Obs.counter "slack.node_visits"
+
 let frac ~clock x = x -. (clock *. Float.floor (x /. clock))
 
 let align_start ~clock ~delay a =
@@ -32,6 +42,12 @@ let analyze ?(aligned = false) tdfg ~clock ~del =
   in
   let node_del = function Timed_dfg.Op o -> del o | Timed_dfg.Sink _ -> 0.0 in
   let order = Timed_dfg.topo tdfg in
+  Obs.incr c_analyses;
+  Obs.incr c_fwd;
+  Obs.incr c_bwd;
+  (* Each pass visits every node and relaxes every edge exactly once. *)
+  Obs.add c_nodes (2 * List.length order);
+  Obs.add c_relax (2 * Timed_dfg.edge_count tdfg);
   (* Forward: arrival times. *)
   List.iter
     (fun node ->

@@ -25,6 +25,10 @@ let slot n = function
   | Op o -> Dfg.Op_id.to_int o
   | Sink o -> n + Dfg.Op_id.to_int o
 
+let c_builds = Obs.counter "timed_dfg.builds"
+let c_nodes = Obs.counter "timed_dfg.nodes"
+let c_edges = Obs.counter "timed_dfg.edges"
+
 let build dfg ~spans =
   let cfg = Dfg.cfg dfg in
   let n = Dfg.op_count dfg in
@@ -80,6 +84,9 @@ let build dfg ~spans =
         if is_active.(Dfg.Op_id.to_int oid) then [ Op oid; Sink oid ] else [])
       (Dfg.topo_order dfg)
   in
+  Obs.incr c_builds;
+  Obs.add c_nodes (List.length topo_nodes);
+  Obs.add c_edges !edges;
   { dfg; spans; is_active; topo_nodes; pred_arr; succ_arr; edges = !edges }
 
 let dfg t = t.dfg

@@ -24,7 +24,7 @@ let test_run_and_report () =
   let e = elab () in
   let d = Hls.design ~name:"kernel" ~clock:2500.0 e.Elaborate.dfg in
   match Hls.run Flows.Slack_based d with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Flows.error_message e)
   | Ok r ->
     Alcotest.(check bool) "positive area" true (Hls.total_area r > 0.0);
     Alcotest.(check bool) "fu <= total" true (Hls.fu_area r <= Hls.total_area r);
@@ -40,7 +40,7 @@ let test_compare_flows () =
   let c = Hls.compare_flows d in
   (match (c.Hls.conventional, c.Hls.slack_based) with
   | Ok _, Ok _ -> ()
-  | Error m, _ | _, Error m -> Alcotest.fail m);
+  | Error e, _ | _, Error e -> Alcotest.fail (Flows.error_message e));
   match c.Hls.saving_pct with
   | Some s -> Alcotest.(check bool) "saving computed" true (s > -100.0 && s < 100.0)
   | None -> Alcotest.fail "saving missing"
@@ -90,7 +90,7 @@ let test_pipeline_cosim_integration () =
   List.iter
     (fun flow ->
       match Flows.run flow e.Elaborate.dfg ~lib:Library.default ~clock:2500.0 with
-      | Error m -> Alcotest.fail m
+      | Error e -> Alcotest.fail (Flows.error_message e)
       | Ok r ->
         let res = Cosim.check ~schedule:r.Flows.schedule ~iterations:32 ~seed:3 e in
         Alcotest.(check int)

@@ -1,0 +1,180 @@
+(* Telemetry (lib/obs) tests: span nesting, counter monotonicity,
+   distribution percentiles, snapshot determinism across identical flow
+   runs, and the paper's linear-complexity claim for slack passes
+   (relaxation work = 2.E per analysis, vs the Bellman-Ford baseline's
+   dynamic edge-scan count). *)
+
+let lookup name snap = Option.value ~default:0 (List.assoc_opt name snap)
+
+(* Counter deltas caused by [f], from the global cumulative snapshot. *)
+let deltas f =
+  let before = Obs.counters_snapshot () in
+  let x = f () in
+  let after = Obs.counters_snapshot () in
+  let d =
+    List.filter_map
+      (fun (name, v) ->
+        let dv = v - lookup name before in
+        if dv <> 0 then Some (name, dv) else None)
+      after
+  in
+  (x, d)
+
+let test_counter_monotone () =
+  let c = Obs.counter "test.obs.monotone" in
+  let v0 = Obs.value c in
+  Obs.incr c;
+  Obs.add c 41;
+  Alcotest.(check int) "incr/add accumulate" (v0 + 42) (Obs.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.add: counters are monotone") (fun () ->
+      Obs.add c (-1));
+  Alcotest.(check int) "value unchanged after rejected add" (v0 + 42)
+    (Obs.value c);
+  let c' = Obs.counter "test.obs.monotone" in
+  Obs.incr c';
+  Alcotest.(check int) "same name -> same interned counter" (v0 + 43)
+    (Obs.value c)
+
+let test_dist_percentiles () =
+  let d = Obs.dist "test.obs.percentiles" in
+  Alcotest.(check bool) "empty dist has no stats" true (Obs.dist_stats d = None);
+  for i = 1 to 100 do
+    Obs.observe d (float_of_int i)
+  done;
+  match Obs.dist_stats d with
+  | None -> Alcotest.fail "stats expected after 100 observations"
+  | Some s ->
+    Alcotest.(check int) "n" 100 s.Obs.n;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Obs.dmin;
+    Alcotest.(check (float 1e-9)) "max" 100.0 s.Obs.dmax;
+    Alcotest.(check (float 1e-9)) "mean" 50.5 s.Obs.mean;
+    Alcotest.(check (float 1e-9)) "p50" 50.0 s.Obs.p50;
+    Alcotest.(check (float 1e-9)) "p95" 95.0 s.Obs.p95
+
+let test_span_nesting () =
+  Obs.enable_stats ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let v =
+    Obs.span "test.outer" (fun () ->
+        let a = Obs.span "test.inner" (fun () -> 20) in
+        let b = Obs.span "test.inner" (fun () -> 1) in
+        a + b + Obs.span "test.other" (fun () -> 21))
+  in
+  Alcotest.(check int) "span returns the body's value" 42 v;
+  let stats = Obs.span_stats () in
+  let count path =
+    List.fold_left
+      (fun acc (p, n, _) -> if String.equal p path then acc + n else acc)
+      0 stats
+  in
+  Alcotest.(check int) "outer span recorded" 1 (count "test.outer");
+  Alcotest.(check int) "inner spans aggregate under their parent path" 2
+    (count "test.outer/test.inner");
+  Alcotest.(check int) "sibling path distinct" 1 (count "test.outer/test.other");
+  Alcotest.(check int) "no bare inner path" 0 (count "test.inner")
+
+let test_span_disabled () =
+  Obs.disable ();
+  Alcotest.(check bool) "not collecting by default" false (Obs.collecting ());
+  let v = Obs.span "test.off" (fun () -> 7) in
+  Alcotest.(check int) "disabled span still runs the body" 7 v
+
+let idct_design () =
+  let d = Idct.build ~latency:12 ~passes:1 () in
+  Hls.design ~name:"idct" ~clock:2500.0 d.Idct.dfg
+
+let test_snapshot_determinism () =
+  let run () =
+    match Hls.run Flows.Slack_based (idct_design ()) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail (Flows.error_message e)
+  in
+  let r1, d1 = deltas run in
+  let r2, d2 = deltas run in
+  Alcotest.(check (float 1e-9))
+    "identical runs produce identical areas" (Hls.total_area r1)
+    (Hls.total_area r2);
+  Alcotest.(check (list (pair string int)))
+    "identical runs produce identical counter deltas" d1 d2;
+  Alcotest.(check bool) "the run bumps slack.analyses" true
+    (lookup "slack.analyses" d1 > 0);
+  Alcotest.(check bool) "the run bumps sched.placements" true
+    (lookup "sched.placements" d1 > 0)
+
+(* Paper §IV-V: one slack analysis is two linear passes, each relaxing
+   every timed-DFG edge exactly once — so the relaxation counter must grow
+   as 2.E per analysis, at every design size.  The Bellman-Ford baseline's
+   dynamically counted edge scans can only be >= that. *)
+let test_slack_pass_linearity () =
+  List.iter
+    (fun n ->
+      let profile =
+        { Random_design.default_profile with min_ops = n; max_ops = n }
+      in
+      let d = Random_design.generate ~profile ~seed:(7 * n) () in
+      let spans = Dfg.compute_spans d.Random_design.dfg in
+      let tdfg = Timed_dfg.build d.Random_design.dfg ~spans in
+      let e = Timed_dfg.edge_count tdfg in
+      let del _ = 100.0 in
+      let analyses = 3 in
+      let (), dl =
+        deltas (fun () ->
+            for _ = 1 to analyses do
+              ignore (Slack.analyze ~aligned:true tdfg ~clock:d.Random_design.suggested_clock ~del)
+            done)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "2.E relaxations per analysis at %d ops" n)
+        (2 * e * analyses)
+        (lookup "slack.edge_relaxations" dl);
+      Alcotest.(check int)
+        (Printf.sprintf "one forward pass per analysis at %d ops" n)
+        analyses
+        (lookup "slack.forward_passes" dl);
+      let (), db =
+        deltas (fun () ->
+            ignore (Bf_timing.analyze tdfg ~clock:d.Random_design.suggested_clock ~del))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "BF baseline scans at least E edges at %d ops" n)
+        true
+        (lookup "graph.bf.edge_scans" db >= e))
+    [ 16; 32; 64; 128 ]
+
+let test_trace_json_shape () =
+  Obs.enable_trace ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  ignore (Obs.span "test.trace" ~attrs:[ ("k", "v\"q") ] (fun () -> 0));
+  let j = Obs.trace_json () in
+  let has needle =
+    let nl = String.length needle and jl = String.length j in
+    let rec go i = i + nl <= jl && (String.sub j i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "traceEvents key" true (has "\"traceEvents\"");
+  Alcotest.(check bool) "complete event" true (has "\"ph\":\"X\"");
+  Alcotest.(check bool) "span name present" true (has "\"test.trace\"");
+  Alcotest.(check bool) "attr escaped" true (has "v\\\"q")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "obs",
+        [
+          Alcotest.test_case "counters are monotone and interned" `Quick
+            test_counter_monotone;
+          Alcotest.test_case "distribution percentiles" `Quick
+            test_dist_percentiles;
+          Alcotest.test_case "span nesting and aggregation" `Quick
+            test_span_nesting;
+          Alcotest.test_case "disabled spans are transparent" `Quick
+            test_span_disabled;
+          Alcotest.test_case "counter snapshots are deterministic" `Quick
+            test_snapshot_determinism;
+          Alcotest.test_case "slack passes are linear in edges" `Quick
+            test_slack_pass_linearity;
+          Alcotest.test_case "chrome trace JSON shape" `Quick
+            test_trace_json_shape;
+        ] );
+    ]

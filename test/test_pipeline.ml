@@ -9,7 +9,7 @@ let run_ii ?ii latency =
 
 let test_pipelined_schedule_valid () =
   match run_ii ~ii:4 16 with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Flows.error_message e)
   | Ok r -> (
     match Schedule.validate r.Flows.schedule with
     | Ok () -> ()
@@ -57,7 +57,7 @@ let test_pressure_grows_as_ii_shrinks () =
   let area ii =
     match run_ii ?ii 16 with
     | Ok r -> (Area_model.of_schedule r.Flows.schedule).Area_model.total
-    | Error m -> Alcotest.failf "ii failed: %s" m
+    | Error e -> Alcotest.failf "ii failed: %s" (Flows.error_message e)
   in
   let a_none = area None and a4 = area (Some 4) and a2 = area (Some 2) in
   Alcotest.(check bool)
@@ -70,7 +70,7 @@ let test_recurrence_limit () =
      and validates. *)
   let f = Fir.build ~taps:4 ~latency:6 () in
   match Flows.run ~ii:2 Flows.Slack_based f.Fir.dfg ~lib ~clock:2500.0 with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Flows.error_message e)
   | Ok r -> (
     match Schedule.validate r.Flows.schedule with
     | Ok () -> ()

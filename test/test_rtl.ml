@@ -5,7 +5,7 @@ let schedule_of flow =
   let ip = Interpolation.unrolled () in
   match Flows.run flow ip.Interpolation.dfg ~lib:Library.default ~clock:1400.0 with
   | Ok r -> r.Flows.schedule
-  | Error m -> Alcotest.failf "flow failed: %s" m
+  | Error e -> Alcotest.failf "flow failed: %s" (Flows.error_message e)
 
 let test_breakdown_adds_up () =
   let sched = schedule_of Flows.Slack_based in
@@ -37,7 +37,7 @@ let test_fu_of_kind_partitions () =
 let test_idealized_has_no_overhead_area () =
   let ip = Interpolation.unrolled () in
   match Flows.run Flows.Slack_based ip.Interpolation.dfg ~lib:Library.idealized ~clock:1100.0 with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Flows.error_message e)
   | Ok r ->
     let b = Area_model.of_schedule r.Flows.schedule in
     Alcotest.(check (float 1e-9)) "no mux area" 0.0 b.Area_model.mux;

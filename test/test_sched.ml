@@ -16,7 +16,7 @@ let fu_area_muls_adds sched =
 let run_flow flow dfg clock =
   match Flows.run flow dfg ~lib ~clock with
   | Ok r -> r
-  | Error m -> Alcotest.failf "%s failed: %s" (Flows.flow_name flow) m
+  | Error e -> Alcotest.failf "%s failed: %s" (Flows.flow_name flow) (Flows.error_message e)
 
 let test_table2_reproduction () =
   (* Paper Table 2: Case 1 (conventional) 3408, Case 2 (slowest-first)
@@ -150,7 +150,7 @@ let test_area_recovery_monotone () =
   let ip = Interpolation.unrolled () in
   let config = { Flows.default_config with recover_area = false } in
   match Flows.run ~config Flows.Conventional ip.Interpolation.dfg ~lib ~clock:Interpolation.clock with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Flows.error_message e)
   | Ok r ->
     let before = Alloc.fu_area r.Flows.schedule.Schedule.alloc in
     let n = Area_recovery.run r.Flows.schedule in

@@ -82,7 +82,7 @@ let test_cosim_under_schedules src name () =
   List.iter
     (fun flow ->
       match Flows.run flow e.Elaborate.dfg ~lib:Library.default ~clock:6000.0 with
-      | Error m -> Alcotest.failf "%s: %s failed: %s" name (Flows.flow_name flow) m
+      | Error e -> Alcotest.failf "%s: %s failed: %s" name (Flows.flow_name flow) (Flows.error_message e)
       | Ok rep ->
         let r = Cosim.check ~schedule:rep.Flows.schedule ~iterations:48 ~seed:11 e in
         (match r.Cosim.mismatches with

@@ -25,7 +25,7 @@ let test_idct_io () =
 let test_idct_validates_and_schedules () =
   let d = Idct.build ~latency:10 ~passes:1 () in
   match Flows.run Flows.Slack_based d.Idct.dfg ~lib:Library.default ~clock:2500.0 with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Flows.error_message e)
   | Ok r -> (
     match Schedule.validate r.Flows.schedule with
     | Ok () -> ()
@@ -62,7 +62,7 @@ let test_fir_structure () =
 let test_fir_schedules () =
   let f = Fir.build ~taps:8 ~latency:6 () in
   match Flows.run Flows.Slack_based f.Fir.dfg ~lib:Library.default ~clock:2500.0 with
-  | Error m -> Alcotest.fail m
+  | Error e -> Alcotest.fail (Flows.error_message e)
   | Ok r -> (
     match Schedule.validate r.Flows.schedule with
     | Ok () -> ()
