@@ -7,19 +7,51 @@
      slack    print the pre-schedule sequential-slack report
      emit     run a flow and write the Verilog rendering
      explore  IDCT design-space exploration (the paper's Table 4)
+     fuzz     seeded random designs through every flow under validation
      dot      dump Graphviz renderings
 
-   Every subcommand accepts --stats (per-phase telemetry report on stderr)
-   and --trace FILE (Chrome trace-event JSON, loadable in Perfetto or
-   chrome://tracing).  Any failing flow exits non-zero with the scheduler's
-   failure diagnosis on stderr. *)
+   Every subcommand accepts --stats (per-phase telemetry report on stderr),
+   --trace FILE (Chrome trace-event JSON), --validate LEVEL (phase-boundary
+   invariant checking: off, boundary, paranoid) and --max-recoveries N (the
+   scheduling retry-ladder bound).
+
+   Exit codes:
+     0  success
+     1  internal error (I/O, trace emission)
+     2  usage error (bad flags, malformed source, invalid configuration)
+     3  validation failure (a pipeline invariant was violated)
+     4  unrecoverable flow failure (scheduling failed after the full
+        recovery ladder) *)
 
 open Cmdliner
+
+(* Failure classes, in increasing exit-code order; each carries the message
+   printed on stderr. *)
+type cli_error =
+  | Internal of string
+  | Usage of string
+  | Validation of string
+  | Flow_failed of string
+
+let exit_code_of = function
+  | Internal _ -> 1
+  | Usage _ -> 2
+  | Validation _ -> 3
+  | Flow_failed _ -> 4
+
+let message_of = function
+  | Internal m | Usage m | Validation m | Flow_failed m -> m
+
+let classify_flow_error e =
+  match e with
+  | Flows.Invalid _ -> Usage (Flows.error_message e)
+  | Flows.Validation_failed _ -> Validation (Flows.error_message e)
+  | Flows.Sched_failed _ -> Flow_failed (Flows.error_message e)
 
 let lib_of = function
   | "default" | "virt90" -> Ok Library.default
   | "ideal" | "idealized" -> Ok Library.idealized
-  | s -> Error (Printf.sprintf "unknown library %S (try: default, ideal)" s)
+  | s -> Error (Usage (Printf.sprintf "unknown library %S (try: default, ideal)" s))
 
 let builtin_designs =
   [
@@ -40,18 +72,18 @@ let builtin_designs =
 let load_design ~source ~builtin ~clock =
   match (source, builtin) with
   | Some path, None -> (
-    try
-      let p = Parser.parse_file path in
-      let e = Elaborate.elaborate p in
-      let clock = Option.value ~default:2500.0 clock in
-      Ok (Hls.design ~name:p.Ast.proc_name ~clock e.Elaborate.dfg)
-    with
-    | Parser.Error { line; message } ->
-      Error (Printf.sprintf "%s:%d: parse error: %s" path line message)
-    | Lexer.Error { line; message } ->
-      Error (Printf.sprintf "%s:%d: lex error: %s" path line message)
-    | Elaborate.Error m -> Error (Printf.sprintf "%s: elaboration error: %s" path m)
-    | Sys_error m -> Error m)
+    match Parser.parse_file_result path with
+    | Error d ->
+      Error
+        (Usage (Printf.sprintf "%s: syntax error: %s" path (Parser.diagnostic_message d)))
+    | exception Sys_error m -> Error (Internal m)
+    | Ok p -> (
+      match Elaborate.elaborate p with
+      | e ->
+        let clock = Option.value ~default:2500.0 clock in
+        Ok (Hls.design ~name:p.Ast.proc_name ~clock e.Elaborate.dfg)
+      | exception Elaborate.Error m ->
+        Error (Usage (Printf.sprintf "%s: elaboration error: %s" path m))))
   | None, Some name -> (
     match List.assoc_opt name builtin_designs with
     | Some mk ->
@@ -59,16 +91,30 @@ let load_design ~source ~builtin ~clock =
       Ok (Hls.design ~name ~clock:(Option.value ~default:default_clock clock) dfg)
     | None ->
       Error
-        (Printf.sprintf "unknown builtin %S (try: %s)" name
-           (String.concat ", " (List.map fst builtin_designs))))
-  | Some _, Some _ -> Error "pass either a source file or --design, not both"
-  | None, None -> Error "pass a source file or --design NAME"
+        (Usage
+           (Printf.sprintf "unknown builtin %S (try: %s)" name
+              (String.concat ", " (List.map fst builtin_designs)))))
+  | Some _, Some _ -> Error (Usage "pass either a source file or --design, not both")
+  | None, None -> Error (Usage "pass a source file or --design NAME")
 
 let flow_of = function
   | "conventional" | "conv" -> Ok Flows.Conventional
   | "slowest" | "slowest-first" -> Ok Flows.Slowest_first
   | "slack" | "slack-based" -> Ok Flows.Slack_based
-  | s -> Error (Printf.sprintf "unknown flow %S (try: conventional, slowest, slack)" s)
+  | s ->
+    Error (Usage (Printf.sprintf "unknown flow %S (try: conventional, slowest, slack)" s))
+
+let config_of validate max_recoveries =
+  match Check.level_of_string validate with
+  | None ->
+    Error
+      (Usage
+         (Printf.sprintf "unknown validation level %S (try: off, boundary, paranoid)"
+            validate))
+  | Some level ->
+    if max_recoveries < 0 then Error (Usage "--max-recoveries must be non-negative")
+    else
+      Ok { Flows.default_config with Flows.validate = level; max_recoveries }
 
 (* Common options *)
 
@@ -98,6 +144,14 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write a Chrome trace-event JSON file on exit (open in Perfetto or chrome://tracing).")
 
+let validate_arg =
+  Arg.(value & opt string "boundary" & info [ "validate" ] ~docv:"LEVEL"
+         ~doc:"Phase-boundary invariant checking: off, boundary (default) or paranoid.")
+
+let max_recoveries_arg =
+  Arg.(value & opt int 3 & info [ "max-recoveries" ] ~docv:"N"
+         ~doc:"Bound on the scheduling recovery ladder (0 disables recovery).")
+
 (* Enable the requested telemetry sinks, run [k], then emit the report
    and/or trace file.  Emission happens even when [k] fails, so a failing
    flow still leaves its telemetry behind for diagnosis. *)
@@ -119,9 +173,11 @@ let with_obs ~stats ~trace k =
 
 let ( let* ) = Result.bind
 
-let fail m =
-  Printf.eprintf "hlsc: %s\n" m;
-  1
+let finish = function
+  | Ok () -> 0
+  | Error err ->
+    Printf.eprintf "hlsc: %s\n" (message_of err);
+    exit_code_of err
 
 let report_result r =
   let sched = r.Hls.report.Flows.schedule in
@@ -133,146 +189,207 @@ let report_result r =
   Format.printf "area: %a@." Area_model.pp_breakdown r.Hls.area;
   Format.printf "netlist: %a@." Netlist.pp_stats (Netlist.stats r.Hls.netlist);
   Format.printf "relaxations: %d, recovery re-grades: %d@." r.Hls.report.Flows.relaxations
-    r.Hls.report.Flows.regrades
+    r.Hls.report.Flows.regrades;
+  List.iter
+    (fun a -> Format.printf "recovery: %a@." Flows.pp_recovery_attempt a)
+    r.Hls.report.Flows.recovery_log;
+  List.iter
+    (fun v -> Format.printf "warning: %a@." Check.pp_violation v)
+    r.Hls.report.Flows.violations
 
-let run_cmd source builtin clock lib flow stats trace =
+let run_cmd source builtin clock lib flow validate max_recoveries stats trace =
   with_obs ~stats ~trace @@ fun () ->
-  let result =
-    let* lib = lib_of lib in
-    let* flow = flow_of flow in
-    let* d = load_design ~source ~builtin ~clock in
-    let* r = Result.map_error Flows.error_message (Hls.run ~lib flow d) in
-    Ok (report_result r)
-  in
-  match result with Ok () -> 0 | Error m -> fail m
+  finish
+    (let* lib = lib_of lib in
+     let* flow = flow_of flow in
+     let* config = config_of validate max_recoveries in
+     let* d = load_design ~source ~builtin ~clock in
+     let* r = Result.map_error classify_flow_error (Hls.run ~lib ~config flow d) in
+     Ok (report_result r))
 
-let compare_cmd source builtin clock lib stats trace =
+let compare_cmd source builtin clock lib validate max_recoveries stats trace =
   with_obs ~stats ~trace @@ fun () ->
-  let result =
-    let* lib = lib_of lib in
-    let* d = load_design ~source ~builtin ~clock in
-    let c = Hls.compare_flows ~lib d in
-    let show label = function
-      | Ok r ->
-        Printf.printf "%s total area %.0f\n" label (Hls.total_area r);
-        true
-      | Error e ->
-        Printf.printf "%s FAILED\n" label;
-        Format.eprintf "hlsc: %s@." (Flows.error_message e);
-        false
-    in
-    let ok_c = show "conventional:" c.Hls.conventional in
-    let ok_s = show "slack-based: " c.Hls.slack_based in
-    (match c.Hls.saving_pct with
-    | Some s -> Printf.printf "saving: %.1f%%\n" s
-    | None -> ());
-    if ok_c && ok_s then Ok () else Error "one or more flows failed"
-  in
-  match result with Ok () -> 0 | Error m -> fail m
+  finish
+    (let* lib = lib_of lib in
+     let* config = config_of validate max_recoveries in
+     let* d = load_design ~source ~builtin ~clock in
+     let c = Hls.compare_flows ~lib ~config d in
+     let show label = function
+       | Ok r ->
+         Printf.printf "%s total area %.0f\n" label (Hls.total_area r);
+         None
+       | Error e ->
+         Printf.printf "%s FAILED\n" label;
+         Format.eprintf "hlsc: %s@." (Flows.error_message e);
+         Some (classify_flow_error e)
+     in
+     let err_c = show "conventional:" c.Hls.conventional in
+     let err_s = show "slack-based: " c.Hls.slack_based in
+     (match c.Hls.saving_pct with
+     | Some s -> Printf.printf "saving: %.1f%%\n" s
+     | None -> ());
+     match (err_c, err_s) with
+     | None, None -> Ok ()
+     | Some (Validation _ as e), _ | _, Some (Validation _ as e) -> Error e
+     | Some e, _ | _, Some e -> Error e)
 
-let slack_cmd source builtin clock lib stats trace =
+let slack_cmd source builtin clock lib validate max_recoveries stats trace =
   with_obs ~stats ~trace @@ fun () ->
-  let result =
-    let* lib = lib_of lib in
-    let* d = load_design ~source ~builtin ~clock in
-    let del o =
-      let op = Dfg.op d.Hls.dfg o in
-      match Library.op_curve lib op.Dfg.kind ~width:op.Dfg.width with
-      | Some c -> Curve.min_delay c
-      | None -> 0.0
-    in
-    let res = Hls.analyze_slack ~aligned:true d ~del in
-    Printf.printf "aligned sequential slack at fastest grades (clock %.0f ps):\n"
-      d.Hls.clock;
-    Dfg.iter_ops d.Hls.dfg (fun op ->
-        match op.Dfg.kind with
-        | Dfg.Const _ -> ()
-        | _ ->
-          let i = Dfg.Op_id.to_int op.Dfg.id in
-          Printf.printf "  %-16s arr %8.1f  req %8.1f  slack %8.1f\n" op.Dfg.name
-            res.Slack.arr.(i) res.Slack.req.(i) res.Slack.slack.(i));
-    Printf.printf "min slack: %.1f ps -> %s\n" res.Slack.min_slack
-      (if Slack.feasible res then "feasible (Prop. 1)" else "INFEASIBLE: relax latency or clock");
-    Ok ()
-  in
-  match result with Ok () -> 0 | Error m -> fail m
+  finish
+    (let* lib = lib_of lib in
+     let* config = config_of validate max_recoveries in
+     let* d = load_design ~source ~builtin ~clock in
+     let* () =
+       (* The pre-schedule boundary: audit the DFG before analysing it. *)
+       if Check.ge config.Flows.validate Check.Boundary then begin
+         match Check.errors (Check.record (Check.dfg d.Hls.dfg)) with
+         | [] -> Ok ()
+         | errs -> Error (Validation (Check.summary errs))
+       end
+       else Ok ()
+     in
+     let del o =
+       let op = Dfg.op d.Hls.dfg o in
+       match Library.op_curve lib op.Dfg.kind ~width:op.Dfg.width with
+       | Some c -> Curve.min_delay c
+       | None -> 0.0
+     in
+     let res = Hls.analyze_slack ~aligned:true d ~del in
+     Printf.printf "aligned sequential slack at fastest grades (clock %.0f ps):\n"
+       d.Hls.clock;
+     Dfg.iter_ops d.Hls.dfg (fun op ->
+         match op.Dfg.kind with
+         | Dfg.Const _ -> ()
+         | _ ->
+           let i = Dfg.Op_id.to_int op.Dfg.id in
+           Printf.printf "  %-16s arr %8.1f  req %8.1f  slack %8.1f\n" op.Dfg.name
+             res.Slack.arr.(i) res.Slack.req.(i) res.Slack.slack.(i));
+     Printf.printf "min slack: %.1f ps -> %s\n" res.Slack.min_slack
+       (if Slack.feasible res then "feasible (Prop. 1)" else "INFEASIBLE: relax latency or clock");
+     Ok ())
 
-let emit_cmd source builtin clock lib flow output stats trace =
+let emit_cmd source builtin clock lib flow validate max_recoveries output stats trace =
   with_obs ~stats ~trace @@ fun () ->
-  let result =
-    let* lib = lib_of lib in
-    let* flow = flow_of flow in
-    let* d = load_design ~source ~builtin ~clock in
-    let* r = Result.map_error Flows.error_message (Hls.run ~lib flow d) in
-    let path =
-      Option.value ~default:(d.Hls.design_name ^ ".v") output
-    in
-    Verilog.write_file ~module_name:d.Hls.design_name r.Hls.netlist ~path;
-    Printf.printf "wrote %s\n" path;
-    Ok ()
-  in
-  match result with Ok () -> 0 | Error m -> fail m
+  finish
+    (let* lib = lib_of lib in
+     let* flow = flow_of flow in
+     let* config = config_of validate max_recoveries in
+     let* d = load_design ~source ~builtin ~clock in
+     let* r = Result.map_error classify_flow_error (Hls.run ~lib ~config flow d) in
+     let path = Option.value ~default:(d.Hls.design_name ^ ".v") output in
+     match Verilog.write_file ~module_name:d.Hls.design_name r.Hls.netlist ~path with
+     | () ->
+       Printf.printf "wrote %s\n" path;
+       Ok ()
+     | exception Sys_error m -> Error (Internal m))
 
-let dot_cmd source builtin clock lib flow output stats trace =
+let dot_cmd source builtin clock lib flow validate max_recoveries output stats trace =
   with_obs ~stats ~trace @@ fun () ->
-  let result =
-    let* lib = lib_of lib in
-    let* flow = flow_of flow in
-    let* d = load_design ~source ~builtin ~clock in
-    let* r = Result.map_error Flows.error_message (Hls.run ~lib flow d) in
-    let sched = r.Hls.report.Flows.schedule in
-    let spans = Dfg.compute_spans d.Hls.dfg in
-    let base = Option.value ~default:d.Hls.design_name output in
-    let dump suffix contents =
-      let path = base ^ suffix in
-      Dot.write_file contents ~path;
-      Printf.printf "wrote %s\n" path
-    in
-    dump ".cfg.dot" (Dot.cfg (Dfg.cfg d.Hls.dfg));
-    dump ".dfg.dot" (Dot.dfg ~spans d.Hls.dfg);
-    dump ".timed.dot" (Dot.timed_dfg (Timed_dfg.build d.Hls.dfg ~spans));
-    dump ".sched.dot" (Dot.schedule sched);
-    Ok ()
-  in
-  match result with Ok () -> 0 | Error m -> fail m
+  finish
+    (let* lib = lib_of lib in
+     let* flow = flow_of flow in
+     let* config = config_of validate max_recoveries in
+     let* d = load_design ~source ~builtin ~clock in
+     let* r = Result.map_error classify_flow_error (Hls.run ~lib ~config flow d) in
+     let sched = r.Hls.report.Flows.schedule in
+     let spans = Dfg.compute_spans d.Hls.dfg in
+     let base = Option.value ~default:d.Hls.design_name output in
+     let dump suffix contents =
+       let path = base ^ suffix in
+       Dot.write_file contents ~path;
+       Printf.printf "wrote %s\n" path
+     in
+     match
+       dump ".cfg.dot" (Dot.cfg (Dfg.cfg d.Hls.dfg));
+       dump ".dfg.dot" (Dot.dfg ~spans d.Hls.dfg);
+       dump ".timed.dot" (Dot.timed_dfg (Timed_dfg.build d.Hls.dfg ~spans));
+       dump ".sched.dot" (Dot.schedule sched)
+     with
+     | () -> Ok ()
+     | exception Sys_error m -> Error (Internal m))
 
-let explore_cmd lib stats trace =
+let explore_cmd lib validate max_recoveries stats trace =
   with_obs ~stats ~trace @@ fun () ->
-  match lib_of lib with
-  | Error m -> fail m
-  | Ok lib ->
-    let points =
-      List.map
-        (fun (p : Idct.design_point) ->
-          let d = Idct.instantiate p in
-          (p.Idct.id, Hls.design ?ii:p.Idct.ii ~name:d.Idct.name ~clock:p.Idct.clock d.Idct.dfg))
-        Idct.table4_points
-    in
-    let rows = Hls.explore ~lib points in
-    print_string (Hls.render_dse rows);
-    let failed =
-      List.filter (fun r -> r.Hls.a_conv = None || r.Hls.a_slack = None) rows
-    in
-    if failed = [] then 0
-    else
-      fail
-        (Printf.sprintf "%d of %d exploration points failed (see table)"
-           (List.length failed) (List.length rows))
+  finish
+    (let* lib = lib_of lib in
+     let* config = config_of validate max_recoveries in
+     let points =
+       List.map
+         (fun (p : Idct.design_point) ->
+           let d = Idct.instantiate p in
+           (p.Idct.id, Hls.design ?ii:p.Idct.ii ~name:d.Idct.name ~clock:p.Idct.clock d.Idct.dfg))
+         Idct.table4_points
+     in
+     let rows = Hls.explore ~lib ~config points in
+     print_string (Hls.render_dse rows);
+     let failed =
+       List.filter (fun r -> r.Hls.a_conv = None || r.Hls.a_slack = None) rows
+     in
+     if failed = [] then Ok ()
+     else
+       Error
+         (Flow_failed
+            (Printf.sprintf "%d of %d exploration points failed (see table)"
+               (List.length failed) (List.length rows))))
+
+(* Fuzz: seeded random designs through every flow.  Scheduling failures are
+   tolerated (tight random designs may be legitimately infeasible — the
+   ladder transcript says the system degraded gracefully); invariant
+   violations and crashes are not. *)
+let fuzz_cmd count seed lib validate max_recoveries stats trace =
+  with_obs ~stats ~trace @@ fun () ->
+  finish
+    (let* lib = lib_of lib in
+     let* config = config_of validate max_recoveries in
+     if count <= 0 then Error (Usage "--count must be positive")
+     else begin
+       let designs = Random_design.suite ~count ~seed () in
+       let ok = ref 0 and sched_fails = ref 0 and recovered = ref 0 in
+       let violations = ref [] in
+       List.iter
+         (fun (d : Random_design.t) ->
+           List.iter
+             (fun flow ->
+               let design =
+                 Hls.design ~name:d.Random_design.name
+                   ~clock:d.Random_design.suggested_clock d.Random_design.dfg
+               in
+               match Hls.run ~lib ~config flow design with
+               | Ok r ->
+                 incr ok;
+                 if r.Hls.report.Flows.recovery_log <> [] then incr recovered
+               | Error (Flows.Sched_failed _) -> incr sched_fails
+               | Error (Flows.Invalid _ as e) | Error (Flows.Validation_failed _ as e)
+                 ->
+                 violations :=
+                   Printf.sprintf "%s/%s: %s" d.Random_design.name
+                     (Flows.flow_name flow) (Flows.error_message e)
+                   :: !violations)
+             [ Flows.Conventional; Flows.Slowest_first; Flows.Slack_based ])
+         designs;
+       Printf.printf
+         "fuzz: %d designs x 3 flows: %d ok (%d via recovery), %d infeasible, %d violations\n"
+         count !ok !recovered !sched_fails
+         (List.length !violations);
+       match List.rev !violations with
+       | [] -> Ok ()
+       | vs -> Error (Validation (String.concat "\n" vs))
+     end)
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
     Term.(const run_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
-          $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"Conventional vs slack-based, side by side")
     Term.(const compare_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
-          $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg)
 
 let slack_t =
   Cmd.v (Cmd.info "slack" ~doc:"Pre-schedule sequential-slack report")
     Term.(const slack_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
-          $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg)
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
@@ -281,19 +398,41 @@ let output_arg =
 let emit_t =
   Cmd.v (Cmd.info "emit" ~doc:"Run a flow and write the Verilog rendering")
     Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
-          $ output_arg $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg)
 
 let explore_t =
   Cmd.v (Cmd.info "explore" ~doc:"IDCT design-space exploration (paper Table 4)")
-    Term.(const explore_cmd $ lib_arg $ stats_arg $ trace_arg)
+    Term.(const explore_cmd $ lib_arg $ validate_arg $ max_recoveries_arg
+          $ stats_arg $ trace_arg)
+
+let count_arg =
+  Arg.(value & opt int 25 & info [ "count"; "n" ] ~docv:"N"
+         ~doc:"Number of random designs.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Master seed for the random-design suite.")
+
+let fuzz_validate_arg =
+  Arg.(value & opt string "paranoid" & info [ "validate" ] ~docv:"LEVEL"
+         ~doc:"Phase-boundary invariant checking: off, boundary or paranoid (default).")
+
+let fuzz_t =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Random designs through every flow under invariant validation")
+    Term.(const fuzz_cmd $ count_arg $ seed_arg $ lib_arg $ fuzz_validate_arg
+          $ max_recoveries_arg $ stats_arg $ trace_arg)
 
 let dot_t =
   Cmd.v
     (Cmd.info "dot" ~doc:"Dump Graphviz renderings (CFG, DFG+spans, timed DFG, schedule)")
     Term.(const dot_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
-          $ output_arg $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg)
 
 let () =
   let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in
   let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_t; compare_t; slack_t; emit_t; explore_t; dot_t ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_t; compare_t; slack_t; emit_t; explore_t; fuzz_t; dot_t ]))

@@ -17,6 +17,17 @@ let default_config =
     engine = Two_pass;
   }
 
+(* The recovery ladder's "try budgeting harder" rung: a coarser slack bin
+   (fewer, larger updates converge on stubborn designs), more refinement
+   rounds and a finer bisection.  Idempotent enough to apply repeatedly. *)
+let relax c =
+  {
+    c with
+    margin_frac = Float.min 0.25 (c.margin_frac *. 2.0);
+    max_rounds = max 8 (c.max_rounds * 2);
+    bisection_steps = max 16 (c.bisection_steps + 8);
+  }
+
 type infeasible = {
   slack_at_min : Slack.result;
   critical : Dfg.Op_id.t list;

@@ -48,6 +48,12 @@ type config = {
 
 val default_config : config
 
+val relax : config -> config
+(** A strictly more persistent configuration — coarser slack bin, more
+    refinement rounds, finer bisection — used by the scheduling recovery
+    ladder's re-budgeting rung.  Safe to apply repeatedly (every knob is
+    clamped). *)
+
 type infeasible = {
   slack_at_min : Slack.result;  (** analysis with every delay at its minimum *)
   critical : Dfg.Op_id.t list;  (** ops pinning the negative slack *)

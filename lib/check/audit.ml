@@ -1,0 +1,162 @@
+let total ~check f =
+  try f ()
+  with exn ->
+    [
+      Check.violation ~check:(check ^ ".audit_crash")
+        (Printf.sprintf "auditor raised %s" (Printexc.to_string exn));
+    ]
+
+let check_schedule (s : Schedule.t) =
+  total ~check:"schedule" @@ fun () ->
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  (match Schedule.validate s with
+  | Ok () -> ()
+  | Error msgs ->
+    List.iter (fun m -> add (Check.violation ~check:"schedule.legality" m)) msgs);
+  let cfg = Dfg.cfg s.Schedule.dfg in
+  Dfg.iter_ops s.Schedule.dfg (fun o ->
+      match Schedule.placement s o.Dfg.id with
+      | None -> ()
+      | Some p ->
+        let expect = Cfg.state_of_edge cfg p.Schedule.edge in
+        if p.Schedule.step <> expect then
+          add
+            (Check.violation ~check:"schedule.step_consistency"
+               ~witness:(Check.Op o.Dfg.id)
+               (Printf.sprintf
+                  "op %s records control step %d but its edge sits in step %d"
+                  o.Dfg.name p.Schedule.step expect)));
+  List.rev !vs
+
+let check_netlist (nl : Netlist.t) =
+  total ~check:"netlist" @@ fun () ->
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  let s = nl.Netlist.schedule in
+  let dfg = s.Schedule.dfg in
+  let port_exists name input =
+    List.exists
+      (fun p -> p.Netlist.port_name = name && p.Netlist.input = input)
+      nl.Netlist.ports
+  in
+  let used = Hashtbl.create 8 in
+  Dfg.iter_ops dfg (fun o ->
+      match o.Dfg.kind with
+      | Dfg.Read name ->
+        Hashtbl.replace used (name, true) ();
+        if not (port_exists name true) then
+          add
+            (Check.violation ~check:"netlist.port_coverage"
+               ~witness:(Check.Port name)
+               (Printf.sprintf "read op %s has no input port %s" o.Dfg.name name))
+      | Dfg.Write name ->
+        Hashtbl.replace used (name, false) ();
+        if not (port_exists name false) then
+          add
+            (Check.violation ~check:"netlist.port_coverage"
+               ~witness:(Check.Port name)
+               (Printf.sprintf "write op %s has no output port %s" o.Dfg.name name))
+      | _ -> ());
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem used (p.Netlist.port_name, p.Netlist.input)) then
+        add
+          (Check.violation ~check:"netlist.orphan_port"
+             ~witness:(Check.Port p.Netlist.port_name)
+             (Printf.sprintf "%s port %s is driven by no operation"
+                (if p.Netlist.input then "input" else "output")
+                p.Netlist.port_name)))
+    nl.Netlist.ports;
+  (* FU binding: the ops a functional unit lists must really be placed on
+     that instance, and every instance-bound op must be covered. *)
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun (fu : Netlist.fu) ->
+      List.iter
+        (fun o ->
+          Hashtbl.replace covered (Dfg.Op_id.to_int o) ();
+          match Schedule.placement s o with
+          | None ->
+            add
+              (Check.violation ~check:"netlist.fu_binding" ~witness:(Check.Op o)
+                 (Printf.sprintf "FU lists unplaced op %s" (Dfg.op dfg o).Dfg.name))
+          | Some p ->
+            if p.Schedule.inst <> Some fu.Netlist.inst.Alloc.id then
+              add
+                (Check.violation ~check:"netlist.fu_binding" ~witness:(Check.Op o)
+                   (Printf.sprintf "FU lists op %s bound to a different instance"
+                      (Dfg.op dfg o).Dfg.name)))
+        fu.Netlist.ops)
+    nl.Netlist.fus;
+  Dfg.iter_ops dfg (fun o ->
+      match Schedule.placement s o.Dfg.id with
+      | Some p
+        when p.Schedule.inst <> None
+             && not (Hashtbl.mem covered (Dfg.Op_id.to_int o.Dfg.id)) ->
+        add
+          (Check.violation ~check:"netlist.fu_coverage" ~witness:(Check.Op o.Dfg.id)
+             (Printf.sprintf "bound op %s appears in no functional unit" o.Dfg.name))
+      | _ -> ());
+  List.iter
+    (fun (r : Netlist.register) ->
+      if r.Netlist.reg_width < 1 then
+        add
+          (Check.violation ~check:"netlist.register" ~witness:(Check.Op r.Netlist.source)
+             (Printf.sprintf "register %s has width %d" r.Netlist.reg_name
+                r.Netlist.reg_width));
+      if r.Netlist.written_in_step < 0 || r.Netlist.written_in_step >= nl.Netlist.n_states
+      then
+        add
+          (Check.violation ~check:"netlist.register" ~witness:(Check.Op r.Netlist.source)
+             (Printf.sprintf "register %s written in step %d of %d states"
+                r.Netlist.reg_name r.Netlist.written_in_step nl.Netlist.n_states));
+      if not (Schedule.is_placed s r.Netlist.source) then
+        add
+          (Check.violation ~check:"netlist.register" ~witness:(Check.Op r.Netlist.source)
+             (Printf.sprintf "register %s sourced from an unplaced op"
+                r.Netlist.reg_name)))
+    nl.Netlist.registers;
+  let states = Schedule.steps_used s in
+  if nl.Netlist.n_states <> states then
+    add
+      (Check.violation ~check:"netlist.states"
+         (Printf.sprintf "netlist records %d states but the schedule uses %d"
+            nl.Netlist.n_states states));
+  List.rev !vs
+
+let check_area (s : Schedule.t) (b : Area_model.breakdown) =
+  total ~check:"area" @@ fun () ->
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  let component name x =
+    if not (Float.is_finite x) then
+      add
+        (Check.violation ~check:"area.finite"
+           (Printf.sprintf "%s area is not finite" name))
+    else if x < 0.0 then
+      add
+        (Check.violation ~check:"area.finite"
+           (Printf.sprintf "%s area is negative (%.3f)" name x))
+  in
+  component "fu" b.Area_model.fu;
+  component "mux" b.Area_model.mux;
+  component "register" b.Area_model.registers;
+  component "fsm" b.Area_model.fsm;
+  component "total" b.Area_model.total;
+  let sum =
+    b.Area_model.fu +. b.Area_model.mux +. b.Area_model.registers +. b.Area_model.fsm
+  in
+  let eps = 1e-6 *. Float.max 1.0 (Float.abs sum) in
+  if Float.abs (sum -. b.Area_model.total) > eps then
+    add
+      (Check.violation ~check:"area.breakdown_sum"
+         (Printf.sprintf "breakdown total %.3f differs from component sum %.3f"
+            b.Area_model.total sum));
+  let fu_only = Area_model.fu_only s in
+  if Float.abs (fu_only -. b.Area_model.fu) > eps then
+    add
+      (Check.violation ~check:"area.fu_crosscheck"
+         (Printf.sprintf "breakdown FU area %.3f differs from fu_only %.3f"
+            b.Area_model.fu fu_only));
+  List.rev !vs

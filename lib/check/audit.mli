@@ -1,0 +1,28 @@
+(** Post-schedule phase-boundary validators.
+
+    Companions to the [Check] validators for the artifacts produced after
+    scheduling — the schedule itself, the netlist and the area breakdown —
+    split out of [Check] because they need the scheduling/RTL types, which
+    sit above the layers [Flows.run] validates in-flight.
+
+    Same contract as [Check]: total (never raise — an internal crash while
+    auditing is itself reported as a violation), structured violation lists
+    with witnesses. *)
+
+val check_schedule : Schedule.t -> Check.violation list
+(** Schedule legality: the full structural audit of [Schedule.validate]
+    (placements total, spans respected, dependency order with chaining,
+    per-cycle delay within the clock, II-congruent sharing conflicts), plus
+    a step/edge consistency cross-check: every placement's recorded control
+    step equals [Cfg.state_of_edge] of its edge. *)
+
+val check_netlist : Netlist.t -> Check.violation list
+(** Netlist cross-checks against its schedule: every [Read]/[Write] op
+    backed by a port and no orphan ports; every FU op placed on that very
+    instance and every bound op covered by exactly one FU; registers with
+    sane widths/steps and placed sources; state count consistent. *)
+
+val check_area : Schedule.t -> Area_model.breakdown -> Check.violation list
+(** Area-model consistency: components finite and non-negative, the total
+    equal to the component sum, and the FU component equal to the
+    independently computed [Area_model.fu_only]. *)

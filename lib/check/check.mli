@@ -1,0 +1,91 @@
+(** Pipeline-wide invariant checking (the "checked pipeline").
+
+    The flow of the paper (Fig. 8) is a chain of phases — DFG construction,
+    timed-DFG derivation, slack analysis, budgeting, scheduling, netlist
+    generation — and a silent corruption in one phase surfaces only as a
+    mysteriously bad or infeasible result many phases later.  Each validator
+    here audits the artifact one phase hands to the next and returns a
+    structured {!violation} list ({e never} raises), with a severity and an
+    op/edge witness, so callers can degrade gracefully: record, retry
+    through the recovery ladder in [Flows.run], or abort with a precise
+    diagnosis.
+
+    Validators for the post-schedule artifacts (schedule legality,
+    netlist/area cross-checks) live in [Audit], one layer up, because they
+    need the scheduling and RTL types.
+
+    Every violation recorded through {!record} bumps the [check.violations]
+    telemetry counter. *)
+
+type severity = Warning | Error
+
+type witness =
+  | No_witness
+  | Op of Dfg.Op_id.t
+  | Dep of Dfg.Op_id.t * Dfg.Op_id.t          (** producer, consumer *)
+  | Cycle of Dfg.Op_id.t list                 (** acyclicity witness *)
+  | Port of string                            (** I/O port name *)
+
+type violation = {
+  check : string;      (** validator that fired, e.g. ["dfg.acyclic"] *)
+  severity : severity;
+  witness : witness;
+  message : string;
+}
+
+val violation :
+  ?severity:severity -> ?witness:witness -> check:string -> string -> violation
+(** [severity] defaults to [Error], [witness] to [No_witness]. *)
+
+val errors : violation list -> violation list
+(** The [Error]-severity subset. *)
+
+val has_errors : violation list -> bool
+val pp_violation : Format.formatter -> violation -> unit
+val summary : violation list -> string
+(** One line per violation, for error messages and logs. *)
+
+val record : violation list -> violation list
+(** Bump the [check.violations] counter by the list length; returns the
+    list unchanged.  Validators themselves never touch telemetry so they
+    stay pure and re-runnable. *)
+
+(** {1 Validation levels} *)
+
+type level = Off | Boundary | Paranoid
+
+val level_of_string : string -> level option
+val level_name : level -> string
+
+val ge : level -> level -> bool
+(** [ge l at]: whether level [l] enables checks gated at [at]
+    ([Off < Boundary < Paranoid]). *)
+
+(** {1 Phase-boundary validators}
+
+    All validators are total: they never raise, whatever the corruption. *)
+
+val dfg : Dfg.t -> violation list
+(** DFG well-formedness: forward dependencies acyclic (with a cycle
+    witness), op widths inside the library's [1, 512] range, birth edges on
+    forward CFG edges, every forward dependency realisable (producer birth
+    reaches consumer birth). *)
+
+val timed_dfg : Timed_dfg.t -> violation list
+(** Timed-DFG sanity: every edge latency non-negative, and every active op
+    covered by a sink node (the span-encoding edge of §V Definition 2). *)
+
+val slack :
+  Timed_dfg.t -> clock:float -> del:(Dfg.Op_id.t -> float) -> violation list
+(** Slack consistency after budgeting: with the budgeted delays, aligned
+    arrival must not exceed required time on any op, and every aligned
+    arrival must sit at a legal in-cycle position (operations never
+    straddle a clock boundary). *)
+
+val budget :
+  Dfg.t ->
+  targets:float array ->
+  ranges:(Dfg.Op_id.t -> Interval.t) ->
+  violation list
+(** Budget legality: every delay target finite and inside its op's
+    area/delay-curve range [min, max]. *)

@@ -1,0 +1,93 @@
+type corruption =
+  | Cycle_dfg
+  | Drop_edge_latency
+  | Budget_overshoot
+  | Swap_placements
+  | Orphan_port
+
+let all_corruptions =
+  [ Cycle_dfg; Drop_edge_latency; Budget_overshoot; Swap_placements; Orphan_port ]
+
+let corruption_name = function
+  | Cycle_dfg -> "cycle_dfg"
+  | Drop_edge_latency -> "drop_edge_latency"
+  | Budget_overshoot -> "budget_overshoot"
+  | Swap_placements -> "swap_placements"
+  | Orphan_port -> "orphan_port"
+
+let intended_check_prefix = function
+  | Cycle_dfg -> "dfg."
+  | Drop_edge_latency -> "timed_dfg."
+  | Budget_overshoot -> "budget."
+  | Swap_placements -> "schedule."
+  | Orphan_port -> "netlist."
+
+let cycle_dfg d =
+  let dep =
+    List.find_map
+      (fun c ->
+        match Dfg.preds d c with
+        | p :: _ when not (Dfg.Op_id.equal p c) -> Some (p, c)
+        | _ -> None)
+      (Dfg.ops d)
+  in
+  match dep with
+  | None -> false
+  | Some (p, c) ->
+    Dfg.add_dep d ~src:c ~dst:p ();
+    true
+
+let drop_edge_latency tdfg =
+  match Timed_dfg.active_ops tdfg with
+  | [] -> None
+  | o :: _ ->
+    (* Every active op has at least its sink edge, so a victim exists. *)
+    (match Timed_dfg.succs tdfg (Timed_dfg.Op o) with
+    | [] -> None
+    | (dst, _) :: _ ->
+      Some (Timed_dfg.with_edge_weight tdfg ~src:(Timed_dfg.Op o) ~dst ~weight:(-1)))
+
+let budget_overshoot d ~targets ~ranges =
+  let victim =
+    List.find_opt
+      (fun o ->
+        match (Dfg.op d o).Dfg.kind with Dfg.Const _ -> false | _ -> true)
+      (Dfg.ops d)
+  in
+  match victim with
+  | None -> None
+  | Some o ->
+    let t = Array.copy targets in
+    let i = Dfg.Op_id.to_int o in
+    t.(i) <- (2.0 *. Interval.hi (ranges o)) +. 10.0;
+    Some t
+
+let swap_placements (s : Schedule.t) =
+  let placed =
+    List.filter_map
+      (fun o ->
+        match Schedule.placement s o with
+        | Some p -> Some (Dfg.Op_id.to_int o, p.Schedule.step)
+        | None -> None)
+      (Dfg.ops s.Schedule.dfg)
+  in
+  let pair =
+    match placed with
+    | [] -> None
+    | (i0, s0) :: rest ->
+      Option.map (fun (j, _) -> (i0, j)) (List.find_opt (fun (_, st) -> st <> s0) rest)
+  in
+  match pair with
+  | None -> None
+  | Some (i, j) ->
+    let placements = Array.copy s.Schedule.placements in
+    let tmp = placements.(i) in
+    placements.(i) <- placements.(j);
+    placements.(j) <- tmp;
+    Some { s with Schedule.placements }
+
+let orphan_port (nl : Netlist.t) =
+  let bogus =
+    { Netlist.port_name = "__injected_orphan"; port_width = 8; input = true }
+  in
+  { nl with Netlist.ports = bogus :: nl.Netlist.ports }

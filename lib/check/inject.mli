@@ -1,0 +1,51 @@
+(** Fault-injection harness for the checked pipeline.
+
+    Each corruption class damages one pipeline artifact in a way a specific
+    validator family is contractually obliged to catch; the test suite
+    applies every class and asserts the intended validator — and only that
+    family — fires.  Keeping the classes named and enumerable
+    ({!all_corruptions}) forces the test matrix to stay in sync with the
+    validator set.
+
+    Injectors are deterministic (first eligible victim) and either return a
+    corrupted copy or report that the artifact offered no injection site
+    ([None] / [false]). *)
+
+type corruption =
+  | Cycle_dfg          (** close a forward-dependency cycle in the DFG *)
+  | Drop_edge_latency  (** make a timed-DFG edge weight negative *)
+  | Budget_overshoot   (** push a delay target past its curve maximum *)
+  | Swap_placements    (** swap the placements of two ops in different steps *)
+  | Orphan_port        (** add a netlist port no operation drives *)
+
+val all_corruptions : corruption list
+val corruption_name : corruption -> string
+
+val intended_check_prefix : corruption -> string
+(** The validator family (violation [check]-name prefix) that must detect
+    the class, e.g. ["timed_dfg."] for {!Drop_edge_latency}. *)
+
+val cycle_dfg : Dfg.t -> bool
+(** Add the reverse of an existing forward dependency, closing a 2-cycle.
+    Mutates the DFG in place; [false] when it has no forward dependency. *)
+
+val drop_edge_latency : Timed_dfg.t -> Timed_dfg.t option
+(** Copy with the first active op's first outgoing edge re-weighted to -1;
+    [None] when the graph has no active op. *)
+
+val budget_overshoot :
+  Dfg.t ->
+  targets:float array ->
+  ranges:(Dfg.Op_id.t -> Interval.t) ->
+  float array option
+(** Copy of [targets] with the first non-constant op's target pushed past
+    [Interval.hi (ranges o)]; [None] when there is no such op. *)
+
+val swap_placements : Schedule.t -> Schedule.t option
+(** Copy of the schedule with the placements of the first two ops sitting
+    in different control steps exchanged; [None] when all placed ops share
+    one step. *)
+
+val orphan_port : Netlist.t -> Netlist.t
+(** Copy with an extra input port ["__injected_orphan"] that no operation
+    reads. *)

@@ -29,7 +29,27 @@ let run ?(lib = Library.default) ?config flow d =
     let sched = report.Flows.schedule in
     let area = Obs.span "hls.area_model" (fun () -> Area_model.of_schedule sched) in
     let netlist = Obs.span "hls.netlist" (fun () -> Netlist.build sched) in
-    Ok { design = d; report; area; netlist }
+    (* The RTL-side phase boundary: cross-check the netlist and the area
+       breakdown against the schedule they were derived from. *)
+    let level =
+      (Option.value ~default:Flows.default_config config).Flows.validate
+    in
+    let audit =
+      if Check.ge level Check.Paranoid then
+        Check.record (Audit.check_netlist netlist @ Audit.check_area sched area)
+      else []
+    in
+    if Check.has_errors audit then
+      Error
+        (Flows.Validation_failed
+           {
+             failed_flow = flow;
+             violations = Check.errors audit;
+             recovery_log = report.Flows.recovery_log;
+           })
+    else
+      let report = { report with Flows.violations = report.Flows.violations @ audit } in
+      Ok { design = d; report; area; netlist }
 
 let fu_area r = r.area.Area_model.fu
 let total_area r = r.area.Area_model.total

@@ -29,7 +29,12 @@ val run :
   (result, Flows.error) Stdlib.result
 (** [lib] defaults to {!Library.default}.  Errors are structured
     ({!Flows.error}): render them with {!Flows.pp_error} or
-    {!Flows.error_message}. *)
+    {!Flows.error_message}.
+
+    Under [config.validate = Check.Paranoid] the netlist and area
+    breakdown are additionally cross-checked against the schedule
+    ([Audit]); error-severity findings become
+    [Error (Flows.Validation_failed _)]. *)
 
 val fu_area : result -> float
 val total_area : result -> float

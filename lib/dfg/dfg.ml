@@ -145,6 +145,22 @@ let all_preds t id =
 let all_succs t id =
   List.map (fun (i, lc) -> (Op_id.of_int i, lc)) (adjacency t).all_succ.(Op_id.to_int id)
 
+exception Cyclic of Op_id.t list
+
+(* Mirror of the forward-dependency relation as a Digraph, for the
+   structural queries in Traverse. *)
+let fwd_digraph t =
+  let a = adjacency t in
+  let g = Digraph.create ~initial_capacity:(op_count t) () in
+  for _ = 1 to op_count t do
+    ignore (Digraph.add_node g)
+  done;
+  Array.iteri (fun u succs -> List.iter (fun v -> Digraph.add_edge g u v) succs) a.fwd_succ;
+  g
+
+let forward_cycle t =
+  Option.map (List.map Op_id.of_int) (Traverse.find_cycle (fwd_digraph t))
+
 let topo_order t =
   let a = adjacency t in
   let n = op_count t in
@@ -167,14 +183,19 @@ let topo_order t =
         if indeg.(v) = 0 then Queue.add v queue)
       a.fwd_succ.(u)
   done;
-  if !count <> n then failwith "Dfg.topo_order: forward dependencies are cyclic";
+  if !count <> n then
+    raise (Cyclic (match forward_cycle t with Some path -> path | None -> []));
   List.rev_map Op_id.of_int !order
+
+let cycle_message t path =
+  Printf.sprintf "forward dependencies are cyclic: %s"
+    (String.concat " -> " (List.map (fun o -> (op t o).name) path))
 
 let validate t =
   if not (Cfg.is_sealed t.cfg) then invalid_arg "Dfg.validate: CFG not sealed";
   (match topo_order t with
   | _ -> ()
-  | exception Failure msg -> raise (Malformed msg));
+  | exception Cyclic path -> raise (Malformed (cycle_message t path)));
   iter_ops t (fun o ->
       if Cfg.is_backward t.cfg o.birth then
         raise (Malformed (Printf.sprintf "op %s born on a backward CFG edge" o.name)));

@@ -102,9 +102,21 @@ val all_preds : t -> Op_id.t -> (Op_id.t * bool) list
 
 val all_succs : t -> Op_id.t -> (Op_id.t * bool) list
 
+exception Cyclic of Op_id.t list
+(** A concrete forward-dependency cycle [o1; ...; ok] (each op depends on
+    the previous one, [o1] on [ok]) — the acyclicity witness validators
+    report. *)
+
 val topo_order : t -> Op_id.t list
-(** Topological order over forward dependencies.  Raises [Failure] when the
-    forward DFG is cyclic. *)
+(** Topological order over forward dependencies.  Raises {!Cyclic} (with
+    the offending op path) when the forward DFG is cyclic. *)
+
+val forward_cycle : t -> Op_id.t list option
+(** [None] iff the forward dependencies are acyclic; otherwise one concrete
+    cycle in the {!Cyclic} path convention.  Never raises. *)
+
+val cycle_message : t -> Op_id.t list -> string
+(** Renders a cycle witness with op names. *)
 
 exception Malformed of string
 

@@ -53,7 +53,9 @@ let token_name = function
   | GT -> "'>'"
   | EOF -> "end of input"
 
-exception Error of { line : int; message : string }
+type pos = { line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
 
 let keyword = function
   | "process" -> Some KW_PROCESS
@@ -74,17 +76,26 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
 
-let tokenize src =
+let tokenize_pos src =
   let n = String.length src in
   let line = ref 1 in
+  let bol = ref 0 in
   let tokens = ref [] in
-  let emit t = tokens := (t, !line) :: !tokens in
   let i = ref 0 in
+  let col_at idx = idx - !bol + 1 in
+  let emit_at start t = tokens := (t, { line = !line; col = col_at start }) :: !tokens in
+  let emit t = emit_at !i t in
+  let error idx message = raise (Error { line = !line; col = col_at idx; message }) in
+  (* Call with [!i] on the newline character. *)
+  let newline () =
+    incr line;
+    bol := !i + 1
+  in
   let peek k = if !i + k < n then Some src.[!i + k] else None in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
-      incr line;
+      newline ();
       incr i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
@@ -97,14 +108,14 @@ let tokenize src =
       i := !i + 2;
       let closed = ref false in
       while (not !closed) && !i < n do
-        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '\n' then newline ();
         if src.[!i] = '*' && peek 1 = Some '/' then begin
           closed := true;
           i := !i + 2
         end
         else incr i
       done;
-      if not !closed then raise (Error { line = !line; message = "unterminated comment" })
+      if not !closed then error !i "unterminated comment"
     end
     else if is_ident_start c then begin
       let start = !i in
@@ -112,14 +123,14 @@ let tokenize src =
         incr i
       done;
       let word = String.sub src start (!i - start) in
-      emit (match keyword word with Some kw -> kw | None -> IDENT word)
+      emit_at start (match keyword word with Some kw -> kw | None -> IDENT word)
     end
     else if is_digit c then begin
       let start = !i in
       while !i < n && is_digit src.[!i] do
         incr i
       done;
-      emit (INT (int_of_string (String.sub src start (!i - start))))
+      emit_at start (INT (int_of_string (String.sub src start (!i - start))))
     end
     else begin
       let two a b t =
@@ -155,11 +166,12 @@ let tokenize src =
         | '~' -> emit TILDE
         | '<' -> emit LT
         | '>' -> emit GT
-        | c ->
-          raise (Error { line = !line; message = Printf.sprintf "illegal character %C" c }));
+        | c -> error !i (Printf.sprintf "illegal character %C" c));
         incr i
       end
     end
   done;
   emit EOF;
   List.rev !tokens
+
+let tokenize src = List.map (fun (t, p) -> (t, p.line)) (tokenize_pos src)

@@ -14,8 +14,14 @@ type token =
 
 val token_name : token -> string
 
-exception Error of { line : int; message : string }
+type pos = { line : int; col : int }
+(** 1-based source position of a token's first character. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize_pos : string -> (token * pos) list
+(** Token stream with full source positions.  Supports [//] line comments
+    and [/* */] block comments.  Raises {!Error} on illegal characters. *)
 
 val tokenize : string -> (token * int) list
-(** Token stream with line numbers.  Supports [//] line comments and
-    [/* */] block comments.  Raises {!Error} on illegal characters. *)
+(** {!tokenize_pos} reduced to line numbers. *)

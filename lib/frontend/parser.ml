@@ -1,13 +1,22 @@
-exception Error of { line : int; message : string }
+exception Error of { line : int; col : int; message : string }
 
-type stream = { mutable toks : (Lexer.token * int) list }
+type stream = { mutable toks : (Lexer.token * Lexer.pos) list }
 
 let peek s = match s.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
-let line s = match s.toks with (_, l) :: _ -> l | [] -> 0
+
+let pos s =
+  match s.toks with
+  | (_, p) :: _ -> p
+  | [] -> { Lexer.line = 0; col = 0 }
+
 let advance s = match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
 
 let fail s fmt =
-  Printf.ksprintf (fun message -> raise (Error { line = line s; message })) fmt
+  Printf.ksprintf
+    (fun message ->
+      let p = pos s in
+      raise (Error { line = p.Lexer.line; col = p.Lexer.col; message }))
+    fmt
 
 let expect s tok =
   if peek s = tok then advance s
@@ -157,7 +166,7 @@ let c_tokens = Obs.counter "frontend.tokens"
 
 let parse src =
   Obs.span "frontend.parse" @@ fun () ->
-  let s = { toks = Lexer.tokenize src } in
+  let s = { toks = Lexer.tokenize_pos src } in
   Obs.incr c_parses;
   Obs.add c_tokens (List.length s.toks);
   expect s Lexer.KW_PROCESS;
@@ -204,3 +213,25 @@ let parse_file path =
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+type diagnostic = { dline : int; dcol : int; dmessage : string }
+
+let diagnostic_message d =
+  if d.dline = 0 then d.dmessage
+  else Printf.sprintf "line %d, column %d: %s" d.dline d.dcol d.dmessage
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Error { line; col; message } ->
+    Stdlib.Error { dline = line; dcol = col; dmessage = message }
+  | exception Lexer.Error { line; col; message } ->
+    Stdlib.Error { dline = line; dcol = col; dmessage = message }
+
+let parse_file_result path =
+  match parse_file path with
+  | p -> Ok p
+  | exception Error { line; col; message } ->
+    Stdlib.Error { dline = line; dcol = col; dmessage = message }
+  | exception Lexer.Error { line; col; message } ->
+    Stdlib.Error { dline = line; dcol = col; dmessage = message }

@@ -16,9 +16,26 @@
     }
     v} *)
 
-exception Error of { line : int; message : string }
+exception Error of { line : int; col : int; message : string }
 
 val parse : string -> Ast.process
 (** Raises {!Error} (or {!Lexer.Error}) on malformed input. *)
 
 val parse_file : string -> Ast.process
+
+(** {1 Located diagnostics}
+
+    Exception-free variants for callers that must degrade gracefully (the
+    CLI): lexer and parser errors come back as a located diagnostic
+    instead of an exception. *)
+
+type diagnostic = { dline : int; dcol : int; dmessage : string }
+
+val diagnostic_message : diagnostic -> string
+(** ["line L, column C: message"] (position omitted when unknown). *)
+
+val parse_result : string -> (Ast.process, diagnostic) result
+
+val parse_file_result : string -> (Ast.process, diagnostic) result
+(** I/O failures ([Sys_error]) still raise; only syntax errors are
+    captured. *)

@@ -70,10 +70,42 @@ let topo_sort g =
 
 let is_dag g = match topo_sort g with Ok _ -> true | Error _ -> false
 
+exception Cycle of int list
+
+(* Walk predecessors restricted to the cyclic residue of Kahn's algorithm:
+   a residue node kept nonzero in-degree, so it has a predecessor that is
+   itself in the residue — the walk always continues and must revisit a
+   node, closing a concrete cycle. *)
+let find_cycle g =
+  match topo_sort g with
+  | Ok _ -> None
+  | Error residue ->
+    let in_residue = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace in_residue v ()) residue;
+    let seen = Hashtbl.create 16 in
+    (* [path] is most-recent-first; each path head is a successor of [v]. *)
+    let rec walk path v =
+      if Hashtbl.mem seen v then begin
+        let rec until_v = function
+          | [] -> []
+          | u :: rest -> if u = v then [] else u :: until_v rest
+        in
+        Some (v :: until_v path)
+      end
+      else begin
+        Hashtbl.replace seen v ();
+        match
+          List.find_opt (fun p -> Hashtbl.mem in_residue p) (Digraph.preds g v)
+        with
+        | None -> None
+        | Some p -> walk (v :: path) p
+      end
+    in
+    walk [] (List.hd residue)
+
 let topo_sort_exn g =
   match topo_sort g with
   | Ok order -> order
-  | Error cyc ->
-    failwith
-      (Printf.sprintf "Traverse.topo_sort_exn: graph has a cycle through %d node(s)"
-         (List.length cyc))
+  | Error residue ->
+    let path = match find_cycle g with Some p -> p | None -> residue in
+    raise (Cycle path)

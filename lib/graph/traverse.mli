@@ -20,5 +20,15 @@ val topo_sort : Digraph.t -> (int list, int list) result
 
 val is_dag : Digraph.t -> bool
 
+exception Cycle of int list
+(** A concrete directed cycle: nodes [v1; ...; vk] with an edge from each
+    to the next and from [vk] back to [v1].  The payload is the acyclicity
+    witness consumers (e.g. the DFG validator) report to the user. *)
+
+val find_cycle : Digraph.t -> int list option
+(** [None] iff the graph is acyclic; otherwise one concrete cycle in the
+    {!Cycle} path convention. *)
+
 val topo_sort_exn : Digraph.t -> int list
-(** Raises [Failure] when the graph is cyclic. *)
+(** Raises {!Cycle} (with the offending node path) when the graph is
+    cyclic. *)

@@ -5,22 +5,60 @@ let flow_name = function
   | Slowest_first -> "slowest-first"
   | Slack_based -> "slack-based"
 
+type recovery_step = Relax_budget | Force_fast_grades | Bump_ii
+
+let recovery_step_name = function
+  | Relax_budget -> "relax-budget"
+  | Force_fast_grades -> "force-fast-grades"
+  | Bump_ii -> "bump-ii"
+
+type recovery_outcome = Recovered | Still_failing of string
+
+type recovery_attempt = { step : recovery_step; outcome : recovery_outcome }
+
+let pp_recovery_attempt ppf a =
+  match a.outcome with
+  | Recovered -> Format.fprintf ppf "%s: recovered" (recovery_step_name a.step)
+  | Still_failing m ->
+    Format.fprintf ppf "%s: still failing (%s)" (recovery_step_name a.step) m
+
 type report = {
   flow : flow;
   schedule : Schedule.t;
   relaxations : int;
   regrades : int;
   targets : float array option;
+  recovery_log : recovery_attempt list;
+  violations : Check.violation list;
 }
 
 type error =
   | Invalid of string
-  | Sched_failed of { failed_flow : flow; failure : Sched_core.failure }
+  | Validation_failed of {
+      failed_flow : flow;
+      violations : Check.violation list;
+      recovery_log : recovery_attempt list;
+    }
+  | Sched_failed of {
+      failed_flow : flow;
+      failure : Sched_core.failure;
+      recovery_log : recovery_attempt list;
+    }
+
+let pp_recovery_log ppf = function
+  | [] -> ()
+  | log ->
+    List.iter (fun a -> Format.fprintf ppf "@.  recovery %a" pp_recovery_attempt a) log
 
 let pp_error ppf = function
   | Invalid m -> Format.pp_print_string ppf m
-  | Sched_failed { failed_flow; failure } ->
-    Format.fprintf ppf "%s: %a" (flow_name failed_flow) Sched_core.pp_failure failure
+  | Validation_failed { failed_flow; violations; recovery_log } ->
+    Format.fprintf ppf "%s: pipeline invariants violated:@.%s" (flow_name failed_flow)
+      (Check.summary violations);
+    pp_recovery_log ppf recovery_log
+  | Sched_failed { failed_flow; failure; recovery_log } ->
+    Format.fprintf ppf "%s: %a" (flow_name failed_flow) Sched_core.pp_failure failure;
+    pp_recovery_log ppf recovery_log
 
 let error_message e = Format.asprintf "%a" pp_error e
 
@@ -32,6 +70,7 @@ let c_resource_adds = Obs.counter "flow.resource_additions"
 let c_gamma_decays = Obs.counter "flow.gamma_decays"
 let c_rebudget_runs = Obs.counter "sched.rebudget.runs"
 let c_rebudget_infeasible = Obs.counter "sched.rebudget.infeasible"
+let c_recoveries = Obs.counter "flow.recovery.attempts"
 
 type sharing = {
   merge_add_sub : bool;
@@ -45,6 +84,9 @@ type config = {
   budget_config : Budget.config;
   rebudget_config : Budget.config option;
   sharing : sharing;
+  validate : Check.level;
+  max_recoveries : int;
+  allow_ii_bump : bool;
 }
 
 let default_config =
@@ -56,6 +98,9 @@ let default_config =
     rebudget_config =
       Some { Budget.default_config with max_rounds = 4; bisection_steps = 12 };
     sharing = { merge_add_sub = false; width_buckets = false };
+    validate = Check.Boundary;
+    max_recoveries = 3;
+    allow_ii_bump = false;
   }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (2 * k)
@@ -130,16 +175,33 @@ let slack_instance_count ?ii cfg spans ops =
   in
   max 1 (int_of_float (ceil (float_of_int total /. Float.max 1.0 mean_span)))
 
-let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
-  (match ii with
-  | Some k when k <= 0 -> invalid_arg "Flows.run: ii must be positive"
-  | Some _ | None -> ());
+(* Failures of one ladder attempt, before they are dressed up as {!error}
+   (which additionally carries the ladder transcript). *)
+type once_failure =
+  | F_invalid of string
+  | F_check of Check.violation list
+  | F_sched of Sched_core.failure
+
+exception Check_failed_exn of Check.violation list
+
+let run_once config ii flow dfg ~lib ~clock ~gamma0 =
   let cfg = Dfg.cfg dfg in
   let ops = active_ops dfg in
   let n = Dfg.op_count dfg in
+  (* Violations recorded this attempt; [Error]-severity ones abort the
+     attempt through {!Check_failed_exn}, warnings ride on the report. *)
+  let collected = ref [] in
+  let guard ~at vs =
+    if Check.ge config.validate at && vs <> [] then begin
+      let vs = Check.record vs in
+      collected := !collected @ vs;
+      if Check.has_errors vs then raise (Check_failed_exn (Check.errors vs))
+    end
+  in
   let budget_clock = clock -. Library.register_overhead lib in
-  if budget_clock <= 0.0 then Error (Invalid "clock period below register overhead")
+  if budget_clock <= 0.0 then Error (F_invalid "clock period below register overhead")
   else begin
+    try
     let ranges o = op_range lib budget_clock dfg o in
     let sensitivity o d = op_sensitivity lib dfg o d in
     (* Delay targets. *)
@@ -173,12 +235,17 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
       List.iter (fun o -> priorities.(Dfg.Op_id.to_int o) <- mobility o) ops
     | Slack_based -> (
       let tdfg = Timed_dfg.build dfg ~spans:spans0 in
+      guard ~at:Check.Boundary (Check.timed_dfg tdfg);
       match
         Obs.span "flow.budget" (fun () ->
             Budget.run ~config:config.budget_config tdfg ~clock:budget_clock ~ranges
               ~sensitivity)
       with
       | Budget.Feasible delays ->
+        guard ~at:Check.Boundary (Check.budget dfg ~targets:delays ~ranges);
+        guard ~at:Check.Paranoid
+          (Check.slack tdfg ~clock:budget_clock ~del:(fun o ->
+               delays.(Dfg.Op_id.to_int o)));
         Array.blit delays 0 targets 0 n;
         set_priorities_slack tdfg
       | Budget.Infeasible _ ->
@@ -206,7 +273,7 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
        for the slowest-first flow this is the paper's "reduce their delays
        on the fly" (§II Case 2); for the slack flow it is a last-resort
        fallback when sharing effects defeat the pre-schedule budget. *)
-    let gamma = ref 1.0 in
+    let gamma = ref gamma0 in
     let eff_target o =
       let i = Dfg.Op_id.to_int o in
       let lo = Interval.lo (ranges o) in
@@ -387,13 +454,19 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
       | Error f -> Error f
     in
     match attempt 0 with
-    | Error failure -> Error (Sched_failed { failed_flow = flow; failure })
+    | Error failure -> Error (F_sched failure)
     | Ok (schedule, relaxations) ->
       let regrades =
         if config.recover_area then
           Obs.span "flow.recovery" (fun () -> Area_recovery.run schedule)
         else 0
       in
+      (if Check.ge config.validate Check.Paranoid then
+         match Schedule.validate schedule with
+         | Ok () -> ()
+         | Error msgs ->
+           guard ~at:Check.Paranoid
+             (List.map (fun m -> Check.violation ~check:"schedule.legality" m) msgs));
       Ok
         {
           flow;
@@ -401,5 +474,96 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
           relaxations;
           regrades;
           targets = (match flow with Slack_based -> Some (Array.copy targets) | _ -> None);
+          recovery_log = [];
+          violations = !collected;
         }
+    with
+    | Check_failed_exn vs -> Error (F_check vs)
+    | Timed_dfg.Unrealizable m -> Error (F_invalid ("timed DFG unrealizable: " ^ m))
   end
+
+(* The self-healing retry ladder.  Each rung is cumulative — a later rung
+   keeps the earlier rungs' concessions — and bounded by [max_recoveries]:
+
+   + {b relax-budget}: re-run with a more persistent budgeting
+     configuration ({!Budget.relax}) and a relaxation allowance of at
+     least 16 passes;
+   + {b force-fast-grades}: pull every delay target to the fast end of its
+     curve ([gamma0 = 0]), the strongest answer to timing starvation;
+   + {b bump-ii} (opt-in, pipelined designs only): trade throughput for
+     schedulability by raising the initiation interval by one. *)
+let apply_rung (config, ii, gamma0) = function
+  | Relax_budget ->
+    ( {
+        config with
+        budget_config = Budget.relax config.budget_config;
+        rebudget_config = Option.map Budget.relax config.rebudget_config;
+        max_relaxations = max 16 (2 * config.max_relaxations);
+      },
+      ii,
+      gamma0 )
+  | Force_fast_grades -> (config, ii, 0.0)
+  | Bump_ii -> (config, Option.map (fun k -> k + 1) ii, gamma0)
+
+let once_failure_message = function
+  | F_invalid m -> m
+  | F_check vs -> Check.summary vs
+  | F_sched f -> Format.asprintf "%a" Sched_core.pp_failure f
+
+let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
+  match ii with
+  | Some k when k <= 0 -> Error (Invalid "ii must be positive")
+  | _ -> (
+    let entry =
+      if Check.ge config.validate Check.Boundary then Check.record (Check.dfg dfg)
+      else []
+    in
+    if Check.has_errors entry then
+      (* Structural corruption of the input: no amount of re-scheduling
+         repairs a cyclic or dangling DFG, so fail without the ladder. *)
+      Error
+        (Validation_failed
+           { failed_flow = flow; violations = Check.errors entry; recovery_log = [] })
+    else
+      let ladder =
+        let rungs =
+          [ Relax_budget; Force_fast_grades ]
+          @ (if config.allow_ii_bump && ii <> None then [ Bump_ii ] else [])
+        in
+        List.filteri (fun i _ -> i < config.max_recoveries) rungs
+      in
+      let fail last log =
+        let recovery_log = List.rev log in
+        match last with
+        | F_invalid m -> Error (Invalid m)
+        | F_check violations ->
+          Error (Validation_failed { failed_flow = flow; violations; recovery_log })
+        | F_sched failure ->
+          Error (Sched_failed { failed_flow = flow; failure; recovery_log })
+      in
+      let rec escalate state last log = function
+        | [] -> fail last log
+        | rung :: rest -> (
+          match last with
+          | F_invalid _ -> fail last log (* config problem: retrying is futile *)
+          | F_check _ | F_sched _ ->
+            Obs.incr c_recoveries;
+            let state = apply_rung state rung in
+            let config', ii', gamma0 = state in
+            (match run_once config' ii' flow dfg ~lib ~clock ~gamma0 with
+            | Ok report ->
+              Ok
+                {
+                  report with
+                  recovery_log = List.rev ({ step = rung; outcome = Recovered } :: log);
+                }
+            | Error f ->
+              escalate state f
+                ({ step = rung; outcome = Still_failing (once_failure_message f) }
+                :: log)
+                rest))
+      in
+      match run_once config ii flow dfg ~lib ~clock ~gamma0:1.0 with
+      | Ok report -> Ok report
+      | Error (F_invalid m) -> Error (Invalid m)
+      | Error f -> escalate (config, ii, 1.0) f [] ladder)

@@ -20,12 +20,40 @@ type flow = Conventional | Slowest_first | Slack_based
 
 val flow_name : flow -> string
 
+(** {1 Recovery ladder}
+
+    When an attempt fails with a scheduler failure or a boundary-check
+    violation, [run] escalates through bounded recovery rungs (cumulative,
+    in this order): re-budget with a relaxed {!Budget.config}; force every
+    delay target to its curve's fast end; opt-in, bump the initiation
+    interval.  Each rung tried is recorded in the report's
+    [recovery_log] — also attached to the error when the whole ladder
+    fails — and counted by the [flow.recovery.attempts] telemetry
+    counter. *)
+
+type recovery_step = Relax_budget | Force_fast_grades | Bump_ii
+
+val recovery_step_name : recovery_step -> string
+
+type recovery_outcome =
+  | Recovered           (** this rung's attempt produced a schedule *)
+  | Still_failing of string  (** the failure message of this rung's attempt *)
+
+type recovery_attempt = { step : recovery_step; outcome : recovery_outcome }
+
+val pp_recovery_attempt : Format.formatter -> recovery_attempt -> unit
+
 type report = {
   flow : flow;
   schedule : Schedule.t;
   relaxations : int;       (** schedule-pass restarts *)
   regrades : int;          (** area-recovery re-grades applied *)
   targets : float array option;  (** budgeted delay per op (slack flow) *)
+  recovery_log : recovery_attempt list;
+      (** ladder transcript; [[]] when the first attempt succeeded *)
+  violations : Check.violation list;
+      (** warnings recorded by the boundary validators during the
+          successful attempt *)
 }
 
 type sharing = {
@@ -47,21 +75,43 @@ type config = {
       (** per-edge re-budgeting; [None] disables the paper's step (d)
           (ablation) *)
   sharing : sharing;
+  validate : Check.level;
+      (** phase-boundary invariant checking: [Off] none, [Boundary]
+          (default) the cheap per-phase validators, [Paranoid] adds the
+          post-budget slack audit and a full schedule audit on success *)
+  max_recoveries : int;
+      (** recovery-ladder length bound (default 3, the full ladder); [0]
+          restores fail-fast behaviour *)
+  allow_ii_bump : bool;
+      (** let the ladder's last rung raise the initiation interval of a
+          pipelined design (default false: II is a throughput contract) *)
 }
 
 val default_config : config
 
-(** Structured flow errors: [Invalid] for configuration problems, and
-    [Sched_failed] carrying the scheduler's {!Sched_core.failure} so
-    callers (the CLI in particular) can surface the actionable diagnosis
-    — which operation starved, which resource group is to blame — instead
-    of a flattened string. *)
+(** Structured flow errors: [Invalid] for configuration problems,
+    [Validation_failed] when a phase-boundary validator found
+    [Error]-severity violations, and [Sched_failed] carrying the
+    scheduler's {!Sched_core.failure} so callers (the CLI in particular)
+    can surface the actionable diagnosis — which operation starved, which
+    resource group is to blame — instead of a flattened string.  The
+    latter two carry the recovery-ladder transcript. *)
 type error =
   | Invalid of string
-  | Sched_failed of { failed_flow : flow; failure : Sched_core.failure }
+  | Validation_failed of {
+      failed_flow : flow;
+      violations : Check.violation list;
+      recovery_log : recovery_attempt list;
+    }
+  | Sched_failed of {
+      failed_flow : flow;
+      failure : Sched_core.failure;
+      recovery_log : recovery_attempt list;
+    }
 
 val pp_error : Format.formatter -> error -> unit
-(** Renders [Sched_failed] through {!Sched_core.pp_failure}. *)
+(** Renders [Sched_failed] through {!Sched_core.pp_failure}, followed by
+    the ladder transcript when recovery was attempted. *)
 
 val error_message : error -> string
 
@@ -71,4 +121,8 @@ val run :
 (** Requires a validated DFG on a sealed CFG.  [ii] pipelines the loop at
     the given initiation interval (modulo resource folding plus the
     loop-carried recurrence constraint).  The returned schedule is retimed
-    and passes {!Schedule.validate}. *)
+    and passes {!Schedule.validate}.
+
+    Never raises: an invalid [ii] is reported as [Error (Invalid _)], and
+    boundary-check violations as [Error (Validation_failed _)] after the
+    recovery ladder is exhausted. *)

@@ -186,6 +186,15 @@ let validate t =
   Dfg.iter_ops t.dfg (fun o ->
       if placement t o.Dfg.id = None then err "op %s unplaced" o.Dfg.name);
   if !errors = [] then begin
+    (* Recorded control step consistent with the placement edge. *)
+    Dfg.iter_ops t.dfg (fun o ->
+        match placement t o.Dfg.id with
+        | None -> ()
+        | Some p ->
+          let expect = Cfg.state_of_edge cfg p.edge in
+          if p.step <> expect then
+            err "op %s records step %d but its edge is in step %d" o.Dfg.name p.step
+              expect);
     (* Placements inside (unpinned) spans. *)
     let spans = Dfg.compute_spans t.dfg in
     Dfg.iter_ops t.dfg (fun o ->

@@ -100,4 +100,7 @@ let critical_ops ?(eps = 1e-6) tdfg r =
     (fun o -> op_slack r o <= r.min_slack +. eps)
     (Timed_dfg.active_ops tdfg)
 
+let negative_ops ?(eps = 1e-6) tdfg r =
+  List.filter (fun o -> op_slack r o < -.eps) (Timed_dfg.active_ops tdfg)
+
 let feasible ?(eps = 1e-6) r = r.min_slack >= -.eps

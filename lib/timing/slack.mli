@@ -28,6 +28,10 @@ val op_slack : result -> Dfg.Op_id.t -> float
 val critical_ops : ?eps:float -> Timed_dfg.t -> result -> Dfg.Op_id.t list
 (** Active ops whose slack is within [eps] (default 1e-6) of [min_slack]. *)
 
+val negative_ops : ?eps:float -> Timed_dfg.t -> result -> Dfg.Op_id.t list
+(** Active ops with slack below [-eps]: the ones violating
+    [arrival <= required].  Empty iff {!feasible}. *)
+
 val feasible : ?eps:float -> result -> bool
 (** All slacks non-negative: by Proposition 1, a dedicated-resource
     schedule meeting the clock exists. *)

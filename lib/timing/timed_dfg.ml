@@ -104,3 +104,18 @@ let edge_count t = t.edges
 let latency_between t o1 o2 =
   let early o = t.spans.(Dfg.Op_id.to_int o).Dfg.early in
   Cfg.latency (Dfg.cfg t.dfg) (early o1) (early o2)
+
+(* Fault-injection hook: a copy of the graph with one edge's latency weight
+   replaced.  The result is deliberately allowed to be ill-formed (negative
+   weights included) so tests can prove the timed-DFG validator fires. *)
+let with_edge_weight t ~src ~dst ~weight =
+  let n = Dfg.op_count t.dfg in
+  let replace lst other =
+    List.map (fun (nd, w) -> if node_equal nd other then (nd, weight) else (nd, w)) lst
+  in
+  let succ_arr = Array.copy t.succ_arr and pred_arr = Array.copy t.pred_arr in
+  if not (List.exists (fun (nd, _) -> node_equal nd dst) succ_arr.(slot n src)) then
+    invalid_arg "Timed_dfg.with_edge_weight: no such edge";
+  succ_arr.(slot n src) <- replace succ_arr.(slot n src) dst;
+  pred_arr.(slot n dst) <- replace pred_arr.(slot n dst) src;
+  { t with succ_arr; pred_arr }

@@ -1,0 +1,252 @@
+(* The checked pipeline: phase-boundary validators, the fault-injection
+   matrix (every corruption class caught by its intended validator family),
+   and the self-healing recovery ladder in [Flows.run]. *)
+
+let lib = Library.default
+
+let interpolation () =
+  let ip = Interpolation.unrolled () in
+  ip.Interpolation.dfg
+
+let prefixed prefix vs =
+  List.for_all
+    (fun v ->
+      let p = String.length prefix in
+      String.length v.Check.check >= p && String.sub v.Check.check 0 p = prefix)
+    vs
+
+let check_fires corruption vs =
+  let prefix = Inject.intended_check_prefix corruption in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s detected" (Inject.corruption_name corruption))
+    true (vs <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s caught by %s* only" (Inject.corruption_name corruption) prefix)
+    true (prefixed prefix vs)
+
+let ranges_of dfg o =
+  let op = Dfg.op dfg o in
+  match Library.op_curve lib op.Dfg.kind ~width:op.Dfg.width with
+  | Some c -> Interval.make (Curve.min_delay c) (Curve.max_delay c)
+  | None -> Interval.point 0.0
+
+let fastest_targets dfg =
+  let n =
+    1 + List.fold_left (fun m o -> max m (Dfg.Op_id.to_int o)) (-1) (Dfg.ops dfg)
+  in
+  let targets = Array.make n 0.0 in
+  List.iter
+    (fun o -> targets.(Dfg.Op_id.to_int o) <- Interval.lo (ranges_of dfg o))
+    (Dfg.ops dfg);
+  targets
+
+let schedule_of ?config flow =
+  match Flows.run ?config flow (interpolation ()) ~lib ~clock:Interpolation.clock with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "flow failed: %s" (Flows.error_message e)
+
+(* Healthy artifacts at every phase boundary pass their validators — the
+   baseline that makes the injection matrix below meaningful. *)
+let test_clean_pipeline () =
+  let dfg = interpolation () in
+  Alcotest.(check int) "dfg clean" 0 (List.length (Check.dfg dfg));
+  let tdfg = Timed_dfg.build dfg ~spans:(Dfg.compute_spans dfg) in
+  Alcotest.(check int) "timed dfg clean" 0 (List.length (Check.timed_dfg tdfg));
+  let targets = fastest_targets dfg in
+  Alcotest.(check int) "budget clean" 0
+    (List.length (Check.budget dfg ~targets ~ranges:(ranges_of dfg)));
+  let r = schedule_of Flows.Slack_based in
+  let sched = r.Flows.schedule in
+  Alcotest.(check int) "schedule clean" 0 (List.length (Audit.check_schedule sched));
+  let nl = Netlist.build sched in
+  Alcotest.(check int) "netlist clean" 0 (List.length (Audit.check_netlist nl));
+  Alcotest.(check int) "area clean" 0
+    (List.length (Audit.check_area sched (Area_model.of_schedule sched)))
+
+(* Fault-injection matrix: one test per corruption class. *)
+
+let test_inject_cycle () =
+  let dfg = interpolation () in
+  Alcotest.(check bool) "injected" true (Inject.cycle_dfg dfg);
+  check_fires Inject.Cycle_dfg (Check.dfg dfg)
+
+let test_inject_negative_latency () =
+  let dfg = interpolation () in
+  let tdfg = Timed_dfg.build dfg ~spans:(Dfg.compute_spans dfg) in
+  match Inject.drop_edge_latency tdfg with
+  | None -> Alcotest.fail "no injection site"
+  | Some bad -> check_fires Inject.Drop_edge_latency (Check.timed_dfg bad)
+
+let test_inject_budget_overshoot () =
+  let dfg = interpolation () in
+  let targets = fastest_targets dfg in
+  let ranges = ranges_of dfg in
+  match Inject.budget_overshoot dfg ~targets ~ranges with
+  | None -> Alcotest.fail "no injection site"
+  | Some bad -> check_fires Inject.Budget_overshoot (Check.budget dfg ~targets:bad ~ranges)
+
+let test_inject_swap_placements () =
+  let r = schedule_of Flows.Slack_based in
+  match Inject.swap_placements r.Flows.schedule with
+  | None -> Alcotest.fail "no injection site"
+  | Some bad -> check_fires Inject.Swap_placements (Audit.check_schedule bad)
+
+let test_inject_orphan_port () =
+  let r = schedule_of Flows.Slack_based in
+  let nl = Netlist.build r.Flows.schedule in
+  check_fires Inject.Orphan_port (Audit.check_netlist (Inject.orphan_port nl))
+
+let test_matrix_is_total () =
+  (* Every enumerated corruption class has a test above; a new class must
+     extend this list (and the matrix) or this count trips. *)
+  Alcotest.(check int) "corruption classes" 5 (List.length Inject.all_corruptions);
+  let prefixes = List.map Inject.intended_check_prefix Inject.all_corruptions in
+  Alcotest.(check int) "distinct validator families" 5
+    (List.length (List.sort_uniq compare prefixes))
+
+(* Recovery ladder. *)
+
+let test_ladder_transcript_on_infeasible () =
+  (* A clock far below what interpolation needs: the ladder must run its
+     rungs, log each failed attempt, and surface the transcript. *)
+  match Flows.run Flows.Slack_based (interpolation ()) ~lib ~clock:600.0 with
+  | Ok _ -> Alcotest.fail "600 ps must be infeasible"
+  | Error (Flows.Invalid m) -> Alcotest.failf "expected a ladder, got Invalid: %s" m
+  | Error (Flows.Validation_failed _) -> Alcotest.fail "expected Sched_failed"
+  | Error (Flows.Sched_failed { recovery_log; _ }) ->
+    Alcotest.(check bool) "at least one recovery attempt" true (recovery_log <> []);
+    Alcotest.(check bool) "all attempts still failing" true
+      (List.for_all
+         (fun a ->
+           match a.Flows.outcome with
+           | Flows.Still_failing _ -> true
+           | Flows.Recovered -> false)
+         recovery_log)
+
+let test_ladder_recovers () =
+  (* With the relaxation loop disabled the first attempt fails; the
+     relax-budget rung restores an allowance and the flow recovers.  The
+     control run (ladder disabled) proves the first attempt really fails. *)
+  let crippled = { Flows.default_config with Flows.max_relaxations = 0 } in
+  (match
+     Flows.run
+       ~config:{ crippled with Flows.max_recoveries = 0 }
+       Flows.Slowest_first (interpolation ()) ~lib ~clock:1100.0
+   with
+  | Error (Flows.Sched_failed { recovery_log = []; _ }) -> ()
+  | Error e -> Alcotest.failf "control: expected a bare Sched_failed: %s" (Flows.error_message e)
+  | Ok _ -> Alcotest.fail "control: crippled config must fail without the ladder");
+  match Flows.run ~config:crippled Flows.Slowest_first (interpolation ()) ~lib ~clock:1100.0 with
+  | Error e -> Alcotest.failf "ladder should recover: %s" (Flows.error_message e)
+  | Ok r ->
+    Alcotest.(check bool) "recovery attempts recorded" true (r.Flows.recovery_log <> []);
+    Alcotest.(check bool) "last attempt recovered" true
+      (List.exists (fun a -> a.Flows.outcome = Flows.Recovered) r.Flows.recovery_log)
+
+let test_entry_validation_rejects_cyclic_dfg () =
+  let dfg = interpolation () in
+  ignore (Inject.cycle_dfg dfg);
+  match Flows.run Flows.Conventional dfg ~lib ~clock:Interpolation.clock with
+  | Error (Flows.Validation_failed { violations; recovery_log; _ }) ->
+    Alcotest.(check bool) "dfg validator fired" true (prefixed "dfg." violations);
+    Alcotest.(check int) "no ladder for structural corruption" 0
+      (List.length recovery_log)
+  | Ok _ -> Alcotest.fail "cyclic DFG accepted"
+  | Error e -> Alcotest.failf "expected Validation_failed: %s" (Flows.error_message e)
+
+(* Fuzz: seeded random designs through all three flows under paranoid
+   validation.  Infeasible schedules are legitimate on random designs;
+   invariant violations and crashes are not. *)
+let test_fuzz_paranoid () =
+  let config = { Flows.default_config with Flows.validate = Check.Paranoid } in
+  let designs = Random_design.suite ~count:10 ~seed:42 () in
+  List.iter
+    (fun (d : Random_design.t) ->
+      List.iter
+        (fun flow ->
+          let design =
+            Hls.design ~name:d.Random_design.name
+              ~clock:d.Random_design.suggested_clock d.Random_design.dfg
+          in
+          match Hls.run ~lib ~config flow design with
+          | Ok r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s: no error-severity violations"
+                 d.Random_design.name (Flows.flow_name flow))
+              false
+              (Check.has_errors r.Hls.report.Flows.violations)
+          | Error (Flows.Sched_failed _) -> ()
+          | Error e ->
+            Alcotest.failf "%s/%s: %s" d.Random_design.name (Flows.flow_name flow)
+              (Flows.error_message e))
+        [ Flows.Conventional; Flows.Slowest_first; Flows.Slack_based ])
+    designs
+
+(* Frontend diagnostics (located, exception-free). *)
+
+let test_parse_diagnostic () =
+  let src = "process p {\n  port in a : 16;\n  loop {\n    x = + ;\n  }\n}\n" in
+  match Parser.parse_result src with
+  | Ok _ -> Alcotest.fail "expected a syntax error"
+  | Error d ->
+    Alcotest.(check int) "line" 4 d.Parser.dline;
+    Alcotest.(check int) "column" 9 d.Parser.dcol;
+    Alcotest.(check bool) "message locates itself" true
+      (String.length (Parser.diagnostic_message d) > 0)
+
+let test_lexer_diagnostic () =
+  match Parser.parse_result "process p {\n  @\n}" with
+  | Ok _ -> Alcotest.fail "expected a lexer error"
+  | Error d ->
+    Alcotest.(check int) "line" 2 d.Parser.dline;
+    Alcotest.(check int) "column" 3 d.Parser.dcol
+
+(* Structured cycle witness from the graph layer. *)
+
+let test_traverse_cycle_witness () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g in
+  let b = Digraph.add_node g in
+  let c = Digraph.add_node g in
+  Digraph.add_edge g a b;
+  Digraph.add_edge g b c;
+  Digraph.add_edge g c a;
+  (match Traverse.find_cycle g with
+  | None -> Alcotest.fail "cycle not found"
+  | Some path ->
+    Alcotest.(check bool) "closed walk" true
+      (match path with
+      | [] -> false
+      | v0 :: _ ->
+        let rec ok = function
+          | [ last ] -> Digraph.mem_edge g last v0
+          | x :: (y :: _ as rest) -> Digraph.mem_edge g x y && ok rest
+          | [] -> false
+        in
+        ok path));
+  match Traverse.topo_sort_exn g with
+  | exception Traverse.Cycle (_ :: _) -> ()
+  | exception Traverse.Cycle [] -> Alcotest.fail "empty witness"
+  | _ -> Alcotest.fail "topo_sort_exn accepted a cycle"
+
+let suite =
+  [
+    Alcotest.test_case "clean pipeline validates" `Quick test_clean_pipeline;
+    Alcotest.test_case "inject: dfg cycle" `Quick test_inject_cycle;
+    Alcotest.test_case "inject: negative latency" `Quick test_inject_negative_latency;
+    Alcotest.test_case "inject: budget overshoot" `Quick test_inject_budget_overshoot;
+    Alcotest.test_case "inject: swapped placements" `Quick test_inject_swap_placements;
+    Alcotest.test_case "inject: orphan port" `Quick test_inject_orphan_port;
+    Alcotest.test_case "injection matrix is total" `Quick test_matrix_is_total;
+    Alcotest.test_case "ladder transcript on infeasible" `Quick
+      test_ladder_transcript_on_infeasible;
+    Alcotest.test_case "ladder recovers a crippled config" `Quick test_ladder_recovers;
+    Alcotest.test_case "entry validation, no ladder" `Quick
+      test_entry_validation_rejects_cyclic_dfg;
+    Alcotest.test_case "fuzz: paranoid, 10 designs x 3 flows" `Quick test_fuzz_paranoid;
+    Alcotest.test_case "parser diagnostic is located" `Quick test_parse_diagnostic;
+    Alcotest.test_case "lexer diagnostic is located" `Quick test_lexer_diagnostic;
+    Alcotest.test_case "traverse cycle witness" `Quick test_traverse_cycle_witness;
+  ]
+
+let () = Alcotest.run "check" [ ("check", suite) ]

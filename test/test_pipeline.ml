@@ -77,10 +77,12 @@ let test_recurrence_limit () =
     | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es))
 
 let test_invalid_ii_rejected () =
+  (* Graceful degradation contract: configuration problems come back as
+     [Error (Invalid _)], never as an exception. *)
   let d = Idct.build ~latency:8 ~passes:1 () in
-  (match Flows.run ~ii:0 Flows.Slack_based d.Idct.dfg ~lib ~clock:2500.0 with
-  | _ -> Alcotest.fail "ii=0 rejected"
-  | exception Invalid_argument _ -> ())
+  match Flows.run ~ii:0 Flows.Slack_based d.Idct.dfg ~lib ~clock:2500.0 with
+  | Error (Flows.Invalid _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "ii=0 rejected"
 
 let prop_pipelined_schedules_validate =
   QCheck.Test.make ~name:"pipelined schedules validate across II" ~count:6
