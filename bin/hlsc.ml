@@ -6,7 +6,10 @@
      compare  run conventional and slack-based flows side by side
      slack    print the pre-schedule sequential-slack report
      emit     run a flow and write the Verilog rendering
-     explore  IDCT design-space exploration (the paper's Table 4)
+     explore  parallel design-space exploration: sweep a configuration grid
+              (clocks x flows x initiation intervals x recovery policy) on
+              a domain pool, fold the results into an area/delay Pareto
+              frontier, optionally memoized in an on-disk evaluation cache
      fuzz     seeded random designs through every flow under validation
      dot      dump Graphviz renderings
 
@@ -18,10 +21,16 @@
    Exit codes:
      0  success
      1  internal error (I/O, trace emission)
-     2  usage error (bad flags, malformed source, invalid configuration)
+     2  usage error (bad flags, malformed source, invalid configuration —
+        including a bad explore grid spec or a corrupt evaluation cache)
      3  validation failure (a pipeline invariant was violated)
      4  unrecoverable flow failure (scheduling failed after the full
-        recovery ladder) *)
+        recovery ladder; for explore: every grid point failed, so the
+        sweep produced an empty frontier)
+
+   An explore sweep in which only some points fail exits 0: infeasible
+   points are data — the infeasible region of the tradeoff space — and are
+   reported in the CSV/JSON/text outputs. *)
 
 open Cmdliner
 
@@ -308,29 +317,118 @@ let dot_cmd source builtin clock lib flow validate max_recoveries output stats t
      | () -> Ok ()
      | exception Sys_error m -> Error (Internal m))
 
-let explore_cmd lib validate max_recoveries stats trace =
+(* explore: resolve the design to a pure builder thunk — each pool worker
+   rebuilds its own graph, so no DFG is shared across domains.  The first
+   build happens here so configuration problems surface as usage errors
+   before any domain is spawned. *)
+let load_builder ~source ~builtin ~clock =
+  match (source, builtin) with
+  | Some path, None -> (
+    match Parser.parse_file_result path with
+    | Error d ->
+      Error
+        (Usage (Printf.sprintf "%s: syntax error: %s" path (Parser.diagnostic_message d)))
+    | exception Sys_error m -> Error (Internal m)
+    | Ok p -> (
+      match Elaborate.elaborate p with
+      | _ ->
+        let build () =
+          match Parser.parse_file_result path with
+          | Ok p -> (Elaborate.elaborate p).Elaborate.dfg
+          | Error d -> failwith (Parser.diagnostic_message d)
+        in
+        Ok (p.Ast.proc_name, Option.value ~default:2500.0 clock, build)
+      | exception Elaborate.Error m ->
+        Error (Usage (Printf.sprintf "%s: elaboration error: %s" path m))))
+  | None, Some name -> (
+    match List.assoc_opt name builtin_designs with
+    | Some mk ->
+      let _, default_clock = mk () in
+      Ok (name, Option.value ~default:default_clock clock, fun () -> fst (mk ()))
+    | None ->
+      Error
+        (Usage
+           (Printf.sprintf "unknown builtin %S (try: %s)" name
+              (String.concat ", " (List.map fst builtin_designs)))))
+  | Some _, Some _ -> Error (Usage "pass either a source file or --design, not both")
+  | None, None -> Error (Usage "pass a source file or --design NAME")
+
+let grid_axis label parse spec = Result.map_error (fun m -> Usage (label ^ ": " ^ m)) (parse spec)
+
+let write_rendering ~what path content =
+  match path with
+  | "-" ->
+    print_string content;
+    Ok ()
+  | p -> (
+    match
+      let oc = open_out p in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+    with
+    | () ->
+      Printf.printf "wrote %s %s\n" what p;
+      Ok ()
+    | exception Sys_error m -> Error (Internal m))
+
+let explore_cmd source builtin clock lib validate max_recoveries clocks flows iis
+    recover jobs cache_file csv json stats trace =
   with_obs ~stats ~trace @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
-     let points =
-       List.map
-         (fun (p : Idct.design_point) ->
-           let d = Idct.instantiate p in
-           (p.Idct.id, Hls.design ?ii:p.Idct.ii ~name:d.Idct.name ~clock:p.Idct.clock d.Idct.dfg))
-         Idct.table4_points
+     let* name, base_clock, build = load_builder ~source ~builtin ~clock in
+     let* clocks =
+       if clocks = "auto" then
+         (* 0.8x .. 1.5x the design's base clock, 8 points. *)
+         Ok (List.init 8 (fun k -> base_clock *. (0.8 +. (0.1 *. float_of_int k))))
+       else grid_axis "--clocks" Explore_grid.parse_clocks clocks
      in
-     let rows = Hls.explore ~lib ~config points in
-     print_string (Hls.render_dse rows);
-     let failed =
-       List.filter (fun r -> r.Hls.a_conv = None || r.Hls.a_slack = None) rows
+     let* flows = grid_axis "--flows" Explore_grid.parse_flows flows in
+     let* iis = grid_axis "--ii" Explore_grid.parse_iis iis in
+     let* recover = grid_axis "--recover" Explore_grid.parse_recover recover in
+     let* grid =
+       Result.map_error (fun m -> Usage m)
+         (Explore_grid.make ~clocks ~flows ~iis ~recover ())
      in
-     if failed = [] then Ok ()
-     else
+     let* jobs =
+       if jobs < 0 then Error (Usage "--jobs must be non-negative")
+       else Ok (if jobs = 0 then None else Some jobs)
+     in
+     let* cache =
+       match cache_file with
+       | None -> Ok None
+       | Some path ->
+         Result.fold
+           ~ok:(fun c -> Ok (Some c))
+           ~error:(fun m -> Error (Usage m))
+           (Eval_cache.load ~path)
+     in
+     let outcome = Explore.run ?jobs ?cache ~lib ~config ~name ~build grid in
+     let* () =
+       match (cache, cache_file) with
+       | Some c, Some path -> (
+         match Eval_cache.save c ~path with
+         | () -> Ok ()
+         | exception Sys_error m -> Error (Internal m))
+       | _ -> Ok ()
+     in
+     let* () =
+       match csv with
+       | Some path -> write_rendering ~what:"CSV" path (Explore.to_csv outcome)
+       | None -> Ok ()
+     in
+     let* () =
+       match json with
+       | Some path -> write_rendering ~what:"JSON" path (Explore.to_json outcome)
+       | None -> Ok ()
+     in
+     print_string (Explore.render_summary outcome);
+     if outcome.Explore.total > 0 && outcome.Explore.frontier = [] then
        Error
          (Flow_failed
-            (Printf.sprintf "%d of %d exploration points failed (see table)"
-               (List.length failed) (List.length rows))))
+            (Printf.sprintf "all %d grid points failed; frontier is empty"
+               outcome.Explore.total))
+     else Ok ())
 
 (* Fuzz: seeded random designs through every flow.  Scheduling failures are
    tolerated (tight random designs may be legitimately infeasible — the
@@ -400,9 +498,50 @@ let emit_t =
     Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
           $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg)
 
+let clocks_arg =
+  Arg.(value & opt string "auto" & info [ "clocks" ] ~docv:"SPEC"
+         ~doc:"Clock-period axis: comma-separated periods and/or LO:HI:STEP ranges in \
+               ps (e.g. 2000,2500:3500:250), or 'auto' for 8 points spanning \
+               0.8x-1.5x the design's base clock.")
+
+let grid_flows_arg =
+  Arg.(value & opt string "conv,slack" & info [ "flows" ] ~docv:"SPEC"
+         ~doc:"Flow axis: comma-separated conv, slowest, slack, or 'all'.")
+
+let iis_arg =
+  Arg.(value & opt string "none" & info [ "ii" ] ~docv:"SPEC"
+         ~doc:"Initiation-interval axis: comma-separated 'none', N, or LO:HI[:STEP] \
+               ranges (e.g. none,4:8:2).")
+
+let recover_arg =
+  Arg.(value & opt string "on" & info [ "recover" ] ~docv:"POLICY"
+         ~doc:"Area-recovery axis: on, off, or both.")
+
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains for point evaluation; 0 (default) uses the \
+               recommended domain count.  Results are identical for every value.")
+
+let cache_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+         ~doc:"Evaluation cache: load before the sweep (missing file = empty), skip \
+               already-evaluated points, save back after.")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+         ~doc:"Write every grid point as CSV ('-' for stdout).")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write sweep stats and the Pareto frontier as JSON ('-' for stdout).")
+
 let explore_t =
-  Cmd.v (Cmd.info "explore" ~doc:"IDCT design-space exploration (paper Table 4)")
-    Term.(const explore_cmd $ lib_arg $ validate_arg $ max_recoveries_arg
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Parallel design-space exploration with an area/delay Pareto frontier")
+    Term.(const explore_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
+          $ validate_arg $ max_recoveries_arg $ clocks_arg $ grid_flows_arg
+          $ iis_arg $ recover_arg $ jobs_arg $ cache_arg $ csv_arg $ json_arg
           $ stats_arg $ trace_arg)
 
 let count_arg =

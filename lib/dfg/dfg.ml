@@ -314,3 +314,39 @@ let pp ppf t =
              Format.fprintf ppf " %s" (op t s).name))
         ss);
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Content digest *)
+
+let digest t =
+  let buf = Buffer.create 4096 in
+  let c = t.cfg in
+  Buffer.add_string buf
+    (Printf.sprintf "cfg %d %d\n" (Cfg.node_count c) (Cfg.edge_count c));
+  for n = 0 to Cfg.node_count c - 1 do
+    Buffer.add_string buf
+      (Format.asprintf "n%d %a\n" n Cfg.pp_node_kind
+         (Cfg.node_kind c (Cfg.Node_id.of_int n)))
+  done;
+  Cfg.iter_edges c (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "e%d %d %d\n" (Cfg.Edge_id.to_int e)
+           (Cfg.Node_id.to_int (Cfg.edge_src c e))
+           (Cfg.Node_id.to_int (Cfg.edge_dst c e))));
+  Vec.iteri
+    (fun i o ->
+      Buffer.add_string buf
+        (Printf.sprintf "o%d %s w%d b%d f%b %s\n" i (op_kind_name o.kind) o.width
+           (Cfg.Edge_id.to_int o.birth) o.fixed o.name))
+    t.ops_v;
+  (* Dependency insertion order is a construction detail, not content:
+     sort so equal graphs built in different orders digest equally. *)
+  let deps = Vec.to_array t.deps in
+  Array.sort
+    (fun a b -> compare (a.src, a.dst, a.loop_carried) (b.src, b.dst, b.loop_carried))
+    deps;
+  Array.iter
+    (fun d ->
+      Buffer.add_string buf (Printf.sprintf "d %d %d %b\n" d.src d.dst d.loop_carried))
+    deps;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -141,3 +141,13 @@ val compute_spans : ?pin:(Op_id.t -> Cfg.Edge_id.t option) -> t -> span array
 
 val pp_op : Format.formatter -> op -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {1 Content digest} *)
+
+val digest : t -> string
+(** Hex MD5 of a canonical dump of the graph: CFG nodes and edges, every
+    operation (kind, width, birth edge, fixedness, name) in id order, and
+    the dependency set sorted by endpoints.  Two structurally identical
+    designs digest equally regardless of dependency insertion order; the
+    explore subsystem uses this as the content address of its evaluation
+    cache. *)

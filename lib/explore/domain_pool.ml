@@ -1,0 +1,46 @@
+let c_tasks = Obs.counter "explore.pool.tasks"
+let c_spawns = Obs.counter "explore.pool.domains"
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ?jobs f tasks =
+  let n = Array.length tasks in
+  let jobs = min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n in
+  Obs.add c_tasks n;
+  if jobs <= 1 || n <= 1 then Array.map f tasks
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let buf = ref [] in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Ok (f tasks.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          buf := (i, r) :: !buf;
+          loop ()
+        end
+      in
+      loop ();
+      !buf
+    in
+    Obs.add c_spawns jobs;
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    let merged = Array.make n None in
+    Array.iter
+      (fun d -> List.iter (fun (i, r) -> merged.(i) <- Some r) (Domain.join d))
+      domains;
+    Array.iteri
+      (fun _ r ->
+        match r with
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | Some (Ok _) | None -> ())
+      merged;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> assert false (* every slot filled above *))
+      merged
+  end

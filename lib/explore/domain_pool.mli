@@ -1,0 +1,19 @@
+(** A small fixed-size worker pool over OCaml 5 domains.
+
+    Work distribution is a shared atomic cursor over the task array; each
+    domain drains tasks into a private result buffer, and buffers are
+    merged after every domain has joined, so no two domains ever write the
+    same location.  The pool is oblivious to task semantics — the explore
+    engine gives it pure evaluation closures (each worker rebuilds its own
+    design, so no graph state is shared). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] applies [f] to every task and returns results in
+    task order.  [jobs] defaults to {!default_jobs}; values [<= 1] (or a
+    single task) run sequentially in the calling domain with no spawns.
+    If any task raises, the exception of the lowest-indexed failing task
+    is re-raised (with its backtrace) after all domains have joined —
+    deterministic regardless of worker interleaving. *)

@@ -1,0 +1,108 @@
+type summary = {
+  ok : bool;
+  area : float;
+  steps : int;
+  delay_ps : float;
+  relaxations : int;
+  regrades : int;
+  recoveries : int;
+  error : string;
+}
+
+type t = (string, summary) Hashtbl.t
+
+let c_hits = Obs.counter "explore.cache.hits"
+let c_misses = Obs.counter "explore.cache.misses"
+
+let magic = "slackhls-explore-cache v1"
+
+let create () : t = Hashtbl.create 64
+let size = Hashtbl.length
+
+let key ~digest ~lib ~config ~point_key =
+  String.concat "|" [ digest; lib; config; point_key ]
+
+let find t k =
+  match Hashtbl.find_opt t k with
+  | Some _ as hit ->
+    Obs.incr c_hits;
+    hit
+  | None ->
+    Obs.incr c_misses;
+    None
+
+let add t k s = Hashtbl.replace t k s
+
+(* One entry per line:
+     key \t ok \t area \t steps \t delay \t relax \t regrades \t recov \t error
+   [%h] floats round-trip exactly; the error message is [String.escaped]
+   so it can carry anything the flow printer produced. *)
+let entry_line k s =
+  Printf.sprintf "%s\t%b\t%h\t%d\t%h\t%d\t%d\t%d\t%s" k s.ok s.area s.steps
+    s.delay_ps s.relaxations s.regrades s.recoveries (String.escaped s.error)
+
+let parse_line ln =
+  match String.split_on_char '\t' ln with
+  | [ k; ok; area; steps; delay; relax; regrades; recov; error ] -> (
+    match
+      ( bool_of_string_opt ok,
+        float_of_string_opt area,
+        int_of_string_opt steps,
+        float_of_string_opt delay,
+        int_of_string_opt relax,
+        int_of_string_opt regrades,
+        int_of_string_opt recov )
+    with
+    | Some ok, Some area, Some steps, Some delay_ps, Some relaxations,
+      Some regrades, Some recoveries ->
+      let error = try Scanf.unescaped error with Scanf.Scan_failure _ -> error in
+      Some
+        (k, { ok; area; steps; delay_ps; relaxations; regrades; recoveries; error })
+    | _ -> None)
+  | _ -> None
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok (create ())
+  else
+    match open_in path with
+    | exception Sys_error m -> Error m
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> Error (path ^ ": empty cache file")
+          | first when first <> magic ->
+            Error (Printf.sprintf "%s: not a %S file" path magic)
+          | _ ->
+            let t = create () in
+            let rec go lineno =
+              match input_line ic with
+              | exception End_of_file -> Ok t
+              | "" -> go (lineno + 1)
+              | ln -> (
+                match parse_line ln with
+                | Some (k, s) ->
+                  Hashtbl.replace t k s;
+                  go (lineno + 1)
+                | None ->
+                  Error (Printf.sprintf "%s: malformed cache entry at line %d" path lineno))
+            in
+            go 2)
+
+let save t ~path =
+  let entries =
+    Hashtbl.fold (fun k s acc -> (k, s) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      List.iter
+        (fun (k, s) ->
+          output_string oc (entry_line k s);
+          output_char oc '\n')
+        entries)

@@ -1,0 +1,48 @@
+(** Content-addressed evaluation cache for design-space sweeps.
+
+    A key is [design digest | library | base config | point key]
+    (see {!key}); the value is the {!summary} a full pipeline run would
+    produce for that point.  Repeated or overlapping sweeps — and sweeps
+    resumed after an interrupt — skip every point whose key is already
+    present.  Hits and misses are counted on [lib/obs]
+    ([explore.cache.hits] / [explore.cache.misses]).
+
+    The on-disk format is a versioned, line-oriented TSV.  Floats are
+    stored as hex literals ([%h]) so a round-trip through the file is
+    bit-exact: a cached sweep renders byte-identically to the sweep that
+    populated it. *)
+
+type summary = {
+  ok : bool;
+  area : float;       (** total area; [0.] when the point failed *)
+  steps : int;        (** control steps of the final schedule *)
+  delay_ps : float;   (** steps x clock period — the latency objective *)
+  relaxations : int;
+  regrades : int;
+  recoveries : int;   (** recovery-ladder rungs tried *)
+  error : string;     (** [""] when [ok] *)
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val key : digest:string -> lib:string -> config:string -> point_key:string -> string
+(** The four components joined with ['|'].  [config] fingerprints the
+    sweep-constant flow configuration (validation level, ladder bound...);
+    [point_key] is {!Explore_grid.point_key}. *)
+
+val find : t -> string -> summary option
+(** Bumps [explore.cache.hits] or [explore.cache.misses]. *)
+
+val add : t -> string -> summary -> unit
+(** Last write wins; keys never contain tabs or newlines by construction. *)
+
+val load : path:string -> (t, string) result
+(** A missing file is an empty cache ([Ok]); an unreadable or malformed
+    one is [Error] (the CLI treats that as a usage error). *)
+
+val save : t -> path:string -> unit
+(** Entries sorted by key — the file is reproducible.  Raises [Sys_error]
+    on I/O failure. *)

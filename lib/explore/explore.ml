@@ -1,0 +1,237 @@
+type point_result = {
+  point : Explore_grid.point;
+  pkey : string;
+  summary : Eval_cache.summary;
+  cached : bool;
+}
+
+type outcome = {
+  design_name : string;
+  digest : string;
+  results : point_result list;
+  frontier : point_result Pareto.entry list;
+  total : int;
+  evaluated : int;
+  hits : int;
+  failed : int;
+}
+
+let c_points = Obs.counter "explore.points"
+let c_evals = Obs.counter "explore.evaluations"
+let c_failures = Obs.counter "explore.failures"
+
+(* Sweep-constant configuration fingerprint: everything outside the grid
+   axes that can change a point's result must appear here, or stale cache
+   entries would be served across configurations. *)
+let config_fingerprint (c : Flows.config) =
+  Printf.sprintf "validate=%s,maxrec=%d,maxrelax=%d,iibump=%b,merge=%b,buckets=%b"
+    (Check.level_name c.Flows.validate)
+    c.Flows.max_recoveries c.Flows.max_relaxations c.Flows.allow_ii_bump
+    c.Flows.sharing.Flows.merge_add_sub c.Flows.sharing.Flows.width_buckets
+
+let evaluate ~lib ~config ~name ~build (p : Explore_grid.point) =
+  let dfg = build () in
+  let design =
+    Hls.design ?ii:p.Explore_grid.ii ~name ~clock:p.Explore_grid.clock dfg
+  in
+  let config = { config with Flows.recover_area = p.Explore_grid.recover } in
+  match Hls.run ~lib ~config p.Explore_grid.flow design with
+  | Ok r ->
+    let steps = Schedule.steps_used r.Hls.report.Flows.schedule in
+    {
+      Eval_cache.ok = true;
+      area = Hls.total_area r;
+      steps;
+      delay_ps = float_of_int steps *. p.Explore_grid.clock;
+      relaxations = r.Hls.report.Flows.relaxations;
+      regrades = r.Hls.report.Flows.regrades;
+      recoveries = List.length r.Hls.report.Flows.recovery_log;
+      error = "";
+    }
+  | Error e ->
+    {
+      Eval_cache.ok = false;
+      area = 0.0;
+      steps = 0;
+      delay_ps = 0.0;
+      relaxations = 0;
+      regrades = 0;
+      recoveries =
+        (match e with
+        | Flows.Validation_failed { recovery_log; _ } | Flows.Sched_failed { recovery_log; _ }
+          -> List.length recovery_log
+        | Flows.Invalid _ -> 0);
+      error = Flows.error_message e;
+    }
+
+let run ?jobs ?cache ~lib ~config ~name ~build grid =
+  Obs.span "explore.run" @@ fun () ->
+  let digest = Dfg.digest (build ()) in
+  let fingerprint = config_fingerprint config in
+  let keyed =
+    Explore_grid.points grid
+    |> List.map (fun p -> (Explore_grid.point_key p, p))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Obs.add c_points (List.length keyed);
+  let cache_key pkey =
+    Eval_cache.key ~digest ~lib:(Library.name lib) ~config:fingerprint ~point_key:pkey
+  in
+  (* Split into cache hits and points that need a pipeline run. *)
+  let hits, misses =
+    List.partition_map
+      (fun (pkey, p) ->
+        match Option.bind cache (fun c -> Eval_cache.find c (cache_key pkey)) with
+        | Some s -> Left { point = p; pkey; summary = s; cached = true }
+        | None -> Right (pkey, p))
+      keyed
+  in
+  let fresh =
+    Obs.span "explore.evaluate" (fun () ->
+        Domain_pool.map ?jobs
+          (fun (pkey, p) ->
+            { point = p; pkey; summary = evaluate ~lib ~config ~name ~build p;
+              cached = false })
+          (Array.of_list misses))
+    |> Array.to_list
+  in
+  Obs.add c_evals (List.length fresh);
+  (match cache with
+  | Some c ->
+    List.iter (fun r -> Eval_cache.add c (cache_key r.pkey) r.summary) fresh
+  | None -> ());
+  let results =
+    List.sort (fun a b -> String.compare a.pkey b.pkey) (hits @ fresh)
+  in
+  let failed = List.length (List.filter (fun r -> not r.summary.Eval_cache.ok) results) in
+  Obs.add c_failures failed;
+  let frontier =
+    List.fold_left
+      (fun acc r ->
+        if r.summary.Eval_cache.ok then
+          Pareto.add
+            {
+              Pareto.key = r.pkey;
+              area = r.summary.Eval_cache.area;
+              delay = r.summary.Eval_cache.delay_ps;
+              tag = r;
+            }
+            acc
+        else acc)
+      Pareto.empty results
+    |> Pareto.frontier
+  in
+  {
+    design_name = name;
+    digest;
+    results;
+    frontier;
+    total = List.length results;
+    evaluated = List.length fresh;
+    hits = List.length hits;
+    failed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Renderings *)
+
+let csv_header =
+  "key,flow,clock_ps,ii,recover,status,area,steps,delay_ps,relaxations,regrades,recoveries,cached,frontier"
+
+let on_frontier outcome r =
+  List.exists (fun (e : point_result Pareto.entry) -> e.Pareto.key = r.pkey)
+    outcome.frontier
+
+let csv_row outcome r =
+  let p = r.point and s = r.summary in
+  Printf.sprintf "%s,%s,%.3f,%s,%s,%s,%.1f,%d,%.1f,%d,%d,%d,%d,%d"
+    r.pkey
+    (Explore_grid.flow_short p.Explore_grid.flow)
+    p.Explore_grid.clock
+    (match p.Explore_grid.ii with Some i -> string_of_int i | None -> "none")
+    (if p.Explore_grid.recover then "on" else "off")
+    (if s.Eval_cache.ok then "ok" else "fail")
+    s.Eval_cache.area s.Eval_cache.steps s.Eval_cache.delay_ps
+    s.Eval_cache.relaxations s.Eval_cache.regrades s.Eval_cache.recoveries
+    (if r.cached then 1 else 0)
+    (if on_frontier outcome r then 1 else 0)
+
+let to_csv outcome =
+  String.concat "\n" (csv_header :: List.map (csv_row outcome) outcome.results) ^ "\n"
+
+let to_json outcome =
+  let open Obs.Json in
+  let point_obj (r : point_result) =
+    let p = r.point and s = r.summary in
+    Obj
+      [
+        ("key", String r.pkey);
+        ("flow", String (Explore_grid.flow_short p.Explore_grid.flow));
+        ("clock_ps", Float p.Explore_grid.clock);
+        ("ii", match p.Explore_grid.ii with Some i -> Int i | None -> Null);
+        ("recover", Bool p.Explore_grid.recover);
+        ("area", Float s.Eval_cache.area);
+        ("steps", Int s.Eval_cache.steps);
+        ("delay_ps", Float s.Eval_cache.delay_ps);
+      ]
+  in
+  to_string
+    (Obj
+       [
+         ("design", String outcome.design_name);
+         ("digest", String outcome.digest);
+         ("total", Int outcome.total);
+         ("evaluated", Int outcome.evaluated);
+         ("cache_hits", Int outcome.hits);
+         ("failed", Int outcome.failed);
+         ( "frontier",
+           List
+             (List.map
+                (fun (e : point_result Pareto.entry) -> point_obj e.Pareto.tag)
+                outcome.frontier) );
+       ])
+
+let render_summary outcome =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "explore: design %s (digest %s)\n" outcome.design_name
+       (String.sub outcome.digest 0 12));
+  Buffer.add_string buf
+    (Printf.sprintf "%d points: %d evaluated, %d cached, %d failed\n" outcome.total
+       outcome.evaluated outcome.hits outcome.failed);
+  let failures =
+    List.filter (fun r -> not r.summary.Eval_cache.ok) outcome.results
+  in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  infeasible %s: %s\n" r.pkey
+           (match String.index_opt r.summary.Eval_cache.error '\n' with
+           | Some i -> String.sub r.summary.Eval_cache.error 0 i
+           | None -> r.summary.Eval_cache.error)))
+    failures;
+  Buffer.add_string buf
+    (Printf.sprintf "frontier (%d points):\n" (List.length outcome.frontier));
+  if outcome.frontier <> [] then begin
+    let t =
+      Text_table.create
+        ~headers:[ "flow"; "clock ps"; "ii"; "recover"; "area"; "delay ps"; "steps" ]
+    in
+    List.iter
+      (fun (e : point_result Pareto.entry) ->
+        let r = e.Pareto.tag in
+        let p = r.point and s = r.summary in
+        Text_table.add_row t
+          [
+            Explore_grid.flow_short p.Explore_grid.flow;
+            Printf.sprintf "%.0f" p.Explore_grid.clock;
+            (match p.Explore_grid.ii with Some i -> string_of_int i | None -> "-");
+            (if p.Explore_grid.recover then "on" else "off");
+            Text_table.cell_float ~decimals:1 s.Eval_cache.area;
+            Text_table.cell_float ~decimals:1 s.Eval_cache.delay_ps;
+            string_of_int s.Eval_cache.steps;
+          ])
+      outcome.frontier;
+    Buffer.add_string buf (Text_table.render t)
+  end;
+  Buffer.contents buf

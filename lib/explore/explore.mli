@@ -1,0 +1,63 @@
+(** Parallel design-space exploration: enumerate a configuration grid over
+    one design, evaluate every point through the full HLS pipeline on a
+    domain pool, and fold the survivors into an area/delay Pareto frontier
+    — the paper's Fig. 9 / Table 4 experiments as a subsystem.
+
+    Determinism guarantee: for a fixed design, grid and configuration, the
+    [results] list, the frontier and every rendering below are
+    byte-identical whatever [jobs] is and whether points came from the
+    cache or fresh evaluation.  Points are keyed canonically
+    ({!Explore_grid.point_key}), evaluated independently (each worker
+    rebuilds its own graph from [build]) and folded in key order into an
+    insertion-order-independent frontier ({!Pareto}). *)
+
+type point_result = {
+  point : Explore_grid.point;
+  pkey : string;                   (** {!Explore_grid.point_key} *)
+  summary : Eval_cache.summary;
+  cached : bool;
+}
+
+type outcome = {
+  design_name : string;
+  digest : string;                 (** {!Dfg.digest} of the design *)
+  results : point_result list;     (** sorted by [pkey] *)
+  frontier : point_result Pareto.entry list;  (** successes only; area asc *)
+  total : int;
+  evaluated : int;                 (** points run through the pipeline *)
+  hits : int;                      (** points answered by the cache *)
+  failed : int;                    (** points whose flow failed *)
+}
+
+val run :
+  ?jobs:int ->
+  ?cache:Eval_cache.t ->
+  lib:Library.t ->
+  config:Flows.config ->
+  name:string ->
+  build:(unit -> Dfg.t) ->
+  Explore_grid.t ->
+  outcome
+(** [build] must be a pure constructor: it is called once in the calling
+    domain (for the digest) and once per evaluated point inside a worker,
+    so no DFG is ever shared between domains.  [config] supplies the
+    sweep-constant flow settings; each point overrides [recover_area] and
+    the design's clock and initiation interval.  Scheduling failures are
+    data (the infeasible region of the space), not errors.  When [cache]
+    is given, hits skip evaluation and fresh results are added to it.
+    [jobs] defaults to {!Domain_pool.default_jobs}. *)
+
+(** {1 Renderings} *)
+
+val csv_header : string
+(** [key,flow,clock_ps,ii,recover,status,area,steps,delay_ps,relaxations,regrades,recoveries,cached,frontier] *)
+
+val to_csv : outcome -> string
+(** One row per point, in [results] order. *)
+
+val to_json : outcome -> string
+(** Sweep stats plus the frontier, via {!Obs.Json}. *)
+
+val render_summary : outcome -> string
+(** Text summary: counts line, failure lines, and the frontier as a
+    {!Text_table} — what [hlsc explore] prints. *)

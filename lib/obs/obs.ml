@@ -2,28 +2,38 @@ external now_ns : unit -> int64 = "hls_obs_monotonic_ns"
 
 let epoch_ns = now_ns ()
 
+(* The ledger is shared by every domain (the explore engine evaluates
+   design points on a Domain pool): interning and aggregate mutation go
+   through one mutex, counter bumps are lock-free atomics, and the span
+   path is domain-local state.  Contention is negligible — interning
+   happens at module initialisation, aggregates only when a sink is on. *)
+let mu = Mutex.create ()
+
+let locked f = Mutex.protect mu f
+
 (* ------------------------------------------------------------------ *)
 (* Counters *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_value = 0 } in
+    let c = { c_name = name; c_value = Atomic.make 0 } in
     Hashtbl.replace counters name c;
     c
 
-let incr c = c.c_value <- c.c_value + 1
+let incr c = Atomic.incr c.c_value
 
 let add c n =
   if n < 0 then invalid_arg "Obs.add: counters are monotone";
-  c.c_value <- c.c_value + n
+  ignore (Atomic.fetch_and_add c.c_value n)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 
 (* ------------------------------------------------------------------ *)
 (* Distributions *)
@@ -40,6 +50,7 @@ type dist = {
 let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
 
 let dist name =
+  locked @@ fun () ->
   match Hashtbl.find_opt dists name with
   | Some d -> d
   | None ->
@@ -57,6 +68,7 @@ let dist name =
     d
 
 let observe d v =
+  locked @@ fun () ->
   d.d_count <- d.d_count + 1;
   d.d_sum <- d.d_sum +. v;
   if v < d.d_min then d.d_min <- v;
@@ -80,7 +92,7 @@ let percentile sorted p =
 let dist_stats d =
   if d.d_count = 0 then None
   else begin
-    let sorted = Vec.to_array d.d_values in
+    let sorted = locked (fun () -> Vec.to_array d.d_values) in
     Array.sort Float.compare sorted;
     Some
       {
@@ -110,7 +122,6 @@ type state = {
   mutable stats_on : bool;
   mutable trace_on : bool;
   mutable collecting : bool;  (* stats_on || trace_on, the fast-path test *)
-  mutable path : string list; (* innermost first *)
   span_aggs : (string, span_agg) Hashtbl.t;
   mutable trace_buf : trace_event Vec.t;
 }
@@ -120,10 +131,13 @@ let st =
     stats_on = false;
     trace_on = false;
     collecting = false;
-    path = [];
     span_aggs = Hashtbl.create 32;
     trace_buf = Vec.create ();
   }
+
+(* The open-span path is per domain: concurrent workers each nest their
+   own spans without seeing each other's stack. *)
+let path_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let collecting () = st.collecting
 let enable_stats () = st.stats_on <- true; st.collecting <- true
@@ -131,41 +145,43 @@ let enable_trace () = st.trace_on <- true; st.collecting <- true
 let disable () = st.stats_on <- false; st.trace_on <- false; st.collecting <- false
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  locked @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
   Hashtbl.reset dists;
   Hashtbl.reset st.span_aggs;
-  st.path <- [];
+  Domain.DLS.set path_key [];
   st.trace_buf <- Vec.create ()
 
 let span ?(attrs = []) name f =
   if not st.collecting then f ()
   else begin
-    let outer = st.path in
+    let outer = Domain.DLS.get path_key in
     let path = String.concat "/" (List.rev (name :: outer)) in
-    st.path <- name :: outer;
+    Domain.DLS.set path_key (name :: outer);
     let t0 = now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let dur = Int64.sub (now_ns ()) t0 in
-        st.path <- outer;
-        if st.stats_on then begin
-          match Hashtbl.find_opt st.span_aggs path with
-          | Some a ->
-            a.s_count <- a.s_count + 1;
-            a.s_total_ns <- Int64.add a.s_total_ns dur
-          | None ->
-            Hashtbl.replace st.span_aggs path { s_count = 1; s_total_ns = dur }
-        end;
-        if st.trace_on then
-          ignore
-            (Vec.push st.trace_buf
-               {
-                 ev_name = name;
-                 ev_path = path;
-                 ev_ts_ns = Int64.sub t0 epoch_ns;
-                 ev_dur_ns = dur;
-                 ev_attrs = attrs;
-               }))
+        Domain.DLS.set path_key outer;
+        locked (fun () ->
+            if st.stats_on then begin
+              match Hashtbl.find_opt st.span_aggs path with
+              | Some a ->
+                a.s_count <- a.s_count + 1;
+                a.s_total_ns <- Int64.add a.s_total_ns dur
+              | None ->
+                Hashtbl.replace st.span_aggs path { s_count = 1; s_total_ns = dur }
+            end;
+            if st.trace_on then
+              ignore
+                (Vec.push st.trace_buf
+                   {
+                     ev_name = name;
+                     ev_path = path;
+                     ev_ts_ns = Int64.sub t0 epoch_ns;
+                     ev_dur_ns = dur;
+                     ev_attrs = attrs;
+                   })))
       f
   end
 
@@ -173,13 +189,15 @@ let span ?(attrs = []) name f =
 (* Outputs *)
 
 let counters_snapshot () =
-  Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) counters []
+  locked (fun () ->
+      Hashtbl.fold (fun _ c acc -> (c.c_name, Atomic.get c.c_value) :: acc) counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let span_stats () =
-  Hashtbl.fold
-    (fun path a acc -> (path, a.s_count, Int64.to_float a.s_total_ns) :: acc)
-    st.span_aggs []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun path a acc -> (path, a.s_count, Int64.to_float a.s_total_ns) :: acc)
+        st.span_aggs [])
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let pp_ns ns =
@@ -222,8 +240,8 @@ let report () =
       nonzero
   end;
   let dist_rows =
-    Hashtbl.fold (fun _ d acc -> (d.d_name, dist_stats d) :: acc) dists []
-    |> List.filter_map (fun (name, s) -> Option.map (fun s -> (name, s)) s)
+    locked (fun () -> Hashtbl.fold (fun _ d acc -> (d.d_name, d) :: acc) dists [])
+    |> List.filter_map (fun (name, d) -> Option.map (fun s -> (name, s)) (dist_stats d))
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   if dist_rows <> [] then begin

@@ -14,8 +14,11 @@
     {!counters_snapshot}s.  Span wall-clock aggregation and Chrome trace
     events are only recorded after {!enable_stats} / {!enable_trace}.
 
-    The module is a process-wide singleton: the pipeline is sequential and
-    the CLI, benchmark harness and tests all want one shared ledger. *)
+    The module is a process-wide singleton: the CLI, benchmark harness and
+    tests all want one shared ledger.  It is domain-safe — the explore
+    engine evaluates design points on a [Domain] pool: counter bumps are
+    lock-free atomics, the open-span path is domain-local, and interning
+    plus aggregate mutation are serialised on an internal mutex. *)
 
 val now_ns : unit -> int64
 (** Monotonic clock (CLOCK_MONOTONIC), nanoseconds. *)

@@ -7,7 +7,15 @@ type overheads = {
   fsm_area_per_state : float;
 }
 
-type t = { lib_name : string; ov : overheads; memo : (Resource_kind.t * int, Curve.t) Hashtbl.t }
+(* The curve memo is per domain (DLS): curve construction is pure, so each
+   explore worker rebuilding its own curves gives identical results with
+   zero cross-domain traffic — a shared table behind a mutex serialised
+   the schedulers' hottest query. *)
+type t = {
+  lib_name : string;
+  ov : overheads;
+  memo : (Resource_kind.t * int, Curve.t) Hashtbl.t Domain.DLS.key;
+}
 
 let table1_multiplier_8x8 =
   Curve.of_pairs
@@ -37,8 +45,13 @@ let ideal =
     fsm_area_per_state = 0.0;
   }
 
-let default = { lib_name = "virt90"; ov = realistic; memo = Hashtbl.create 32 }
-let idealized = { lib_name = "virt90-ideal"; ov = ideal; memo = Hashtbl.create 32 }
+let default =
+  { lib_name = "virt90"; ov = realistic;
+    memo = Domain.DLS.new_key (fun () -> Hashtbl.create 32) }
+
+let idealized =
+  { lib_name = "virt90-ideal"; ov = ideal;
+    memo = Domain.DLS.new_key (fun () -> Hashtbl.create 32) }
 let name t = t.lib_name
 
 let log2 x = log x /. log 2.0
@@ -120,11 +133,12 @@ let build_curve rk width =
 
 let curve t rk ~width =
   if width < 1 || width > 512 then invalid_arg "Library.curve: width out of range";
-  match Hashtbl.find_opt t.memo (rk, width) with
+  let memo = Domain.DLS.get t.memo in
+  match Hashtbl.find_opt memo (rk, width) with
   | Some c -> c
   | None ->
     let c = build_curve rk width in
-    Hashtbl.add t.memo (rk, width) c;
+    Hashtbl.add memo (rk, width) c;
     c
 
 let op_curve t k ~width =

@@ -111,6 +111,23 @@ let generate ?(profile = default_profile) ~seed () =
     suggested_clock;
   }
 
+(* Stable content digest: everything the HLS result can depend on.  The
+   generator draws every structural choice from the seeded Splitmix stream
+   and builds the graph through Vec-backed containers, so two [generate]
+   calls with equal seeds produce byte-identical dumps — asserted in
+   test/test_explore.ml.  Keep it that way: no Hashtbl iteration, no
+   physical-equality ordering in the generator above. *)
+let digest t =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [
+            t.name;
+            string_of_int t.latency;
+            Printf.sprintf "%.3f" t.suggested_clock;
+            Dfg.digest t.dfg;
+          ]))
+
 let suite ?profile ~count ~seed () =
   let master = Splitmix.create seed in
   List.init count (fun i ->

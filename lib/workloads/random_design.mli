@@ -29,3 +29,9 @@ val generate : ?profile:profile -> seed:int -> unit -> t
 
 val suite : ?profile:profile -> count:int -> seed:int -> unit -> t list
 (** [count] independent designs derived from one master seed. *)
+
+val digest : t -> string
+(** Stable content digest (hex MD5) over the design's name, latency,
+    suggested clock and {!Dfg.digest} of its graph.  Equal seeds yield
+    equal digests across runs and processes — the explore subsystem uses
+    this as the design half of its evaluation-cache key. *)

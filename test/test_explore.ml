@@ -1,0 +1,339 @@
+(* The explore subsystem: Pareto-frontier algebra (pruning, ties,
+   insertion-order independence), grid-spec parsing, the domain pool,
+   design digests, sweep determinism across worker counts, and the
+   evaluation cache (memoization + file round-trip). *)
+
+let entry key area delay = { Pareto.key; area; delay; tag = () }
+
+(* --------------------------------------------------------------- *)
+(* Pareto *)
+
+let keys t = List.map (fun (e : unit Pareto.entry) -> e.Pareto.key) (Pareto.frontier t)
+
+let test_pareto_pruning () =
+  let f =
+    Pareto.of_list
+      [
+        entry "a" 100.0 10.0;
+        entry "b" 90.0 12.0;   (* frontier: cheaper, slower *)
+        entry "c" 110.0 9.0;   (* frontier: dearer, faster *)
+        entry "d" 105.0 11.0;  (* dominated by a *)
+        entry "e" 100.0 10.0;  (* exact tie with a: key 'a' wins *)
+      ]
+  in
+  Alcotest.(check (list string)) "frontier keys" [ "b"; "a"; "c" ] (keys f);
+  (* A new point dominating two frontier members displaces both. *)
+  let f = Pareto.add (entry "z" 90.0 9.0) f in
+  Alcotest.(check (list string)) "z displaces a and c and b-equal-area" [ "z" ] (keys f)
+
+let test_pareto_tie_handling () =
+  (* Equal area, different delay: the faster one dominates. *)
+  let f = Pareto.of_list [ entry "slow" 50.0 20.0; entry "fast" 50.0 15.0 ] in
+  Alcotest.(check (list string)) "equal area" [ "fast" ] (keys f);
+  (* Equal delay, different area: the cheaper one dominates. *)
+  let f = Pareto.of_list [ entry "dear" 60.0 15.0; entry "cheap" 40.0 15.0 ] in
+  Alcotest.(check (list string)) "equal delay" [ "cheap" ] (keys f);
+  (* Exact coordinate ties resolve by key, whichever lands first. *)
+  let f1 = Pareto.of_list [ entry "k2" 5.0 5.0; entry "k1" 5.0 5.0 ] in
+  let f2 = Pareto.of_list [ entry "k1" 5.0 5.0; entry "k2" 5.0 5.0 ] in
+  Alcotest.(check (list string)) "tie order 1" [ "k1" ] (keys f1);
+  Alcotest.(check (list string)) "tie order 2" [ "k1" ] (keys f2)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let test_pareto_order_independence () =
+  let es =
+    [
+      entry "a" 100.0 10.0;
+      entry "b" 90.0 12.0;
+      entry "c" 110.0 9.0;
+      entry "d" 105.0 11.0;
+      entry "e" 100.0 10.0;
+    ]
+  in
+  let reference = keys (Pareto.of_list es) in
+  List.iter
+    (fun perm ->
+      Alcotest.(check (list string)) "permutation-invariant frontier" reference
+        (keys (Pareto.of_list perm)))
+    (permutations es)
+
+let test_pareto_monotone_growth () =
+  (* Inserting a point never makes the frontier worse: every old frontier
+     member is still dominated-or-present, and size never drops below 1. *)
+  let pts =
+    List.mapi
+      (fun i (a, d) -> entry (Printf.sprintf "p%d" i) a d)
+      [ (10., 10.); (8., 12.); (12., 8.); (9., 9.); (11., 11.); (7., 13.); (9., 9.) ]
+  in
+  ignore
+    (List.fold_left
+       (fun acc e ->
+         let acc' = Pareto.add e acc in
+         List.iter
+           (fun (old_e : unit Pareto.entry) ->
+             let covered =
+               List.exists
+                 (fun (f : unit Pareto.entry) ->
+                   f.Pareto.key = old_e.Pareto.key || Pareto.dominates f old_e
+                   || (f.Pareto.area = old_e.Pareto.area
+                      && f.Pareto.delay = old_e.Pareto.delay))
+                 (Pareto.frontier acc')
+             in
+             Alcotest.(check bool) "old member covered" true covered)
+           (Pareto.frontier acc);
+         acc')
+       Pareto.empty pts);
+  let bad = entry "nan" Float.nan 1.0 in
+  (match Pareto.add bad Pareto.empty with
+  | _ -> Alcotest.fail "non-finite objective accepted"
+  | exception Invalid_argument _ -> ())
+
+(* --------------------------------------------------------------- *)
+(* Grid specs *)
+
+let test_grid_parsing () =
+  (match Explore_grid.parse_clocks "2000:3000:250" with
+  | Ok cs -> Alcotest.(check int) "range size" 5 (List.length cs)
+  | Error m -> Alcotest.fail m);
+  (match Explore_grid.parse_clocks "1500,2000:2500:500" with
+  | Ok cs ->
+    Alcotest.(check (list (float 0.001))) "mixed items" [ 1500.; 2000.; 2500. ] cs
+  | Error m -> Alcotest.fail m);
+  (match Explore_grid.parse_clocks "bogus" with
+  | Ok _ -> Alcotest.fail "bogus clock spec accepted"
+  | Error _ -> ());
+  (match Explore_grid.parse_clocks "3000:2000:100" with
+  | Ok _ -> Alcotest.fail "inverted range accepted"
+  | Error _ -> ());
+  (match Explore_grid.parse_iis "none,4:8:2" with
+  | Ok iis ->
+    Alcotest.(check int) "ii items" 4 (List.length iis);
+    Alcotest.(check bool) "none present" true (List.mem None iis);
+    Alcotest.(check bool) "ii 6 present" true (List.mem (Some 6) iis)
+  | Error m -> Alcotest.fail m);
+  (match Explore_grid.parse_iis "0" with
+  | Ok _ -> Alcotest.fail "ii 0 accepted"
+  | Error _ -> ());
+  (match Explore_grid.parse_flows "all" with
+  | Ok fs -> Alcotest.(check int) "all flows" 3 (List.length fs)
+  | Error m -> Alcotest.fail m);
+  (match Explore_grid.parse_recover "both" with
+  | Ok r -> Alcotest.(check int) "both policies" 2 (List.length r)
+  | Error _ -> Alcotest.fail "recover both rejected")
+
+let test_grid_enumeration () =
+  match
+    Explore_grid.make ~clocks:[ 2500.0; 2000.0; 2500.0 ]
+      ~flows:[ Flows.Conventional; Flows.Slack_based ]
+      ~iis:[ None; Some 4 ] ~recover:[ true; false ] ()
+  with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+    Alcotest.(check int) "size dedups clocks" 16 (Explore_grid.size g);
+    let pts = Explore_grid.points g in
+    Alcotest.(check int) "points = size" 16 (List.length pts);
+    let ks = List.map Explore_grid.point_key pts in
+    Alcotest.(check int) "keys unique" 16 (List.length (List.sort_uniq compare ks));
+    (* Empty and invalid axes are rejected. *)
+    (match Explore_grid.make ~clocks:[] ~flows:[ Flows.Slack_based ] () with
+    | Ok _ -> Alcotest.fail "empty clock axis accepted"
+    | Error _ -> ());
+    (match Explore_grid.make ~clocks:[ -1.0 ] ~flows:[ Flows.Slack_based ] () with
+    | Ok _ -> Alcotest.fail "negative clock accepted"
+    | Error _ -> ())
+
+(* --------------------------------------------------------------- *)
+(* Domain pool *)
+
+let test_pool_matches_sequential () =
+  let tasks = Array.init 100 (fun i -> i) in
+  let f x = (x * 7) mod 13 in
+  Alcotest.(check (array int)) "jobs=4 == sequential" (Array.map f tasks)
+    (Domain_pool.map ~jobs:4 f tasks);
+  Alcotest.(check (array int)) "jobs=1 == sequential" (Array.map f tasks)
+    (Domain_pool.map ~jobs:1 f tasks);
+  Alcotest.(check (array int)) "empty" [||] (Domain_pool.map ~jobs:4 f [||])
+
+let test_pool_exception_propagates () =
+  let tasks = Array.init 20 (fun i -> i) in
+  match
+    Domain_pool.map ~jobs:3 (fun i -> if i >= 10 then failwith "boom" else i) tasks
+  with
+  | _ -> Alcotest.fail "worker exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+
+(* --------------------------------------------------------------- *)
+(* Digests *)
+
+let test_digest_stability () =
+  let d1 = Random_design.generate ~seed:42 () in
+  let d2 = Random_design.generate ~seed:42 () in
+  Alcotest.(check string) "same seed, same digest" (Random_design.digest d1)
+    (Random_design.digest d2);
+  let d3 = Random_design.generate ~seed:43 () in
+  Alcotest.(check bool) "different seed, different digest" true
+    (Random_design.digest d1 <> Random_design.digest d3);
+  (* The whole suite digests reproducibly. *)
+  let sig_of designs = String.concat "," (List.map Random_design.digest designs) in
+  Alcotest.(check string) "suite digest reproducible"
+    (sig_of (Random_design.suite ~count:5 ~seed:7 ()))
+    (sig_of (Random_design.suite ~count:5 ~seed:7 ()))
+
+let test_dfg_digest_content () =
+  let d = Idct.build ~latency:8 ~passes:1 () in
+  let d' = Idct.build ~latency:8 ~passes:1 () in
+  Alcotest.(check string) "idct digest reproducible" (Dfg.digest d.Idct.dfg)
+    (Dfg.digest d'.Idct.dfg);
+  let other = Idct.build ~latency:10 ~passes:1 () in
+  Alcotest.(check bool) "different latency, different digest" true
+    (Dfg.digest d.Idct.dfg <> Dfg.digest other.Idct.dfg)
+
+(* --------------------------------------------------------------- *)
+(* Sweeps *)
+
+let idct_grid () =
+  match
+    Explore_grid.make ~clocks:[ 2200.0; 2600.0; 3000.0 ]
+      ~flows:[ Flows.Conventional; Flows.Slack_based ]
+      ()
+  with
+  | Ok g -> g
+  | Error m -> Alcotest.fail m
+
+let idct_build () = (Idct.build ~latency:12 ~passes:1 ()).Idct.dfg
+
+let run_sweep ?jobs ?cache () =
+  Explore.run ?jobs ?cache ~lib:Library.default ~config:Flows.default_config
+    ~name:"idct" ~build:idct_build (idct_grid ())
+
+(* The frontier as a comparable string, %h floats so equality is bit-exact.
+   (Whole-outcome renderings can't be compared across cold/warm runs: the
+   evaluated/cached counts legitimately differ.) *)
+let frontier_sig (o : Explore.outcome) =
+  String.concat ";"
+    (List.map
+       (fun (e : Explore.point_result Pareto.entry) ->
+         Printf.sprintf "%s|%h|%h" e.Pareto.key e.Pareto.area e.Pareto.delay)
+       o.Explore.frontier)
+
+let test_sweep_deterministic_across_jobs () =
+  let o1 = run_sweep ~jobs:1 () in
+  let o4 = run_sweep ~jobs:4 () in
+  Alcotest.(check string) "CSV byte-identical" (Explore.to_csv o1) (Explore.to_csv o4);
+  Alcotest.(check string) "JSON byte-identical" (Explore.to_json o1)
+    (Explore.to_json o4);
+  Alcotest.(check string) "summary byte-identical" (Explore.render_summary o1)
+    (Explore.render_summary o4);
+  Alcotest.(check bool) "frontier nonempty" true (o1.Explore.frontier <> [])
+
+let test_sweep_cache_memoizes () =
+  let cache = Eval_cache.create () in
+  let cold = run_sweep ~cache () in
+  Alcotest.(check int) "cold evaluates all" cold.Explore.total cold.Explore.evaluated;
+  let warm = run_sweep ~cache () in
+  Alcotest.(check int) "warm evaluates none" 0 warm.Explore.evaluated;
+  Alcotest.(check int) "warm all hits" warm.Explore.total warm.Explore.hits;
+  Alcotest.(check string) "frontier identical from cache" (frontier_sig cold)
+    (frontier_sig warm);
+  (* A different configuration must not be answered by stale entries. *)
+  let other_config = { Flows.default_config with Flows.max_recoveries = 0 } in
+  let o =
+    Explore.run ~cache ~lib:Library.default ~config:other_config ~name:"idct"
+      ~build:idct_build (idct_grid ())
+  in
+  Alcotest.(check int) "config change misses" o.Explore.total o.Explore.evaluated
+
+let test_cache_file_roundtrip () =
+  let cache = Eval_cache.create () in
+  let cold = run_sweep ~cache () in
+  let path = Filename.temp_file "explore" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Eval_cache.save cache ~path;
+      match Eval_cache.load ~path with
+      | Error m -> Alcotest.fail m
+      | Ok loaded ->
+        Alcotest.(check int) "entry count survives" (Eval_cache.size cache)
+          (Eval_cache.size loaded);
+        let warm = run_sweep ~cache:loaded () in
+        Alcotest.(check int) "loaded cache answers everything" 0
+          warm.Explore.evaluated;
+        Alcotest.(check string) "bit-exact through the file"
+          (frontier_sig cold) (frontier_sig warm))
+
+let test_cache_rejects_corrupt_file () =
+  let path = Filename.temp_file "explore" ".cache" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a cache file\n";
+      close_out oc;
+      (match Eval_cache.load ~path with
+      | Ok _ -> Alcotest.fail "corrupt cache accepted"
+      | Error _ -> ());
+      let oc = open_out path in
+      output_string oc "slackhls-explore-cache v1\ngarbage line\n";
+      close_out oc;
+      match Eval_cache.load ~path with
+      | Ok _ -> Alcotest.fail "malformed entry accepted"
+      | Error _ -> ())
+
+let test_missing_cache_file_is_empty () =
+  match Eval_cache.load ~path:"/nonexistent/explore.cache" with
+  | Ok c -> Alcotest.(check int) "empty" 0 (Eval_cache.size c)
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "pareto",
+        [
+          Alcotest.test_case "dominated points pruned" `Quick test_pareto_pruning;
+          Alcotest.test_case "tie handling" `Quick test_pareto_tie_handling;
+          Alcotest.test_case "insertion-order independent" `Quick
+            test_pareto_order_independence;
+          Alcotest.test_case "monotone under insertion" `Quick
+            test_pareto_monotone_growth;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_grid_parsing;
+          Alcotest.test_case "enumeration and keys" `Quick test_grid_enumeration;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "matches sequential map" `Quick
+            test_pool_matches_sequential;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_exception_propagates;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "random-design digest stable" `Quick
+            test_digest_stability;
+          Alcotest.test_case "dfg digest is content-addressed" `Quick
+            test_dfg_digest_content;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_sweep_deterministic_across_jobs;
+          Alcotest.test_case "cache memoizes" `Quick test_sweep_cache_memoizes;
+          Alcotest.test_case "cache file round-trip" `Quick
+            test_cache_file_roundtrip;
+          Alcotest.test_case "corrupt cache rejected" `Quick
+            test_cache_rejects_corrupt_file;
+          Alcotest.test_case "missing cache file is empty" `Quick
+            test_missing_cache_file_is_empty;
+        ] );
+    ]
