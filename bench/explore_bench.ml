@@ -90,7 +90,35 @@ let cache_effect () =
     o_warm.Explore.hits;
   if o_warm.Explore.evaluated <> 0 then failwith "warm sweep re-evaluated points"
 
+let journal_overhead () =
+  subsection "checkpoint journal overhead (fsync per completed point)";
+  let _, base_clock, build = (fun (a, b, c) -> (a, b, c)) (List.hd workloads) in
+  let grid = grid_for base_clock ~quick:false in
+  let time_run ?journal () =
+    let t0 = Obs.now_ns () in
+    let o = Explore.run ?journal ~lib:realistic ~config ~name:"fir8" ~build grid in
+    (Int64.to_float (Int64.sub (Obs.now_ns ()) t0), o)
+  in
+  let t_bare, o_bare = time_run () in
+  let path = Filename.temp_file "explore_bench" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Journal.start ~path ~fresh:true in
+      let t_journaled, o_journaled =
+        Fun.protect ~finally:(fun () -> Journal.close w) (fun () -> time_run ~journal:w ())
+      in
+      Printf.printf
+        "  bare: %s   journaled: %s (%.1f%% overhead, %d records fsync'd)\n"
+        (pp_ns t_bare) (pp_ns t_journaled)
+        ((t_journaled -. t_bare) /. t_bare *. 100.0)
+        o_journaled.Explore.total;
+      (* The journal must not perturb the sweep itself. *)
+      if Explore.to_csv o_bare <> Explore.to_csv o_journaled then
+        failwith "journaled sweep differs from bare sweep")
+
 let run ~quick () =
   tradeoff_curves ~quick ();
   scaling ~quick ();
-  cache_effect ()
+  cache_effect ();
+  journal_overhead ()

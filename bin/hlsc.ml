@@ -27,10 +27,13 @@
      4  unrecoverable flow failure (scheduling failed after the full
         recovery ladder; for explore: every grid point failed, so the
         sweep produced an empty frontier)
+     5  interrupted sweep (SIGINT/SIGTERM or --deadline fired before every
+        point completed; the journal and partial renderings were flushed —
+        re-run with --resume to finish)
 
-   An explore sweep in which only some points fail exits 0: infeasible
-   points are data — the infeasible region of the tradeoff space — and are
-   reported in the CSV/JSON/text outputs. *)
+   An explore sweep in which only some points fail exits 0: infeasible,
+   timed-out and crashed points are data — the infeasible region of the
+   tradeoff space — and are reported in the CSV/JSON/text outputs. *)
 
 open Cmdliner
 
@@ -41,21 +44,23 @@ type cli_error =
   | Usage of string
   | Validation of string
   | Flow_failed of string
+  | Interrupted of string
 
 let exit_code_of = function
   | Internal _ -> 1
   | Usage _ -> 2
   | Validation _ -> 3
   | Flow_failed _ -> 4
+  | Interrupted _ -> 5
 
 let message_of = function
-  | Internal m | Usage m | Validation m | Flow_failed m -> m
+  | Internal m | Usage m | Validation m | Flow_failed m | Interrupted m -> m
 
 let classify_flow_error e =
   match e with
   | Flows.Invalid _ -> Usage (Flows.error_message e)
   | Flows.Validation_failed _ -> Validation (Flows.error_message e)
-  | Flows.Sched_failed _ -> Flow_failed (Flows.error_message e)
+  | Flows.Sched_failed _ | Flows.Timed_out _ -> Flow_failed (Flows.error_message e)
 
 let lib_of = function
   | "default" | "virt90" -> Ok Library.default
@@ -371,7 +376,8 @@ let write_rendering ~what path content =
     | exception Sys_error m -> Error (Internal m))
 
 let explore_cmd source builtin clock lib validate max_recoveries clocks flows iis
-    recover jobs cache_file csv json stats trace =
+    recover jobs cache_file point_deadline deadline retries strict journal_file
+    resume_file csv json stats trace =
   with_obs ~stats ~trace @@ fun () ->
   finish
     (let* lib = lib_of lib in
@@ -394,6 +400,19 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
        if jobs < 0 then Error (Usage "--jobs must be non-negative")
        else Ok (if jobs = 0 then None else Some jobs)
      in
+     let* () =
+       if retries < 0 then Error (Usage "--retries must be non-negative") else Ok ()
+     in
+     let* () =
+       match point_deadline with
+       | Some s when s < 0.0 -> Error (Usage "--point-deadline must be non-negative")
+       | _ -> Ok ()
+     in
+     let* () =
+       match deadline with
+       | Some s when s < 0.0 -> Error (Usage "--deadline must be non-negative")
+       | _ -> Ok ()
+     in
      let* cache =
        match cache_file with
        | None -> Ok None
@@ -403,7 +422,63 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
            ~error:(fun m -> Error (Usage m))
            (Eval_cache.load ~path)
      in
-     let outcome = Explore.run ?jobs ?cache ~lib ~config ~name ~build grid in
+     (* --journal starts a fresh checkpoint file; --resume loads an
+        interrupted sweep's journal, skips its completed points and keeps
+        appending to the same file. *)
+     let* journal_path, fresh, resume =
+       match (journal_file, resume_file) with
+       | Some _, Some _ -> Error (Usage "pass --journal or --resume, not both")
+       | Some path, None -> Ok (Some path, true, [])
+       | None, Some path ->
+         Result.fold
+           ~ok:(fun (entries, quarantined) ->
+             if quarantined > 0 then
+               Printf.eprintf "hlsc: %s: quarantined %d corrupt journal record%s\n"
+                 path quarantined (if quarantined = 1 then "" else "s");
+             Ok (Some path, false, entries))
+           ~error:(fun m -> Error (Usage m))
+           (Journal.load ~path)
+       | None, None -> Ok (None, true, [])
+     in
+     let* journal =
+       match journal_path with
+       | None -> Ok None
+       | Some path -> (
+         match Journal.start ~path ~fresh with
+         | w -> Ok (Some w)
+         | exception Unix.Unix_error (e, _, _) ->
+           Error (Internal (path ^ ": " ^ Unix.error_message e)))
+     in
+     (* The sweep-level token: fed by --deadline and by SIGINT/SIGTERM.
+        Workers poll it before claiming points, so a fired token drains
+        in-flight evaluations, journals them, and leaves the rest pending. *)
+     let cancel =
+       match deadline with
+       | Some seconds -> Cancel.after ~seconds
+       | None -> Cancel.manual ()
+     in
+     let on_signal name =
+       Sys.Signal_handle (fun _ -> Cancel.trigger ~reason:name cancel)
+     in
+     let prev_int = Sys.signal Sys.sigint (on_signal "SIGINT") in
+     let prev_term = Sys.signal Sys.sigterm (on_signal "SIGTERM") in
+     let* outcome =
+       match
+         Fun.protect
+           ~finally:(fun () ->
+             Sys.set_signal Sys.sigint prev_int;
+             Sys.set_signal Sys.sigterm prev_term;
+             Option.iter Journal.close journal)
+           (fun () ->
+             Explore.run ?jobs ~retries ~strict ?point_deadline ~cancel ?cache
+               ?journal ~resume ~lib ~config ~name ~build grid)
+       with
+       | outcome -> Ok outcome
+       | exception e ->
+         (* --strict re-raises the first crash after the journal has every
+            completed point; surface it as an internal error. *)
+         Error (Internal (Printf.sprintf "sweep crashed: %s" (Printexc.to_string e)))
+     in
      let* () =
        match (cache, cache_file) with
        | Some c, Some path -> (
@@ -423,23 +498,104 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
        | None -> Ok ()
      in
      print_string (Explore.render_summary outcome);
-     if outcome.Explore.total > 0 && outcome.Explore.frontier = [] then
+     if Explore.partial outcome then
+       Error
+         (Interrupted
+            (Printf.sprintf
+               "sweep interrupted (%s): %d of %d points pending%s"
+               (Option.value ~default:"cancelled" (Cancel.reason cancel))
+               outcome.Explore.pending outcome.Explore.total
+               (match journal_path with
+               | Some p -> Printf.sprintf "; resume with --resume %s" p
+               | None -> "")))
+     else if outcome.Explore.total > 0 && outcome.Explore.frontier = [] then
        Error
          (Flow_failed
             (Printf.sprintf "all %d grid points failed; frontier is empty"
                outcome.Explore.total))
      else Ok ())
 
+(* Grid fuzzing: random spec strings (valid, degenerate and garbage
+   fragments) through the Explore_grid parsers — which must reject bad
+   input with [Error], never raise — and a few of the accepted small grids
+   through real sweeps under paranoid validation. *)
+(* Per-axis fragment pools, weighted toward valid items (repeated entries)
+   so a useful fraction of the generated grids is accepted and can be swept
+   — while still covering degenerate ranges, garbage tokens and whitespace. *)
+let clock_pieces =
+  [|
+    "2500"; "2500"; "2400:2800:200"; "2400:2800:200"; "2500:2500:1"; " 2600 ";
+    "3000:2000:100"; "1:2:0"; "0"; "-1"; "1:1000000000:1"; "nan"; "inf";
+    "bogus"; "";
+  |]
+
+let flow_pieces =
+  [| "conv"; "slack"; "slowest"; "all"; "conv"; "slack"; "conventional"; "bogus"; "" |]
+
+let ii_pieces =
+  [| "none"; "none"; "4"; "2:8:2"; "none"; "8:2"; "0:4"; "0"; "-3"; "bogus"; "" |]
+
+let recover_pieces = [| "on"; "off"; "both"; "on"; "off"; "bogus"; ""; "on,off" |]
+
+let fuzz_grids ~lib ~config ~grids ~seed =
+  let rng = Splitmix.create ((seed * 7919) + 17) in
+  let spec pieces =
+    let n = 1 + Splitmix.int rng 2 in
+    String.concat "," (List.init n (fun _ -> Splitmix.choose rng pieces))
+  in
+  let accepted = ref 0 and rejected = ref 0 and swept = ref 0 in
+  let violations = ref [] in
+  for _trial = 1 to grids do
+    let clocks = spec clock_pieces and flows = spec flow_pieces in
+    let iis = spec ii_pieces in
+    let recover = Splitmix.choose rng recover_pieces in
+    match Explore_grid.of_specs ~clocks ~flows ~iis ~recover () with
+    | Error _ -> incr rejected
+    | Ok grid ->
+      incr accepted;
+      (* Sweep a handful of the small accepted grids end to end: statuses
+         are data, so the only failure mode that counts is a raise. *)
+      if !swept < 3 && Explore_grid.size grid <= 8 then begin
+        incr swept;
+        let build () =
+          let f = Fir.build ~taps:4 ~latency:4 () in
+          f.Fir.dfg
+        in
+        match
+          Explore.run ~jobs:2 ~lib ~config ~name:"fuzz-grid" ~build grid
+        with
+        | (_ : Explore.outcome) -> ()
+        | exception e ->
+          violations :=
+            Printf.sprintf
+              "grid sweep (clocks=%S flows=%S ii=%S recover=%S) raised: %s"
+              clocks flows iis recover (Printexc.to_string e)
+            :: !violations
+      end
+    | exception e ->
+      violations :=
+        Printf.sprintf
+          "grid parse (clocks=%S flows=%S ii=%S recover=%S) raised: %s" clocks
+          flows iis recover (Printexc.to_string e)
+        :: !violations
+  done;
+  Printf.printf
+    "fuzz grids: %d specs: %d accepted, %d rejected, %d swept, %d violations\n"
+    grids !accepted !rejected !swept
+    (List.length !violations);
+  List.rev !violations
+
 (* Fuzz: seeded random designs through every flow.  Scheduling failures are
    tolerated (tight random designs may be legitimately infeasible — the
    ladder transcript says the system degraded gracefully); invariant
    violations and crashes are not. *)
-let fuzz_cmd count seed lib validate max_recoveries stats trace =
+let fuzz_cmd count seed lib validate max_recoveries grids stats trace =
   with_obs ~stats ~trace @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
      if count <= 0 then Error (Usage "--count must be positive")
+     else if grids < 0 then Error (Usage "--grids must be non-negative")
      else begin
        let designs = Random_design.suite ~count ~seed () in
        let ok = ref 0 and sched_fails = ref 0 and recovered = ref 0 in
@@ -456,7 +612,8 @@ let fuzz_cmd count seed lib validate max_recoveries stats trace =
                | Ok r ->
                  incr ok;
                  if r.Hls.report.Flows.recovery_log <> [] then incr recovered
-               | Error (Flows.Sched_failed _) -> incr sched_fails
+               | Error (Flows.Sched_failed _) | Error (Flows.Timed_out _) ->
+                 incr sched_fails
                | Error (Flows.Invalid _ as e) | Error (Flows.Validation_failed _ as e)
                  ->
                  violations :=
@@ -469,7 +626,10 @@ let fuzz_cmd count seed lib validate max_recoveries stats trace =
          "fuzz: %d designs x 3 flows: %d ok (%d via recovery), %d infeasible, %d violations\n"
          count !ok !recovered !sched_fails
          (List.length !violations);
-       match List.rev !violations with
+       let grid_violations =
+         if grids > 0 then fuzz_grids ~lib ~config ~grids ~seed else []
+       in
+       match List.rev !violations @ grid_violations with
        | [] -> Ok ()
        | vs -> Error (Validation (String.concat "\n" vs))
      end)
@@ -527,6 +687,43 @@ let cache_arg =
          ~doc:"Evaluation cache: load before the sweep (missing file = empty), skip \
                already-evaluated points, save back after.")
 
+let point_deadline_arg =
+  Arg.(value & opt (some float) None & info [ "point-deadline" ] ~docv:"SECONDS"
+         ~doc:"Per-point evaluation deadline.  A point that exceeds it is \
+               reported with status timed_out (the pipeline polls the deadline \
+               cooperatively at phase boundaries) — data, not an error.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+         ~doc:"Sweep-level deadline.  When it fires, workers stop claiming \
+               points, in-flight evaluations drain, and the partial results \
+               are flushed; the sweep exits 5 and can be finished with \
+               --resume.")
+
+let retries_arg =
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+         ~doc:"Re-run a point whose evaluation raised up to N extra times \
+               before quarantining it with status crashed.")
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ]
+         ~doc:"Abort the sweep (exit 1) on the first point whose evaluation \
+               still raises after --retries attempts, instead of quarantining \
+               it.  Completed points are journaled before aborting.")
+
+let journal_arg =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Start a fresh checkpoint journal: every completed point is \
+               appended and fsync'd, so an interrupted sweep can be finished \
+               with --resume.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE"
+         ~doc:"Resume an interrupted sweep from its checkpoint journal: \
+               recorded points are not re-evaluated, new completions keep \
+               being appended, and the final outputs are byte-identical to an \
+               uninterrupted run.")
+
 let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
          ~doc:"Write every grid point as CSV ('-' for stdout).")
@@ -541,8 +738,9 @@ let explore_t =
        ~doc:"Parallel design-space exploration with an area/delay Pareto frontier")
     Term.(const explore_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
           $ validate_arg $ max_recoveries_arg $ clocks_arg $ grid_flows_arg
-          $ iis_arg $ recover_arg $ jobs_arg $ cache_arg $ csv_arg $ json_arg
-          $ stats_arg $ trace_arg)
+          $ iis_arg $ recover_arg $ jobs_arg $ cache_arg $ point_deadline_arg
+          $ deadline_arg $ retries_arg $ strict_arg $ journal_arg $ resume_arg
+          $ csv_arg $ json_arg $ stats_arg $ trace_arg)
 
 let count_arg =
   Arg.(value & opt int 25 & info [ "count"; "n" ] ~docv:"N"
@@ -556,12 +754,18 @@ let fuzz_validate_arg =
   Arg.(value & opt string "paranoid" & info [ "validate" ] ~docv:"LEVEL"
          ~doc:"Phase-boundary invariant checking: off, boundary or paranoid (default).")
 
+let grids_fuzz_arg =
+  Arg.(value & opt int 0 & info [ "grids" ] ~docv:"N"
+         ~doc:"Also fuzz N random exploration-grid specs (including degenerate \
+               ranges) through the grid parsers, sweeping a few of the small \
+               accepted grids end to end.")
+
 let fuzz_t =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Random designs through every flow under invariant validation")
     Term.(const fuzz_cmd $ count_arg $ seed_arg $ lib_arg $ fuzz_validate_arg
-          $ max_recoveries_arg $ stats_arg $ trace_arg)
+          $ max_recoveries_arg $ grids_fuzz_arg $ stats_arg $ trace_arg)
 
 let dot_t =
   Cmd.v

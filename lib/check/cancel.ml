@@ -1,0 +1,33 @@
+type t =
+  | Never
+  | Tok of { deadline_ns : int64 option; flag : string option Atomic.t }
+
+let never = Never
+
+let after ~seconds =
+  let ns = Int64.of_float (Float.max 0.0 seconds *. 1e9) in
+  Tok
+    {
+      deadline_ns = Some (Int64.add (Obs.now_ns ()) ns);
+      flag = Atomic.make None;
+    }
+
+let manual () = Tok { deadline_ns = None; flag = Atomic.make None }
+
+let trigger ?(reason = "cancelled") = function
+  | Never -> ()
+  | Tok t ->
+    (* First reason wins; a lost race means another reason already won. *)
+    ignore (Atomic.compare_and_set t.flag None (Some reason))
+
+let reason = function
+  | Never -> None
+  | Tok t -> (
+    match Atomic.get t.flag with
+    | Some _ as r -> r
+    | None -> (
+      match t.deadline_ns with
+      | Some d when Obs.now_ns () >= d -> Some "deadline"
+      | Some _ | None -> None))
+
+let cancelled t = reason t <> None

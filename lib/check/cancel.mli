@@ -1,0 +1,38 @@
+(** Cooperative cancellation tokens for long-running pipeline work.
+
+    A token is either {!never} (free to test, never fires) or carries a
+    monotonic-clock deadline and/or a manually triggered flag.  Holders of
+    a token poll {!cancelled} at phase boundaries — validator guards, the
+    scheduler's relaxation loop, recovery-ladder rungs — so a runaway
+    point in a sweep degrades to a [Timed_out] result instead of hanging
+    its worker domain.  Polling never raises and costs one atomic load
+    plus (when a deadline is set) one clock read.
+
+    Tokens are domain-safe: {!trigger} may be called from any domain or
+    from a signal handler (it is a single atomic store), and any number of
+    domains may poll the same token. *)
+
+type t
+
+val never : t
+(** The inert token: never cancelled, {!trigger} on it is a no-op.  Use as
+    the default when no supervision is requested. *)
+
+val after : seconds:float -> t
+(** A token whose deadline is [seconds] from now on the monotonic clock.
+    [seconds <= 0] is already expired.  The token can additionally be
+    {!trigger}ed early. *)
+
+val manual : unit -> t
+(** A token with no deadline; fires only when {!trigger}ed (e.g. from a
+    SIGINT/SIGTERM handler). *)
+
+val trigger : ?reason:string -> t -> unit
+(** Cancel now.  The first reason wins ([reason] defaults to
+    ["cancelled"]); on {!never} this is a no-op. *)
+
+val cancelled : t -> bool
+
+val reason : t -> string option
+(** [Some why] once the token has fired — the {!trigger} reason, or
+    ["deadline"] when the deadline passed first; [None] otherwise. *)

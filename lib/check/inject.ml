@@ -4,9 +4,15 @@ type corruption =
   | Budget_overshoot
   | Swap_placements
   | Orphan_port
+  | Stall_point
+  | Crash_task
+  | Truncate_journal
 
 let all_corruptions =
-  [ Cycle_dfg; Drop_edge_latency; Budget_overshoot; Swap_placements; Orphan_port ]
+  [
+    Cycle_dfg; Drop_edge_latency; Budget_overshoot; Swap_placements; Orphan_port;
+    Stall_point; Crash_task; Truncate_journal;
+  ]
 
 let corruption_name = function
   | Cycle_dfg -> "cycle_dfg"
@@ -14,6 +20,9 @@ let corruption_name = function
   | Budget_overshoot -> "budget_overshoot"
   | Swap_placements -> "swap_placements"
   | Orphan_port -> "orphan_port"
+  | Stall_point -> "stall_point"
+  | Crash_task -> "crash_task"
+  | Truncate_journal -> "truncate_journal"
 
 let intended_check_prefix = function
   | Cycle_dfg -> "dfg."
@@ -21,6 +30,9 @@ let intended_check_prefix = function
   | Budget_overshoot -> "budget."
   | Swap_placements -> "schedule."
   | Orphan_port -> "netlist."
+  | Stall_point -> "cancel."
+  | Crash_task -> "pool."
+  | Truncate_journal -> "journal."
 
 let cycle_dfg d =
   let dep =
@@ -91,3 +103,25 @@ let orphan_port (nl : Netlist.t) =
     { Netlist.port_name = "__injected_orphan"; port_width = 8; input = true }
   in
   { nl with Netlist.ports = bogus :: nl.Netlist.ports }
+
+(* Supervision faults: these damage the sweep harness (a stuck evaluation,
+   a raising task, a torn checkpoint file) rather than a pipeline artifact,
+   and are bound to the cancellation/pool/journal machinery instead of a
+   validator. *)
+
+exception Injected_crash of string
+
+let stall_point ~seconds build () =
+  Unix.sleepf seconds;
+  build ()
+
+let crash_task ~crash_on build =
+  let calls = Atomic.make 1 in
+  fun () ->
+    let n = Atomic.fetch_and_add calls 1 in
+    if crash_on n then raise (Injected_crash (Printf.sprintf "call %d" n))
+    else build ()
+
+let truncate_journal ?(bytes = 7) path =
+  let len = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (max 0 (len - bytes))

@@ -17,13 +17,20 @@ type corruption =
   | Budget_overshoot   (** push a delay target past its curve maximum *)
   | Swap_placements    (** swap the placements of two ops in different steps *)
   | Orphan_port        (** add a netlist port no operation drives *)
+  | Stall_point        (** an evaluation that sleeps past its deadline *)
+  | Crash_task         (** a task closure that raises mid-sweep *)
+  | Truncate_journal   (** tear the final record off a checkpoint journal *)
 
 val all_corruptions : corruption list
 val corruption_name : corruption -> string
 
 val intended_check_prefix : corruption -> string
-(** The validator family (violation [check]-name prefix) that must detect
-    the class, e.g. ["timed_dfg."] for {!Drop_edge_latency}. *)
+(** The family that must contain the class, e.g. ["timed_dfg."] for
+    {!Drop_edge_latency}.  The first five classes name a validator family
+    (violation [check]-name prefix); the supervision classes name the
+    harness that must absorb them — ["cancel."] (deadline tokens),
+    ["pool."] (worker quarantine), ["journal."] (load-time record
+    quarantine). *)
 
 val cycle_dfg : Dfg.t -> bool
 (** Add the reverse of an existing forward dependency, closing a 2-cycle.
@@ -49,3 +56,28 @@ val swap_placements : Schedule.t -> Schedule.t option
 val orphan_port : Netlist.t -> Netlist.t
 (** Copy with an extra input port ["__injected_orphan"] that no operation
     reads. *)
+
+(** {1 Supervision faults}
+
+    These damage the sweep harness rather than a pipeline artifact: the
+    tests bind each to the machinery that must absorb it (a fired deadline
+    token, a [Crashed] pool outcome, a quarantined journal record). *)
+
+exception Injected_crash of string
+(** What {!crash_task} raises — distinguishable from any real failure. *)
+
+val stall_point : seconds:float -> (unit -> 'a) -> unit -> 'a
+(** Wrap a builder so every call sleeps [seconds] first — a point that
+    stalls past its deadline. *)
+
+val crash_task : crash_on:(int -> bool) -> (unit -> 'a) -> unit -> 'a
+(** Wrap a task closure with a shared (domain-safe) call counter starting
+    at 1; invocation [n] raises {!Injected_crash} when [crash_on n].
+    [crash_on (fun n -> n = 2)] crashes exactly one evaluation (call 1 is
+    the digest build); [(fun n -> n >= 2)] crashes every evaluation;
+    [(fun n -> n = 2 || n = 3)] fails once and succeeds on retry. *)
+
+val truncate_journal : ?bytes:int -> string -> unit
+(** Chop the last [bytes] (default 7) off a journal file — the torn final
+    record a mid-append crash leaves behind.  Raises [Unix.Unix_error] if
+    the file does not exist. *)

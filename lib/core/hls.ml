@@ -19,11 +19,11 @@ type result = {
   netlist : Netlist.t;
 }
 
-let run ?(lib = Library.default) ?config flow d =
+let run ?(lib = Library.default) ?config ?cancel flow d =
   Obs.span "hls.run"
     ~attrs:[ ("design", d.design_name); ("flow", Flows.flow_name flow) ]
   @@ fun () ->
-  match Flows.run ?config ?ii:d.ii flow d.dfg ~lib ~clock:d.clock with
+  match Flows.run ?config ?cancel ?ii:d.ii flow d.dfg ~lib ~clock:d.clock with
   | Error e -> Error e
   | Ok report ->
     let sched = report.Flows.schedule in

@@ -1,46 +1,96 @@
 let c_tasks = Obs.counter "explore.pool.tasks"
 let c_spawns = Obs.counter "explore.pool.domains"
+let c_retries = Obs.counter "explore.pool.retries"
+let c_crashes = Obs.counter "explore.pool.crashes"
+let c_skipped = Obs.counter "explore.pool.skipped"
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-let map ?jobs f tasks =
+type crash = {
+  attempts : int;
+  message : string;
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type 'b outcome = Done of 'b | Crashed of crash | Skipped
+
+(* Run one task under the retry policy.  Retries happen immediately, in
+   the same worker, so the schedule of attempts is deterministic per
+   task. *)
+let attempt_task ~retries f x =
+  let rec go attempt =
+    match f x with
+    | v -> Done v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      if attempt <= retries then begin
+        Obs.incr c_retries;
+        go (attempt + 1)
+      end
+      else begin
+        Obs.incr c_crashes;
+        Crashed
+          { attempts = attempt; message = Printexc.to_string e; exn = e;
+            backtrace = bt }
+      end
+  in
+  go 1
+
+let no_stop () = false
+
+let run ?jobs ?(retries = 0) ?(should_stop = no_stop) f tasks =
   let n = Array.length tasks in
   let jobs = min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n in
   Obs.add c_tasks n;
-  if jobs <= 1 || n <= 1 then Array.map f tasks
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let buf = ref [] in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          let r =
-            try Ok (f tasks.(i))
-            with e -> Error (e, Printexc.get_raw_backtrace ())
-          in
-          buf := (i, r) :: !buf;
-          loop ()
-        end
+  let results =
+    if jobs <= 1 || n <= 1 then
+      Array.map
+        (fun x -> if should_stop () then Skipped else attempt_task ~retries f x)
+        tasks
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let buf = ref [] in
+        let rec loop () =
+          (* The stop poll gates task claiming only: in-flight tasks drain
+             to completion (bounded by their own point deadlines), so a
+             cancelled sweep still journals everything it finished. *)
+          if not (should_stop ()) then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              buf := (i, attempt_task ~retries f tasks.(i)) :: !buf;
+              loop ()
+            end
+          end
+        in
+        loop ();
+        !buf
       in
-      loop ();
-      !buf
-    in
-    Obs.add c_spawns jobs;
-    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
-    let merged = Array.make n None in
-    Array.iter
-      (fun d -> List.iter (fun (i, r) -> merged.(i) <- Some r) (Domain.join d))
-      domains;
-    Array.iteri
-      (fun _ r ->
-        match r with
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | Some (Ok _) | None -> ())
-      merged;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error _) | None -> assert false (* every slot filled above *))
+      Obs.add c_spawns jobs;
+      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      let merged = Array.make n Skipped in
+      Array.iter
+        (fun d -> List.iter (fun (i, r) -> merged.(i) <- r) (Domain.join d))
+        domains;
       merged
-  end
+    end
+  in
+  Array.iter (function Skipped -> Obs.incr c_skipped | Done _ | Crashed _ -> ()) results;
+  results
+
+let map ?jobs f tasks =
+  let results = run ?jobs ~retries:0 f tasks in
+  (* Strict semantics: re-raise the lowest-indexed crash (deterministic
+     regardless of worker interleaving); with no stop predicate nothing is
+     ever Skipped. *)
+  Array.iter
+    (function
+      | Crashed c -> Printexc.raise_with_backtrace c.exn c.backtrace
+      | Done _ | Skipped -> ())
+    results;
+  Array.map
+    (function
+      | Done v -> v
+      | Crashed _ | Skipped -> assert false (* raised / impossible above *))
+    results

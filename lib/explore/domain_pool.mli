@@ -1,19 +1,60 @@
-(** A small fixed-size worker pool over OCaml 5 domains.
+(** A small fixed-size worker pool over OCaml 5 domains, with crash
+    containment.
 
     Work distribution is a shared atomic cursor over the task array; each
     domain drains tasks into a private result buffer, and buffers are
     merged after every domain has joined, so no two domains ever write the
     same location.  The pool is oblivious to task semantics — the explore
     engine gives it pure evaluation closures (each worker rebuilds its own
-    design, so no graph state is shared). *)
+    design, so no graph state is shared).
+
+    A raising task never takes the pool down: {!run} retries it up to
+    [retries] times in the same worker, then quarantines it as a
+    {!Crashed} outcome.  {!map} keeps the original strict semantics on
+    top of {!run}. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
+type crash = {
+  attempts : int;  (** how many times the task ran (1 + retries) *)
+  message : string;  (** [Printexc.to_string] of the final exception *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type 'b outcome =
+  | Done of 'b
+  | Crashed of crash  (** every attempt raised; quarantined *)
+  | Skipped  (** never claimed — [should_stop] fired first *)
+
+val run :
+  ?jobs:int ->
+  ?retries:int ->
+  ?should_stop:(unit -> bool) ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array
+(** [run ~jobs ~retries ~should_stop f tasks] applies [f] to every task
+    and returns outcomes in task order.  [jobs] defaults to
+    {!default_jobs}; values [<= 1] (or a single task) run sequentially in
+    the calling domain with no spawns.
+
+    A task that raises is retried immediately, in the same worker, up to
+    [retries] (default 0) more times; each retry bumps
+    [explore.pool.retries].  When every attempt raised the task's outcome
+    is [Crashed] with the {e final} exception and backtrace — the pool
+    keeps running.
+
+    [should_stop] (default: never) is polled before {e claiming} each
+    task: once it returns [true], workers stop taking new work and drain
+    what is already in flight, and unclaimed tasks come back [Skipped].
+    It is called concurrently from every worker domain and must be
+    domain-safe (e.g. read an [Atomic] or a deadline clock). *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f tasks] applies [f] to every task and returns results in
-    task order.  [jobs] defaults to {!default_jobs}; values [<= 1] (or a
-    single task) run sequentially in the calling domain with no spawns.
-    If any task raises, the exception of the lowest-indexed failing task
-    is re-raised (with its backtrace) after all domains have joined —
+    task order — [run] with no retries and no stop predicate.  If any
+    task raises, the exception of the lowest-indexed failing task is
+    re-raised (with its backtrace) after all domains have joined —
     deterministic regardless of worker interleaving. *)

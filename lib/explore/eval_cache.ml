@@ -1,5 +1,20 @@
+type status = Success | Infeasible | Timeout | Crash
+
+let status_name = function
+  | Success -> "ok"
+  | Infeasible -> "infeasible"
+  | Timeout -> "timed_out"
+  | Crash -> "crashed"
+
+let status_of_name = function
+  | "ok" -> Some Success
+  | "infeasible" -> Some Infeasible
+  | "timed_out" -> Some Timeout
+  | "crashed" -> Some Crash
+  | _ -> None
+
 type summary = {
-  ok : bool;
+  status : status;
   area : float;
   steps : int;
   delay_ps : float;
@@ -9,21 +24,30 @@ type summary = {
   error : string;
 }
 
-type t = (string, summary) Hashtbl.t
+let ok s = s.status = Success
+
+type t = {
+  entries : (string, summary) Hashtbl.t;
+  mutable quarantined : int;
+}
 
 let c_hits = Obs.counter "explore.cache.hits"
 let c_misses = Obs.counter "explore.cache.misses"
+let c_quarantined = Obs.counter "cache.quarantined"
 
-let magic = "slackhls-explore-cache v1"
+(* v2: the boolean ok column became a four-valued status
+   (ok|infeasible|timed_out|crashed) when sweeps grew supervision. *)
+let magic = "slackhls-explore-cache v2"
 
-let create () : t = Hashtbl.create 64
-let size = Hashtbl.length
+let create () = { entries = Hashtbl.create 64; quarantined = 0 }
+let size t = Hashtbl.length t.entries
+let quarantined t = t.quarantined
 
 let key ~digest ~lib ~config ~point_key =
   String.concat "|" [ digest; lib; config; point_key ]
 
 let find t k =
-  match Hashtbl.find_opt t k with
+  match Hashtbl.find_opt t.entries k with
   | Some _ as hit ->
     Obs.incr c_hits;
     hit
@@ -31,21 +55,23 @@ let find t k =
     Obs.incr c_misses;
     None
 
-let add t k s = Hashtbl.replace t k s
+let add t k s = Hashtbl.replace t.entries k s
 
 (* One entry per line:
-     key \t ok \t area \t steps \t delay \t relax \t regrades \t recov \t error
+     key \t status \t area \t steps \t delay \t relax \t regrades \t recov \t error
    [%h] floats round-trip exactly; the error message is [String.escaped]
-   so it can carry anything the flow printer produced. *)
+   so it can carry anything the flow printer produced.  The same record
+   format is the checkpoint journal's payload ([Journal]). *)
 let entry_line k s =
-  Printf.sprintf "%s\t%b\t%h\t%d\t%h\t%d\t%d\t%d\t%s" k s.ok s.area s.steps
-    s.delay_ps s.relaxations s.regrades s.recoveries (String.escaped s.error)
+  Printf.sprintf "%s\t%s\t%h\t%d\t%h\t%d\t%d\t%d\t%s" k (status_name s.status)
+    s.area s.steps s.delay_ps s.relaxations s.regrades s.recoveries
+    (String.escaped s.error)
 
 let parse_line ln =
   match String.split_on_char '\t' ln with
-  | [ k; ok; area; steps; delay; relax; regrades; recov; error ] -> (
+  | [ k; status; area; steps; delay; relax; regrades; recov; error ] -> (
     match
-      ( bool_of_string_opt ok,
+      ( status_of_name status,
         float_of_string_opt area,
         int_of_string_opt steps,
         float_of_string_opt delay,
@@ -53,11 +79,13 @@ let parse_line ln =
         int_of_string_opt regrades,
         int_of_string_opt recov )
     with
-    | Some ok, Some area, Some steps, Some delay_ps, Some relaxations,
+    | Some status, Some area, Some steps, Some delay_ps, Some relaxations,
       Some regrades, Some recoveries ->
       let error = try Scanf.unescaped error with Scanf.Scan_failure _ -> error in
       Some
-        (k, { ok; area; steps; delay_ps; relaxations; regrades; recoveries; error })
+        ( k,
+          { status; area; steps; delay_ps; relaxations; regrades; recoveries; error }
+        )
     | _ -> None)
   | _ -> None
 
@@ -75,24 +103,27 @@ let load ~path =
           | first when first <> magic ->
             Error (Printf.sprintf "%s: not a %S file" path magic)
           | _ ->
+            (* Individually corrupt records (a torn write, a partial fsync)
+               are quarantined — counted and skipped — so one bad line
+               costs one evaluation, not the whole file. *)
             let t = create () in
-            let rec go lineno =
+            let rec go () =
               match input_line ic with
               | exception End_of_file -> Ok t
-              | "" -> go (lineno + 1)
-              | ln -> (
-                match parse_line ln with
-                | Some (k, s) ->
-                  Hashtbl.replace t k s;
-                  go (lineno + 1)
+              | "" -> go ()
+              | ln ->
+                (match parse_line ln with
+                | Some (k, s) -> Hashtbl.replace t.entries k s
                 | None ->
-                  Error (Printf.sprintf "%s: malformed cache entry at line %d" path lineno))
+                  t.quarantined <- t.quarantined + 1;
+                  Obs.incr c_quarantined);
+                go ()
             in
-            go 2)
+            go ())
 
 let save t ~path =
   let entries =
-    Hashtbl.fold (fun k s acc -> (k, s) :: acc) t []
+    Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.entries []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let oc = open_out path in

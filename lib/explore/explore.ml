@@ -1,8 +1,10 @@
+type origin = Fresh | Cached | Resumed
+
 type point_result = {
   point : Explore_grid.point;
   pkey : string;
   summary : Eval_cache.summary;
-  cached : bool;
+  origin : origin;
 }
 
 type outcome = {
@@ -13,12 +15,21 @@ type outcome = {
   total : int;
   evaluated : int;
   hits : int;
+  resumed : int;
   failed : int;
+  timed_out : int;
+  crashed : int;
+  pending : int;
 }
+
+let partial o = o.pending > 0
 
 let c_points = Obs.counter "explore.points"
 let c_evals = Obs.counter "explore.evaluations"
 let c_failures = Obs.counter "explore.failures"
+let c_timeouts = Obs.counter "explore.timeouts"
+let c_crashes = Obs.counter "explore.crashes"
+let c_resumed = Obs.counter "explore.resumed"
 
 (* Sweep-constant configuration fingerprint: everything outside the grid
    axes that can change a point's result must appear here, or stale cache
@@ -29,17 +40,25 @@ let config_fingerprint (c : Flows.config) =
     c.Flows.max_recoveries c.Flows.max_relaxations c.Flows.allow_ii_bump
     c.Flows.sharing.Flows.merge_add_sub c.Flows.sharing.Flows.width_buckets
 
-let evaluate ~lib ~config ~name ~build (p : Explore_grid.point) =
+let evaluate ?deadline ~lib ~config ~name ~build (p : Explore_grid.point) =
+  (* The deadline clock starts when the point starts, not when the sweep
+     does: a point stuck in a validator or the recovery ladder trips its
+     own budget regardless of queue position. *)
+  let cancel =
+    match deadline with
+    | Some seconds -> Cancel.after ~seconds
+    | None -> Cancel.never
+  in
   let dfg = build () in
   let design =
     Hls.design ?ii:p.Explore_grid.ii ~name ~clock:p.Explore_grid.clock dfg
   in
   let config = { config with Flows.recover_area = p.Explore_grid.recover } in
-  match Hls.run ~lib ~config p.Explore_grid.flow design with
+  match Hls.run ~lib ~config ~cancel p.Explore_grid.flow design with
   | Ok r ->
     let steps = Schedule.steps_used r.Hls.report.Flows.schedule in
     {
-      Eval_cache.ok = true;
+      Eval_cache.status = Eval_cache.Success;
       area = Hls.total_area r;
       steps;
       delay_ps = float_of_int steps *. p.Explore_grid.clock;
@@ -50,7 +69,11 @@ let evaluate ~lib ~config ~name ~build (p : Explore_grid.point) =
     }
   | Error e ->
     {
-      Eval_cache.ok = false;
+      Eval_cache.status =
+        (match e with
+        | Flows.Timed_out _ -> Eval_cache.Timeout
+        | Flows.Validation_failed _ | Flows.Sched_failed _ | Flows.Invalid _ ->
+          Eval_cache.Infeasible);
       area = 0.0;
       steps = 0;
       delay_ps = 0.0;
@@ -58,13 +81,33 @@ let evaluate ~lib ~config ~name ~build (p : Explore_grid.point) =
       regrades = 0;
       recoveries =
         (match e with
-        | Flows.Validation_failed { recovery_log; _ } | Flows.Sched_failed { recovery_log; _ }
-          -> List.length recovery_log
+        | Flows.Validation_failed { recovery_log; _ }
+        | Flows.Sched_failed { recovery_log; _ }
+        | Flows.Timed_out { recovery_log; _ } -> List.length recovery_log
         | Flows.Invalid _ -> 0);
       error = Flows.error_message e;
     }
 
-let run ?jobs ?cache ~lib ~config ~name ~build grid =
+let crash_summary (c : Domain_pool.crash) =
+  {
+    Eval_cache.status = Eval_cache.Crash;
+    area = 0.0;
+    steps = 0;
+    delay_ps = 0.0;
+    relaxations = 0;
+    regrades = 0;
+    recoveries = 0;
+    error = Printf.sprintf "%s (after %d attempts)" c.Domain_pool.message
+        c.Domain_pool.attempts;
+  }
+
+let count_status st results =
+  List.length
+    (List.filter (fun r -> r.summary.Eval_cache.status = st) results)
+
+let run ?jobs ?(retries = 0) ?(strict = false) ?point_deadline
+    ?(cancel = Cancel.never) ?cache ?journal ?(resume = []) ~lib ~config
+    ~name ~build grid =
   Obs.span "explore.run" @@ fun () ->
   let digest = Dfg.digest (build ()) in
   let fingerprint = config_fingerprint config in
@@ -73,42 +116,97 @@ let run ?jobs ?cache ~lib ~config ~name ~build grid =
     |> List.map (fun p -> (Explore_grid.point_key p, p))
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  Obs.add c_points (List.length keyed);
+  let total = List.length keyed in
+  Obs.add c_points total;
   let cache_key pkey =
     Eval_cache.key ~digest ~lib:(Library.name lib) ~config:fingerprint ~point_key:pkey
   in
-  (* Split into cache hits and points that need a pipeline run. *)
-  let hits, misses =
+  (* Journal records carry the full cache key, so entries from another
+     design, library or sweep configuration can never match here. *)
+  let journal_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, s) -> Hashtbl.replace journal_tbl k s) resume;
+  let record_journal ck s =
+    match journal with Some w -> Journal.record w ~key:ck s | None -> ()
+  in
+  (* Three-way split: points the resume journal answers, points the cache
+     answers, and points that need a pipeline run. *)
+  let prior, misses =
     List.partition_map
       (fun (pkey, p) ->
-        match Option.bind cache (fun c -> Eval_cache.find c (cache_key pkey)) with
-        | Some s -> Left { point = p; pkey; summary = s; cached = true }
-        | None -> Right (pkey, p))
+        let ck = cache_key pkey in
+        match Hashtbl.find_opt journal_tbl ck with
+        | Some s -> Left { point = p; pkey; summary = s; origin = Resumed }
+        | None -> (
+          match Option.bind cache (fun c -> Eval_cache.find c ck) with
+          | Some s -> Left { point = p; pkey; summary = s; origin = Cached }
+          | None -> Right (pkey, p)))
       keyed
   in
-  let fresh =
-    Obs.span "explore.evaluate" (fun () ->
-        Domain_pool.map ?jobs
-          (fun (pkey, p) ->
-            { point = p; pkey; summary = evaluate ~lib ~config ~name ~build p;
-              cached = false })
-          (Array.of_list misses))
-    |> Array.to_list
+  let n_resumed =
+    List.length (List.filter (fun r -> r.origin = Resumed) prior)
   in
+  Obs.add c_resumed n_resumed;
+  (* Cache hits are completed points too: journal them so a later resume
+     does not depend on the cache file still being around.  Resumed points
+     are already in the journal being appended to. *)
+  List.iter
+    (fun r ->
+      if r.origin = Cached then record_journal (cache_key r.pkey) r.summary)
+    prior;
+  let miss_arr = Array.of_list misses in
+  let outcomes =
+    Obs.span "explore.evaluate" (fun () ->
+        Domain_pool.run ?jobs ~retries
+          ~should_stop:(fun () -> Cancel.cancelled cancel)
+          (fun (pkey, p) ->
+            let summary = evaluate ?deadline:point_deadline ~lib ~config ~name ~build p in
+            (* Journal inside the worker, before the point is reported
+               done: once the fsync returns this point survives any kill. *)
+            record_journal (cache_key pkey) summary;
+            { point = p; pkey; summary; origin = Fresh })
+          miss_arr)
+  in
+  let fresh = ref [] in
+  let pending = ref 0 in
+  let first_crash = ref None in
+  Array.iteri
+    (fun i o ->
+      let pkey, p = miss_arr.(i) in
+      match o with
+      | Domain_pool.Done r -> fresh := r :: !fresh
+      | Domain_pool.Crashed c ->
+        if !first_crash = None then first_crash := Some c;
+        let summary = crash_summary c in
+        record_journal (cache_key pkey) summary;
+        fresh := { point = p; pkey; summary; origin = Fresh } :: !fresh
+      | Domain_pool.Skipped -> incr pending)
+    outcomes;
+  let fresh = List.rev !fresh in
   Obs.add c_evals (List.length fresh);
+  (* Strict mode re-raises after the journal has every completed point:
+     the sweep dies loudly but resumably.  The lowest-indexed crash wins —
+     deterministic whatever the worker interleaving was. *)
+  (match !first_crash with
+  | Some c when strict ->
+    Printexc.raise_with_backtrace c.Domain_pool.exn c.Domain_pool.backtrace
+  | Some _ | None -> ());
   (match cache with
   | Some c ->
     List.iter (fun r -> Eval_cache.add c (cache_key r.pkey) r.summary) fresh
   | None -> ());
   let results =
-    List.sort (fun a b -> String.compare a.pkey b.pkey) (hits @ fresh)
+    List.sort (fun a b -> String.compare a.pkey b.pkey) (prior @ fresh)
   in
-  let failed = List.length (List.filter (fun r -> not r.summary.Eval_cache.ok) results) in
-  Obs.add c_failures failed;
+  let failed = count_status Eval_cache.Infeasible results in
+  let timed_out = count_status Eval_cache.Timeout results in
+  let crashed = count_status Eval_cache.Crash results in
+  Obs.add c_failures (count_status Eval_cache.Infeasible fresh);
+  Obs.add c_timeouts (count_status Eval_cache.Timeout fresh);
+  Obs.add c_crashes (count_status Eval_cache.Crash fresh);
   let frontier =
     List.fold_left
       (fun acc r ->
-        if r.summary.Eval_cache.ok then
+        if Eval_cache.ok r.summary then
           Pareto.add
             {
               Pareto.key = r.pkey;
@@ -126,10 +224,17 @@ let run ?jobs ?cache ~lib ~config ~name ~build grid =
     digest;
     results;
     frontier;
-    total = List.length results;
-    evaluated = List.length fresh;
-    hits = List.length hits;
+    total;
+    (* Resumed points were evaluated by the same logical sweep — counting
+       them here is what makes a resumed run's renderings byte-identical
+       to an uninterrupted one. *)
+    evaluated = List.length fresh + n_resumed;
+    hits = List.length prior - n_resumed;
+    resumed = n_resumed;
     failed;
+    timed_out;
+    crashed;
+    pending = !pending;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -150,10 +255,12 @@ let csv_row outcome r =
     p.Explore_grid.clock
     (match p.Explore_grid.ii with Some i -> string_of_int i | None -> "none")
     (if p.Explore_grid.recover then "on" else "off")
-    (if s.Eval_cache.ok then "ok" else "fail")
+    (Eval_cache.status_name s.Eval_cache.status)
     s.Eval_cache.area s.Eval_cache.steps s.Eval_cache.delay_ps
     s.Eval_cache.relaxations s.Eval_cache.regrades s.Eval_cache.recoveries
-    (if r.cached then 1 else 0)
+    (* A resumed point renders exactly as it did in the run that journaled
+       it (where it was fresh), so cached=1 means cache hit only. *)
+    (if r.origin = Cached then 1 else 0)
     (if on_frontier outcome r then 1 else 0)
 
 let to_csv outcome =
@@ -175,6 +282,9 @@ let to_json outcome =
         ("delay_ps", Float s.Eval_cache.delay_ps);
       ]
   in
+  (* No [resumed] field: a resumed run must render byte-identically to an
+     uninterrupted one, and the resumed count is the one number that
+     differs between them.  The text summary carries it instead. *)
   to_string
     (Obj
        [
@@ -184,6 +294,10 @@ let to_json outcome =
          ("evaluated", Int outcome.evaluated);
          ("cache_hits", Int outcome.hits);
          ("failed", Int outcome.failed);
+         ("timed_out", Int outcome.timed_out);
+         ("crashed", Int outcome.crashed);
+         ("pending", Int outcome.pending);
+         ("partial", Bool (partial outcome));
          ( "frontier",
            List
              (List.map
@@ -197,15 +311,27 @@ let render_summary outcome =
     (Printf.sprintf "explore: design %s (digest %s)\n" outcome.design_name
        (String.sub outcome.digest 0 12));
   Buffer.add_string buf
-    (Printf.sprintf "%d points: %d evaluated, %d cached, %d failed\n" outcome.total
-       outcome.evaluated outcome.hits outcome.failed);
+    (Printf.sprintf "%d points: %d evaluated, %d cached, resumed=%d, %d failed\n"
+       outcome.total outcome.evaluated outcome.hits outcome.resumed
+       outcome.failed);
+  if outcome.timed_out > 0 || outcome.crashed > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "supervision: %d timed out, %d crashed\n"
+         outcome.timed_out outcome.crashed);
+  if partial outcome then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "partial sweep: %d points pending (re-run with --resume to finish)\n"
+         outcome.pending);
   let failures =
-    List.filter (fun r -> not r.summary.Eval_cache.ok) outcome.results
+    List.filter (fun r -> not (Eval_cache.ok r.summary)) outcome.results
   in
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "  infeasible %s: %s\n" r.pkey
+        (Printf.sprintf "  %s %s: %s\n"
+           (Eval_cache.status_name r.summary.Eval_cache.status)
+           r.pkey
            (match String.index_opt r.summary.Eval_cache.error '\n' with
            | Some i -> String.sub r.summary.Eval_cache.error 0 i
            | None -> r.summary.Eval_cache.error)))

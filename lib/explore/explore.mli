@@ -5,33 +5,60 @@
 
     Determinism guarantee: for a fixed design, grid and configuration, the
     [results] list, the frontier and every rendering below are
-    byte-identical whatever [jobs] is and whether points came from the
-    cache or fresh evaluation.  Points are keyed canonically
+    byte-identical whatever [jobs] is, whether points came from the cache,
+    a resume journal or fresh evaluation.  Points are keyed canonically
     ({!Explore_grid.point_key}), evaluated independently (each worker
     rebuilds its own graph from [build]) and folded in key order into an
-    insertion-order-independent frontier ({!Pareto}). *)
+    insertion-order-independent frontier ({!Pareto}).
+
+    Supervision: each point can carry a deadline (cooperatively polled at
+    the pipeline's phase boundaries — see {!Flows.run}); a point whose
+    evaluation raises is retried and then quarantined; a sweep-level
+    cancel token drains in-flight points and leaves the rest [pending].
+    All of it is data: a point ends [ok], [infeasible], [timed_out] or
+    [crashed] ({!Eval_cache.status}), and only [ok] points reach the
+    frontier. *)
+
+(** Where a point's summary came from.  [Resumed] points were evaluated by
+    an earlier, interrupted run of the {e same} sweep and replayed from
+    its journal — they count as evaluated and render as uncached, so a
+    resumed run's output is byte-identical to an uninterrupted one. *)
+type origin = Fresh | Cached | Resumed
 
 type point_result = {
   point : Explore_grid.point;
   pkey : string;                   (** {!Explore_grid.point_key} *)
   summary : Eval_cache.summary;
-  cached : bool;
+  origin : origin;
 }
 
 type outcome = {
   design_name : string;
   digest : string;                 (** {!Dfg.digest} of the design *)
-  results : point_result list;     (** sorted by [pkey] *)
+  results : point_result list;     (** completed points, sorted by [pkey] *)
   frontier : point_result Pareto.entry list;  (** successes only; area asc *)
-  total : int;
-  evaluated : int;                 (** points run through the pipeline *)
+  total : int;                     (** grid size, including pending points *)
+  evaluated : int;                 (** pipeline runs: fresh + resumed *)
   hits : int;                      (** points answered by the cache *)
-  failed : int;                    (** points whose flow failed *)
+  resumed : int;                   (** points answered by the resume journal *)
+  failed : int;                    (** [Infeasible] points *)
+  timed_out : int;                 (** [Timeout] points *)
+  crashed : int;                   (** [Crash] points *)
+  pending : int;                   (** never claimed — sweep was cancelled *)
 }
+
+val partial : outcome -> bool
+(** [pending > 0]: the sweep was interrupted and can be resumed. *)
 
 val run :
   ?jobs:int ->
+  ?retries:int ->
+  ?strict:bool ->
+  ?point_deadline:float ->
+  ?cancel:Cancel.t ->
   ?cache:Eval_cache.t ->
+  ?journal:Journal.writer ->
+  ?resume:(string * Eval_cache.summary) list ->
   lib:Library.t ->
   config:Flows.config ->
   name:string ->
@@ -45,19 +72,45 @@ val run :
     the design's clock and initiation interval.  Scheduling failures are
     data (the infeasible region of the space), not errors.  When [cache]
     is given, hits skip evaluation and fresh results are added to it.
-    [jobs] defaults to {!Domain_pool.default_jobs}. *)
+    [jobs] defaults to {!Domain_pool.default_jobs}.
+
+    Supervision knobs:
+    - [point_deadline] (seconds) wraps each evaluation in
+      {!Cancel.after}; a fired deadline yields status [Timeout].
+    - [retries] (default 0) re-runs a raising evaluation in place; when
+      every attempt raised the point becomes status [Crash] (with the
+      final exception's message) — unless [strict] is set, in which case
+      the lowest-keyed crash is re-raised {e after} all completed points
+      have been journaled.
+    - [cancel] is the sweep-level token: once it fires, workers stop
+      claiming points (in-flight ones finish, bounded by their own
+      deadlines) and the unclaimed remainder is reported as [pending].
+    - [journal] records every completed point — fresh, crashed, or cache
+      hit — as an fsync'd {!Journal} entry keyed by the full cache key.
+    - [resume] (the entries of {!Journal.load}) answers matching points
+      without re-evaluating them; they return as origin [Resumed].
+
+    Telemetry: [explore.timeouts], [explore.crashes] and
+    [explore.resumed], beyond the existing point/evaluation/failure
+    counters. *)
 
 (** {1 Renderings} *)
 
 val csv_header : string
-(** [key,flow,clock_ps,ii,recover,status,area,steps,delay_ps,relaxations,regrades,recoveries,cached,frontier] *)
+(** [key,flow,clock_ps,ii,recover,status,area,steps,delay_ps,relaxations,regrades,recoveries,cached,frontier].
+    [status] is {!Eval_cache.status_name}; [cached] is 1 only for cache
+    hits (resumed points render 0, as they did in the interrupted run). *)
 
 val to_csv : outcome -> string
-(** One row per point, in [results] order. *)
+(** One row per completed point, in [results] order. *)
 
 val to_json : outcome -> string
-(** Sweep stats plus the frontier, via {!Obs.Json}. *)
+(** Sweep stats (including [timed_out], [crashed], [pending], [partial])
+    plus the frontier, via {!Obs.Json}.  Deliberately excludes the
+    [resumed] count — it is the one number that differs between a resumed
+    run and an uninterrupted one. *)
 
 val render_summary : outcome -> string
-(** Text summary: counts line, failure lines, and the frontier as a
-    {!Text_table} — what [hlsc explore] prints. *)
+(** Text summary: counts line (carries [resumed=%d]), supervision and
+    partial-sweep lines when relevant, per-point failure lines, and the
+    frontier as a {!Text_table} — what [hlsc explore] prints. *)

@@ -174,3 +174,10 @@ let parse_recover spec =
   | "off" -> Ok [ false ]
   | "both" -> Ok [ true; false ]
   | other -> Error (Printf.sprintf "bad recovery spec %S (try: on, off, both)" other)
+
+let of_specs ~clocks ~flows ?(iis = "none") ?(recover = "on") () =
+  let* clocks = parse_clocks clocks in
+  let* flows = parse_flows flows in
+  let* iis = parse_iis iis in
+  let* recover = parse_recover recover in
+  make ~clocks ~flows ~iis ~recover ()

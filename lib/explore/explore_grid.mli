@@ -65,3 +65,14 @@ val parse_iis : string -> (int option list, string) result
 
 val parse_recover : string -> (bool list, string) result
 (** ["on"], ["off"] or ["both"]. *)
+
+val of_specs :
+  clocks:string ->
+  flows:string ->
+  ?iis:string ->
+  ?recover:string ->
+  unit ->
+  (t, string) result
+(** All four parsers plus {!make} in one step — the shared entry point for
+    the CLI and the grid fuzzer.  [iis] defaults to ["none"], [recover] to
+    ["on"]. *)

@@ -1,0 +1,85 @@
+let c_records = Obs.counter "explore.journal.records"
+let c_quarantined = Obs.counter "explore.journal.quarantined"
+
+let magic = "slackhls-explore-journal v1"
+
+type writer = {
+  oc : out_channel;
+  fd : Unix.file_descr;
+  lock : Mutex.t;  (* pool workers append concurrently *)
+  mutable closed : bool;
+}
+
+let start ~path ~fresh =
+  let fd =
+    Unix.openfile path
+      (Unix.O_WRONLY :: Unix.O_CREAT :: Unix.O_APPEND
+      :: (if fresh then [ Unix.O_TRUNC ] else []))
+      0o644
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  if (Unix.fstat fd).Unix.st_size = 0 then begin
+    output_string oc magic;
+    output_char oc '\n';
+    flush oc;
+    Unix.fsync fd
+  end;
+  { oc; fd; lock = Mutex.create (); closed = false }
+
+let record w ~key summary =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if not w.closed then begin
+        output_string w.oc (Eval_cache.entry_line key summary);
+        output_char w.oc '\n';
+        flush w.oc;
+        (* The fsync is the crash-containment contract: once [record]
+           returns, a kill -9 cannot lose this point. *)
+        Unix.fsync w.fd;
+        Obs.incr c_records
+      end)
+
+let close w =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      if not w.closed then begin
+        w.closed <- true;
+        (* close_out flushes and closes the underlying fd. *)
+        close_out_noerr w.oc
+      end)
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok ([], 0)
+  else
+    match open_in path with
+    | exception Sys_error m -> Error m
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> Error (path ^ ": empty journal file")
+          | first when first <> magic ->
+            Error (Printf.sprintf "%s: not a %S file" path magic)
+          | _ ->
+            (* A torn final record (the process died mid-append, before the
+               fsync) is expected after a crash: quarantine it, keep the
+               valid prefix. *)
+            let quarantined = ref 0 in
+            let rec go acc =
+              match input_line ic with
+              | exception End_of_file -> Ok (List.rev acc, !quarantined)
+              | "" -> go acc
+              | ln -> (
+                match Eval_cache.parse_line ln with
+                | Some entry -> go (entry :: acc)
+                | None ->
+                  incr quarantined;
+                  Obs.incr c_quarantined;
+                  go acc)
+            in
+            go [])

@@ -1,0 +1,36 @@
+(** Append-only, fsync'd checkpoint journal for exploration sweeps.
+
+    While a sweep runs, every completed point is appended as one
+    {!Eval_cache.entry_line} record — full cache key (so a stale journal
+    from another design or configuration can never poison a resume) plus
+    the point summary — and fsync'd before the worker moves on.  After a
+    crash, a kill, or a sweep-level deadline, [hlsc explore --resume]
+    loads the journal and skips every recorded point; the resumed sweep's
+    CSV/JSON output is byte-identical to an uninterrupted run.
+
+    Records are written from pool worker domains under an internal mutex;
+    record order is completion order (nondeterministic), which is fine —
+    resume folds the records into a table.
+
+    Telemetry: [explore.journal.records] per append,
+    [explore.journal.quarantined] per corrupt line skipped on load. *)
+
+type writer
+
+val start : path:string -> fresh:bool -> writer
+(** Open [path] for appending ([fresh] truncates first — a new sweep;
+    resume passes [fresh:false] to keep the interrupted run's records).
+    Writes and fsyncs the header when the file is empty.  Raises
+    [Unix.Unix_error] on I/O failure. *)
+
+val record : writer -> key:string -> Eval_cache.summary -> unit
+(** Append one completed point and fsync.  Thread/domain-safe; a no-op
+    after {!close}. *)
+
+val close : writer -> unit
+
+val load : path:string -> ((string * Eval_cache.summary) list * int, string) result
+(** All well-formed records in file order (last write wins on duplicate
+    keys when folded into a table) and the number of quarantined (torn or
+    corrupt) lines.  A missing file is an empty journal; an unreadable
+    file or bad header is [Error]. *)

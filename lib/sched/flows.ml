@@ -44,6 +44,11 @@ type error =
       failure : Sched_core.failure;
       recovery_log : recovery_attempt list;
     }
+  | Timed_out of {
+      failed_flow : flow;
+      phase : string;
+      recovery_log : recovery_attempt list;
+    }
 
 let pp_recovery_log ppf = function
   | [] -> ()
@@ -58,6 +63,9 @@ let pp_error ppf = function
     pp_recovery_log ppf recovery_log
   | Sched_failed { failed_flow; failure; recovery_log } ->
     Format.fprintf ppf "%s: %a" (flow_name failed_flow) Sched_core.pp_failure failure;
+    pp_recovery_log ppf recovery_log
+  | Timed_out { failed_flow; phase; recovery_log } ->
+    Format.fprintf ppf "%s: deadline exceeded (at %s)" (flow_name failed_flow) phase;
     pp_recovery_log ppf recovery_log
 
 let error_message e = Format.asprintf "%a" pp_error e
@@ -181,17 +189,24 @@ type once_failure =
   | F_invalid of string
   | F_check of Check.violation list
   | F_sched of Sched_core.failure
+  | F_timeout of string  (* phase at which the cancel token fired *)
 
 exception Check_failed_exn of Check.violation list
+exception Cancelled_exn of string
 
-let run_once config ii flow dfg ~lib ~clock ~gamma0 =
+let run_once config ii flow dfg ~lib ~clock ~gamma0 ~cancel =
   let cfg = Dfg.cfg dfg in
   let ops = active_ops dfg in
   let n = Dfg.op_count dfg in
+  (* Cooperative deadline polls at phase boundaries: a stuck attempt — a
+     runaway budgeting loop, an endless relaxation spiral — surfaces as
+     [F_timeout] instead of hanging the caller's worker domain. *)
+  let poll phase = if Cancel.cancelled cancel then raise (Cancelled_exn phase) in
   (* Violations recorded this attempt; [Error]-severity ones abort the
      attempt through {!Check_failed_exn}, warnings ride on the report. *)
   let collected = ref [] in
   let guard ~at vs =
+    poll "validate";
     if Check.ge config.validate at && vs <> [] then begin
       let vs = Check.record vs in
       collected := !collected @ vs;
@@ -308,6 +323,7 @@ let run_once config ii flow dfg ~lib ~clock ~gamma0 =
               List.filter (fun o -> not (Schedule.is_placed sched o)) ops
             in
             if unplaced <> [] then begin
+              poll "rebudget";
               let spans' = Dfg.compute_spans ~pin dfg in
               match Timed_dfg.build dfg ~spans:spans' with
               | exception Timed_dfg.Unrealizable _ -> ()
@@ -366,6 +382,7 @@ let run_once config ii flow dfg ~lib ~clock ~gamma0 =
        the slowest-first grade decay; adding states is the caller's
        decision). *)
     let rec attempt relaxations =
+      poll "schedule";
       if flow = Slowest_first && relaxations = 0 then refresh_slowest_targets ();
       Obs.incr c_attempts;
       let alloc = build_alloc () in
@@ -479,6 +496,7 @@ let run_once config ii flow dfg ~lib ~clock ~gamma0 =
         }
     with
     | Check_failed_exn vs -> Error (F_check vs)
+    | Cancelled_exn phase -> Error (F_timeout phase)
     | Timed_dfg.Unrealizable m -> Error (F_invalid ("timed DFG unrealizable: " ^ m))
   end
 
@@ -509,10 +527,15 @@ let once_failure_message = function
   | F_invalid m -> m
   | F_check vs -> Check.summary vs
   | F_sched f -> Format.asprintf "%a" Sched_core.pp_failure f
+  | F_timeout phase -> "deadline exceeded (at " ^ phase ^ ")"
 
-let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
+let run ?(config = default_config) ?(cancel = Cancel.never) ?ii flow dfg ~lib ~clock =
   match ii with
   | Some k when k <= 0 -> Error (Invalid "ii must be positive")
+  | _ when Cancel.cancelled cancel ->
+    (* The token can expire before we start (a sweep point whose builder
+       overran the deadline): report the timeout, skip the work. *)
+    Error (Timed_out { failed_flow = flow; phase = "entry"; recovery_log = [] })
   | _ -> (
     let entry =
       if Check.ge config.validate Check.Boundary then Check.record (Check.dfg dfg)
@@ -540,17 +563,22 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
           Error (Validation_failed { failed_flow = flow; violations; recovery_log })
         | F_sched failure ->
           Error (Sched_failed { failed_flow = flow; failure; recovery_log })
+        | F_timeout phase -> Error (Timed_out { failed_flow = flow; phase; recovery_log })
       in
       let rec escalate state last log = function
         | [] -> fail last log
         | rung :: rest -> (
           match last with
-          | F_invalid _ -> fail last log (* config problem: retrying is futile *)
+          | F_invalid _ | F_timeout _ ->
+            (* Config problems make retrying futile; an expired deadline
+               makes it forbidden — every further rung would also time out
+               at its first poll. *)
+            fail last log
           | F_check _ | F_sched _ ->
             Obs.incr c_recoveries;
             let state = apply_rung state rung in
             let config', ii', gamma0 = state in
-            (match run_once config' ii' flow dfg ~lib ~clock ~gamma0 with
+            (match run_once config' ii' flow dfg ~lib ~clock ~gamma0 ~cancel with
             | Ok report ->
               Ok
                 {
@@ -563,7 +591,7 @@ let run ?(config = default_config) ?ii flow dfg ~lib ~clock =
                 :: log)
                 rest))
       in
-      match run_once config ii flow dfg ~lib ~clock ~gamma0:1.0 with
+      match run_once config ii flow dfg ~lib ~clock ~gamma0:1.0 ~cancel with
       | Ok report -> Ok report
       | Error (F_invalid m) -> Error (Invalid m)
       | Error f -> escalate (config, ii, 1.0) f [] ladder)

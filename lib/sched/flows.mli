@@ -108,6 +108,15 @@ type error =
       failure : Sched_core.failure;
       recovery_log : recovery_attempt list;
     }
+  | Timed_out of {
+      failed_flow : flow;
+      phase : string;  (** boundary at which the cancel token fired *)
+      recovery_log : recovery_attempt list;
+    }
+      (** The caller's {!Cancel.t} fired.  A timeout is terminal: the
+          ladder never retries it (every further rung would also be over
+          the deadline), and sweep drivers treat it as data — the point
+          was too expensive, not the pipeline broken. *)
 
 val pp_error : Format.formatter -> error -> unit
 (** Renders [Sched_failed] through {!Sched_core.pp_failure}, followed by
@@ -116,12 +125,18 @@ val pp_error : Format.formatter -> error -> unit
 val error_message : error -> string
 
 val run :
-  ?config:config -> ?ii:int -> flow -> Dfg.t -> lib:Library.t -> clock:float ->
-  (report, error) result
+  ?config:config -> ?cancel:Cancel.t -> ?ii:int -> flow -> Dfg.t ->
+  lib:Library.t -> clock:float -> (report, error) result
 (** Requires a validated DFG on a sealed CFG.  [ii] pipelines the loop at
     the given initiation interval (modulo resource folding plus the
     loop-carried recurrence constraint).  The returned schedule is retimed
     and passes {!Schedule.validate}.
+
+    [cancel] (default {!Cancel.never}) is polled cooperatively at every
+    phase boundary — validator guards, each relaxation attempt, each
+    per-edge re-budget, each ladder rung — and a fired token turns the
+    attempt into [Error (Timed_out _)] carrying the boundary name and the
+    ladder transcript so far.
 
     Never raises: an invalid [ii] is reported as [Error (Invalid _)], and
     boundary-check violations as [Error (Validation_failed _)] after the

@@ -97,12 +97,97 @@ let test_inject_orphan_port () =
   check_fires Inject.Orphan_port (Audit.check_netlist (Inject.orphan_port nl))
 
 let test_matrix_is_total () =
-  (* Every enumerated corruption class has a test above; a new class must
-     extend this list (and the matrix) or this count trips. *)
-  Alcotest.(check int) "corruption classes" 5 (List.length Inject.all_corruptions);
+  (* Every enumerated corruption class has a test above (artifact classes)
+     or below (supervision classes); a new class must extend this list (and
+     the matrix) or this count trips. *)
+  Alcotest.(check int) "corruption classes" 8 (List.length Inject.all_corruptions);
   let prefixes = List.map Inject.intended_check_prefix Inject.all_corruptions in
-  Alcotest.(check int) "distinct validator families" 5
+  Alcotest.(check int) "distinct validator families" 8
     (List.length (List.sort_uniq compare prefixes))
+
+(* Supervision faults: each class bound to the machinery that must absorb
+   it — a fired cancel token, a quarantined pool task, a torn journal. *)
+
+let test_cancel_token () =
+  let t = Cancel.manual () in
+  Alcotest.(check bool) "fresh token not cancelled" false (Cancel.cancelled t);
+  Cancel.trigger ~reason:"test" t;
+  Alcotest.(check bool) "triggered token cancelled" true (Cancel.cancelled t);
+  Alcotest.(check (option string)) "reason recorded" (Some "test") (Cancel.reason t);
+  Cancel.trigger ~reason:"second" t;
+  Alcotest.(check (option string)) "first reason wins" (Some "test") (Cancel.reason t);
+  let d = Cancel.after ~seconds:0.0 in
+  Alcotest.(check bool) "expired deadline cancelled" true (Cancel.cancelled d);
+  Alcotest.(check (option string)) "deadline reason" (Some "deadline")
+    (Cancel.reason d);
+  let far = Cancel.after ~seconds:3600.0 in
+  Alcotest.(check bool) "future deadline not cancelled" false (Cancel.cancelled far);
+  Cancel.trigger far;
+  Alcotest.(check bool) "deadline token also triggerable" true (Cancel.cancelled far);
+  Cancel.trigger Cancel.never;
+  Alcotest.(check bool) "never is inert" false (Cancel.cancelled Cancel.never)
+
+let test_inject_stall_point () =
+  (* A build that sleeps past the point deadline: the flow must come back
+     as Timed_out (data), caught at the first cooperative poll. *)
+  let build = Inject.stall_point ~seconds:0.02 (fun () -> interpolation ()) in
+  let cancel = Cancel.after ~seconds:0.005 in
+  let dfg = build () in
+  match Flows.run ~cancel Flows.Slack_based dfg ~lib ~clock:Interpolation.clock with
+  | Error (Flows.Timed_out _) -> ()
+  | Ok _ -> Alcotest.fail "stalled point completed inside its deadline"
+  | Error e -> Alcotest.failf "expected Timed_out: %s" (Flows.error_message e)
+
+let test_inject_crash_task () =
+  (* A raising task closure is quarantined as Crashed — the pool and its
+     other tasks keep going. *)
+  let tasks = Array.init 6 (fun i -> i) in
+  let outcomes =
+    Domain_pool.run ~jobs:3
+      (fun i -> if i = 2 then raise (Inject.Injected_crash "task 2") else i * 10)
+      tasks
+  in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Domain_pool.Done v when i <> 2 ->
+        Alcotest.(check int) (Printf.sprintf "task %d survives" i) (i * 10) v
+      | Domain_pool.Crashed c when i = 2 ->
+        Alcotest.(check int) "one attempt" 1 c.Domain_pool.attempts;
+        Alcotest.(check bool) "message names the fault" true
+          (c.Domain_pool.exn = Inject.Injected_crash "task 2")
+      | _ -> Alcotest.failf "task %d: unexpected outcome" i)
+    outcomes;
+  (* With retries, a flaky closure recovers in place. *)
+  let flaky = Inject.crash_task ~crash_on:(fun n -> n = 1) (fun () -> 42) in
+  match Domain_pool.run ~jobs:1 ~retries:1 (fun () -> flaky ()) [| () |] with
+  | [| Domain_pool.Done v |] -> Alcotest.(check int) "retry succeeds" 42 v
+  | _ -> Alcotest.fail "retry did not recover the flaky task"
+
+let test_inject_truncate_journal () =
+  (* A mid-append crash tears the final record: load must quarantine that
+     one line and keep the valid prefix. *)
+  let s area =
+    {
+      Eval_cache.status = Eval_cache.Success; area; steps = 3; delay_ps = area;
+      relaxations = 0; regrades = 0; recoveries = 0; error = "";
+    }
+  in
+  let path = Filename.temp_file "inject" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Journal.start ~path ~fresh:true in
+      Journal.record w ~key:"k1" (s 10.0);
+      Journal.record w ~key:"k2" (s 20.0);
+      Journal.close w;
+      Inject.truncate_journal ~bytes:5 path;
+      match Journal.load ~path with
+      | Error m -> Alcotest.failf "torn journal rejected wholesale: %s" m
+      | Ok (entries, quarantined) ->
+        Alcotest.(check int) "valid prefix kept" 1 (List.length entries);
+        Alcotest.(check int) "torn record quarantined" 1 quarantined;
+        Alcotest.(check string) "surviving key" "k1" (fst (List.hd entries)))
 
 (* Recovery ladder. *)
 
@@ -112,7 +197,8 @@ let test_ladder_transcript_on_infeasible () =
   match Flows.run Flows.Slack_based (interpolation ()) ~lib ~clock:600.0 with
   | Ok _ -> Alcotest.fail "600 ps must be infeasible"
   | Error (Flows.Invalid m) -> Alcotest.failf "expected a ladder, got Invalid: %s" m
-  | Error (Flows.Validation_failed _) -> Alcotest.fail "expected Sched_failed"
+  | Error (Flows.Validation_failed _) | Error (Flows.Timed_out _) ->
+    Alcotest.fail "expected Sched_failed"
   | Error (Flows.Sched_failed { recovery_log; _ }) ->
     Alcotest.(check bool) "at least one recovery attempt" true (recovery_log <> []);
     Alcotest.(check bool) "all attempts still failing" true
@@ -238,6 +324,13 @@ let suite =
     Alcotest.test_case "inject: swapped placements" `Quick test_inject_swap_placements;
     Alcotest.test_case "inject: orphan port" `Quick test_inject_orphan_port;
     Alcotest.test_case "injection matrix is total" `Quick test_matrix_is_total;
+    Alcotest.test_case "cancel token semantics" `Quick test_cancel_token;
+    Alcotest.test_case "inject: stalled point times out" `Quick
+      test_inject_stall_point;
+    Alcotest.test_case "inject: crashing task quarantined" `Quick
+      test_inject_crash_task;
+    Alcotest.test_case "inject: torn journal record" `Quick
+      test_inject_truncate_journal;
     Alcotest.test_case "ladder transcript on infeasible" `Quick
       test_ladder_transcript_on_infeasible;
     Alcotest.test_case "ladder recovers a crippled config" `Quick test_ladder_recovers;

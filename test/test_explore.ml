@@ -127,7 +127,13 @@ let test_grid_parsing () =
   | Error m -> Alcotest.fail m);
   (match Explore_grid.parse_recover "both" with
   | Ok r -> Alcotest.(check int) "both policies" 2 (List.length r)
-  | Error _ -> Alcotest.fail "recover both rejected")
+  | Error _ -> Alcotest.fail "recover both rejected");
+  (match Explore_grid.of_specs ~clocks:"2000,2500" ~flows:"all" () with
+  | Ok g -> Alcotest.(check int) "of_specs grid" 6 (Explore_grid.size g)
+  | Error m -> Alcotest.fail m);
+  (match Explore_grid.of_specs ~clocks:"2000" ~flows:"all" ~iis:"0:4" () with
+  | Ok _ -> Alcotest.fail "of_specs accepted ii 0"
+  | Error _ -> ())
 
 let test_grid_enumeration () =
   match
@@ -270,28 +276,174 @@ let test_cache_file_roundtrip () =
         Alcotest.(check string) "bit-exact through the file"
           (frontier_sig cold) (frontier_sig warm))
 
-let test_cache_rejects_corrupt_file () =
+let mk_summary ?(status = Eval_cache.Success) area =
+  {
+    Eval_cache.status; area; steps = 4; delay_ps = 2.0 *. area; relaxations = 1;
+    regrades = 0; recoveries = 2;
+    error = (if status = Eval_cache.Success then "" else "injected\tfailure");
+  }
+
+let test_cache_corruption_handling () =
   let path = Filename.temp_file "explore" ".cache" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      let oc = open_out path in
-      output_string oc "not a cache file\n";
-      close_out oc;
+      let write s =
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      in
+      (* An unreadable header condemns the whole file... *)
+      write "not a cache file\n";
       (match Eval_cache.load ~path with
-      | Ok _ -> Alcotest.fail "corrupt cache accepted"
+      | Ok _ -> Alcotest.fail "corrupt header accepted"
       | Error _ -> ());
-      let oc = open_out path in
-      output_string oc "slackhls-explore-cache v1\ngarbage line\n";
-      close_out oc;
+      write "slackhls-explore-cache v1\ngarbage line\n";
+      (match Eval_cache.load ~path with
+      | Ok _ -> Alcotest.fail "stale format version accepted"
+      | Error _ -> ());
+      (* ...but an individually corrupt record is quarantined, not fatal. *)
+      write
+        ("slackhls-explore-cache v2\n"
+        ^ Eval_cache.entry_line "good" (mk_summary 42.0)
+        ^ "\ngarbage line\n");
       match Eval_cache.load ~path with
-      | Ok _ -> Alcotest.fail "malformed entry accepted"
-      | Error _ -> ())
+      | Error m -> Alcotest.failf "quarantinable file rejected wholesale: %s" m
+      | Ok c ->
+        Alcotest.(check int) "good record kept" 1 (Eval_cache.size c);
+        Alcotest.(check int) "bad record quarantined" 1 (Eval_cache.quarantined c))
+
+let test_entry_line_roundtrip () =
+  List.iter
+    (fun status ->
+      let s = mk_summary ~status 123.456 in
+      match Eval_cache.parse_line (Eval_cache.entry_line "some|key" s) with
+      | Some (k, s') ->
+        Alcotest.(check string) "key survives" "some|key" k;
+        Alcotest.(check bool)
+          (Printf.sprintf "summary bit-exact (%s)" (Eval_cache.status_name status))
+          true (s = s')
+      | None -> Alcotest.failf "round-trip failed for %s" (Eval_cache.status_name status))
+    [ Eval_cache.Success; Eval_cache.Infeasible; Eval_cache.Timeout; Eval_cache.Crash ]
 
 let test_missing_cache_file_is_empty () =
   match Eval_cache.load ~path:"/nonexistent/explore.cache" with
   | Ok c -> Alcotest.(check int) "empty" 0 (Eval_cache.size c)
   | Error m -> Alcotest.fail m
+
+(* --------------------------------------------------------------- *)
+(* Supervision: deadlines, crash containment, checkpoint/resume *)
+
+let default_run ?jobs ?retries ?strict ?point_deadline ?cancel ?journal ?resume
+    ~build () =
+  Explore.run ?jobs ?retries ?strict ?point_deadline ?cancel ?journal ?resume
+    ~lib:Library.default ~config:Flows.default_config ~name:"idct" ~build
+    (idct_grid ())
+
+let test_sweep_crash_containment () =
+  (* Call 1 builds the digest; call 2 is the first point evaluation. *)
+  let build = Inject.crash_task ~crash_on:(fun n -> n = 2) idct_build in
+  let o = default_run ~jobs:1 ~build () in
+  Alcotest.(check int) "one point crashed" 1 o.Explore.crashed;
+  Alcotest.(check int) "all points completed" o.Explore.total
+    (List.length o.Explore.results);
+  Alcotest.(check bool) "frontier survives" true (o.Explore.frontier <> []);
+  Alcotest.(check bool) "sweep is not partial" false (Explore.partial o);
+  Alcotest.(check bool) "crash row renders" true
+    (List.exists
+       (fun r -> r.Explore.summary.Eval_cache.status = Eval_cache.Crash)
+       o.Explore.results);
+  (* --strict turns the quarantined crash back into a raise — after the
+     sweep has finished the other points. *)
+  let build = Inject.crash_task ~crash_on:(fun n -> n = 2) idct_build in
+  match default_run ~jobs:1 ~strict:true ~build () with
+  | (_ : Explore.outcome) -> Alcotest.fail "strict sweep swallowed the crash"
+  | exception Inject.Injected_crash _ -> ()
+
+let test_sweep_retry_recovers () =
+  (* The first evaluation raises once, then succeeds on its in-place
+     retry: no Crash status anywhere, outputs identical to a clean run. *)
+  let reference = default_run ~jobs:1 ~build:idct_build () in
+  let build = Inject.crash_task ~crash_on:(fun n -> n = 2) idct_build in
+  let o = default_run ~jobs:1 ~retries:1 ~build () in
+  Alcotest.(check int) "no crashes" 0 o.Explore.crashed;
+  Alcotest.(check string) "CSV identical to clean run" (Explore.to_csv reference)
+    (Explore.to_csv o)
+
+let test_sweep_point_deadline () =
+  (* An already-expired per-point deadline: every point comes back
+     timed_out — data, not an error — and the frontier is empty. *)
+  let o = default_run ~jobs:2 ~point_deadline:0.0 ~build:idct_build () in
+  Alcotest.(check int) "every point timed out" o.Explore.total o.Explore.timed_out;
+  Alcotest.(check int) "frontier empty" 0 (List.length o.Explore.frontier);
+  Alcotest.(check bool) "not partial (all points completed)" false
+    (Explore.partial o)
+
+let resume_roundtrip ~jobs () =
+  let reference = default_run ~jobs:1 ~build:idct_build () in
+  let path = Filename.temp_file "explore" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* Interrupted run: the sweep token fires after a few builds, so
+         workers stop claiming and some points stay pending. *)
+      let calls = Atomic.make 0 in
+      let cancel = Cancel.manual () in
+      let build () =
+        if Atomic.fetch_and_add calls 1 >= 3 then
+          Cancel.trigger ~reason:"test interrupt" cancel;
+        idct_build ()
+      in
+      let w = Journal.start ~path ~fresh:true in
+      let part =
+        Fun.protect
+          ~finally:(fun () -> Journal.close w)
+          (fun () -> default_run ~jobs ~cancel ~journal:w ~build ())
+      in
+      if jobs = 1 then begin
+        (* Sequential claiming makes the interrupt deterministic; with
+           more workers the claim/trigger race decides how much survives. *)
+        Alcotest.(check bool) "interrupted run is partial" true
+          (Explore.partial part);
+        Alcotest.(check bool) "some points completed" true
+          (part.Explore.results <> [])
+      end;
+      let resume =
+        match Journal.load ~path with
+        | Ok (entries, quarantined) ->
+          Alcotest.(check int) "clean journal" 0 quarantined;
+          entries
+        | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check int) "journal holds the completed points"
+        (List.length part.Explore.results)
+        (List.length resume);
+      (* Resume: journaled points are not re-evaluated, and the final
+         renderings are byte-identical to the uninterrupted reference. *)
+      let w2 = Journal.start ~path ~fresh:false in
+      let full =
+        Fun.protect
+          ~finally:(fun () -> Journal.close w2)
+          (fun () -> default_run ~jobs ~journal:w2 ~resume ~build:idct_build ())
+      in
+      Alcotest.(check int) "resumed = journaled" (List.length resume)
+        full.Explore.resumed;
+      Alcotest.(check bool) "resume completes the sweep" false
+        (Explore.partial full);
+      Alcotest.(check string) "CSV byte-identical" (Explore.to_csv reference)
+        (Explore.to_csv full);
+      Alcotest.(check string) "JSON byte-identical" (Explore.to_json reference)
+        (Explore.to_json full);
+      (* The journal now covers the whole grid — a second resume would
+         evaluate nothing. *)
+      match Journal.load ~path with
+      | Ok (entries, _) ->
+        Alcotest.(check int) "journal covers the grid" full.Explore.total
+          (List.length entries)
+      | Error m -> Alcotest.fail m)
+
+let test_resume_deterministic_seq () = resume_roundtrip ~jobs:1 ()
+let test_resume_deterministic_par () = resume_roundtrip ~jobs:4 ()
 
 let () =
   Alcotest.run "explore"
@@ -331,9 +483,24 @@ let () =
           Alcotest.test_case "cache memoizes" `Quick test_sweep_cache_memoizes;
           Alcotest.test_case "cache file round-trip" `Quick
             test_cache_file_roundtrip;
-          Alcotest.test_case "corrupt cache rejected" `Quick
-            test_cache_rejects_corrupt_file;
+          Alcotest.test_case "cache corruption handling" `Quick
+            test_cache_corruption_handling;
+          Alcotest.test_case "entry line round-trips every status" `Quick
+            test_entry_line_roundtrip;
           Alcotest.test_case "missing cache file is empty" `Quick
             test_missing_cache_file_is_empty;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "crash containment and --strict" `Quick
+            test_sweep_crash_containment;
+          Alcotest.test_case "retry recovers a flaky point" `Quick
+            test_sweep_retry_recovers;
+          Alcotest.test_case "point deadline times out as data" `Quick
+            test_sweep_point_deadline;
+          Alcotest.test_case "interrupt + resume, sequential" `Quick
+            test_resume_deterministic_seq;
+          Alcotest.test_case "interrupt + resume, 4 workers" `Quick
+            test_resume_deterministic_par;
         ] );
     ]
