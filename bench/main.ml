@@ -3,67 +3,280 @@
    ablation sweeps.  `dune exec bench/main.exe` prints everything;
    `dune exec bench/main.exe -- --quick` skips the slow sections;
    `--json FILE` additionally dumps per-section wall clock and the full
-   telemetry counter snapshot as JSON. *)
+   telemetry counter snapshot as JSON.
 
-let json_path () =
-  let rec find = function
-    | [ "--json" ] ->
-      prerr_endline "bench: --json requires a FILE argument";
-      exit 2
-    | "--json" :: path :: _ -> Some path
-    | _ :: rest -> find rest
-    | [] -> None
+   Regression gate: `--baseline FILE` diffs the current snapshot against a
+   committed one (BENCH_BASELINE.json).  Counters are deterministic event
+   counts, so any delta on a counter both runs know is a regression (0%
+   tolerance) — except the machine-dependent `explore.pool.*` family.
+   Per-section wall clock fails past `--wall-threshold PCT` (default 20;
+   0 disables the wall check, for CI machines with unknown speed).
+   `--diff FILE` skips benching and diffs an existing snapshot file
+   instead — the fast path for build rules.  Exit codes: 0 clean,
+   1 regression, 2 usage (including a quick/full mode mismatch). *)
+
+type opts = {
+  quick : bool;
+  json : string option;
+  baseline : string option;
+  diff : string option;
+  wall_threshold : float;
+}
+
+let usage () =
+  prerr_endline
+    "usage: bench [--quick] [--json FILE] [--baseline FILE] [--diff FILE] \
+     [--wall-threshold PCT]";
+  exit 2
+
+let parse_opts () =
+  let o =
+    ref { quick = false; json = None; baseline = None; diff = None; wall_threshold = 20.0 }
   in
-  find (Array.to_list Sys.argv)
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      o := { !o with quick = true };
+      go rest
+    | "--json" :: path :: rest ->
+      o := { !o with json = Some path };
+      go rest
+    | "--baseline" :: path :: rest ->
+      o := { !o with baseline = Some path };
+      go rest
+    | "--diff" :: path :: rest ->
+      o := { !o with diff = Some path };
+      go rest
+    | "--wall-threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0.0 ->
+        o := { !o with wall_threshold = t };
+        go rest
+      | _ ->
+        prerr_endline "bench: --wall-threshold needs a non-negative number";
+        exit 2)
+    | [ ("--json" | "--baseline" | "--diff" | "--wall-threshold") as flag ] ->
+      Printf.eprintf "bench: %s requires an argument\n" flag;
+      exit 2
+    | arg :: _ ->
+      Printf.eprintf "bench: unknown argument %s\n" arg;
+      usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  !o
 
-let write_json ~path =
+(* ------------------------------------------------------------------ *)
+(* Snapshots: the JSON document written by --json, and its parsed form
+   used on both sides of a baseline diff. *)
+
+type snapshot = {
+  mode : string;  (* "quick" | "full": only like-for-like runs compare *)
+  sections : (string * float) list;  (* span path -> total_ns *)
+  counters : (string * int) list;
+}
+
+let snapshot_doc ~quick =
   let open Obs.Json in
   let sections =
     List.map
       (fun (p, calls, total_ns) ->
-        Obj
-          [
-            ("span", String p);
-            ("calls", Int calls);
-            ("total_ns", Float total_ns);
-          ])
+        Obj [ ("span", String p); ("calls", Int calls); ("total_ns", Float total_ns) ])
       (Obs.span_stats ())
   in
-  let counters =
-    List.map (fun (name, v) -> (name, Int v)) (Obs.counters_snapshot ())
-  in
-  let doc =
-    Obj
-      [
-        ("harness", String "slackhls-bench");
-        ("sections", List sections);
-        ("counters", Obj counters);
-      ]
-  in
+  let counters = List.map (fun (name, v) -> (name, Int v)) (Obs.counters_snapshot ()) in
+  Obj
+    [
+      ("harness", String "slackhls-bench");
+      ("mode", String (if quick then "quick" else "full"));
+      ("sections", List sections);
+      ("counters", Obj counters);
+    ]
+
+let snapshot_of_json doc =
+  let open Obs.Json in
+  match doc with
+  | Obj fields ->
+    let mode =
+      match List.assoc_opt "mode" fields with Some (String m) -> m | _ -> "full"
+    in
+    let num = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None in
+    let sections =
+      match List.assoc_opt "sections" fields with
+      | Some (List rows) ->
+        List.filter_map
+          (function
+            | Obj row -> (
+              match (List.assoc_opt "span" row, List.assoc_opt "total_ns" row) with
+              | Some (String span), Some ns -> Option.map (fun v -> (span, v)) (num ns)
+              | _ -> None)
+            | _ -> None)
+          rows
+      | _ -> []
+    in
+    let counters =
+      match List.assoc_opt "counters" fields with
+      | Some (Obj rows) ->
+        List.filter_map
+          (function name, Int v -> Some (name, v) | _ -> None)
+          rows
+      | _ -> []
+    in
+    Ok { mode; sections; counters }
+  | _ -> Error "snapshot is not a JSON object"
+
+let load_snapshot ~path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m ->
+    Printf.eprintf "bench: %s\n" m;
+    exit 2
+  | text -> (
+    match Obs.Json.parse text with
+    | Error m ->
+      Printf.eprintf "bench: %s: %s\n" path m;
+      exit 2
+    | Ok doc -> (
+      match snapshot_of_json doc with
+      | Error m ->
+        Printf.eprintf "bench: %s: %s\n" path m;
+        exit 2
+      | Ok s -> s))
+
+let write_json ~path doc =
   let oc = open_out path in
-  output_string oc (to_string doc);
+  output_string oc (Obs.Json.to_string doc);
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Counters whose values legitimately vary across machines: the pool sizes
+   itself on Domain.recommended_domain_count, so spawn/task bookkeeping is
+   hardware-dependent even though sweep results are not. *)
+let volatile_counter name = String.starts_with ~prefix:"explore.pool." name
+
+let diff_snapshots ~wall_threshold ~(baseline : snapshot) ~(current : snapshot) =
+  if not (String.equal baseline.mode current.mode) then begin
+    Printf.eprintf
+      "bench: baseline mode %S does not match current mode %S (regenerate the \
+       baseline with the same --quick setting)\n"
+      baseline.mode current.mode;
+    exit 2
+  end;
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, bv) ->
+      if not (volatile_counter name) then
+        match List.assoc_opt name current.counters with
+        | Some cv when cv = bv -> ()
+        | Some cv ->
+          incr regressions;
+          Printf.printf "REGRESSION counter %s: baseline %d, current %d (%+d)\n" name
+            bv cv (cv - bv)
+        | None ->
+          incr regressions;
+          Printf.printf "REGRESSION counter %s: baseline %d, missing from current\n"
+            name bv)
+    baseline.counters;
+  List.iter
+    (fun (name, cv) ->
+      if (not (volatile_counter name)) && List.assoc_opt name baseline.counters = None
+      then Printf.printf "note: new counter %s = %d (not in baseline)\n" name cv)
+    current.counters;
+  if wall_threshold > 0.0 then
+    List.iter
+      (fun (name, bns) ->
+        match List.assoc_opt name current.sections with
+        | Some cns when bns > 0.0 ->
+          let pct = (cns -. bns) /. bns *. 100.0 in
+          if pct > wall_threshold then begin
+            incr regressions;
+            Printf.printf
+              "REGRESSION wall %s: %.2f ms -> %.2f ms (+%.1f%%, threshold %.1f%%)\n"
+              name (bns /. 1e6) (cns /. 1e6) pct wall_threshold
+          end
+        | Some _ | None -> ())
+      baseline.sections;
+  if !regressions = 0 then begin
+    Printf.printf "baseline check: OK (%d counters, %d sections, wall threshold %s)\n"
+      (List.length baseline.counters)
+      (List.length baseline.sections)
+      (if wall_threshold > 0.0 then Printf.sprintf "%.0f%%" wall_threshold
+       else "disabled");
+    0
+  end
+  else begin
+    Printf.printf "baseline check: %d regression%s\n" !regressions
+      (if !regressions = 1 then "" else "s");
+    1
+  end
+
+(* The null-sink note (tentpole invariant): with events disabled,
+   Obs.Events.emit must stay a single flag test.  Measured, not assumed —
+   the measured body bumps no counters, so --quick determinism holds. *)
+let events_null_sink_note () =
+  Bench_common.subsection "events null-sink overhead (disabled emit = flag test)";
+  Obs.Events.disable ();
+  let payload =
+    Obs.Events.Budget_round { round = 0; updates = 0 }
+  in
+  let t =
+    Bench_common.measure_ns ~quota:0.25 "events.emit.off" (fun () ->
+        Obs.Events.emit payload)
+  in
+  Printf.printf "  disabled Obs.Events.emit: %.1f ns/call (flag test + branch)\n" t
+
 let () =
-  let quick = Array.exists (String.equal "--quick") Sys.argv in
-  let json = json_path () in
-  if json <> None then Obs.enable_stats ();
-  let sec name f = Obs.span ("bench." ^ name) f in
-  print_endline "slackhls benchmark harness";
-  print_endline "reproducing: Kondratyev et al., 'Exploiting area/delay tradeoffs";
-  print_endline "in high-level synthesis', DATE 2012";
-  sec "table1" Tables.table1;
-  sec "table2" Tables.table2;
-  sec "table3" Tables.table3;
-  sec "table4" Tables.table4;
-  sec "customer" (Tables.customer ~count:(if quick then 20 else 100));
-  sec "explore" (Explore_bench.run ~quick);
-  if not quick then sec "table5" Tables.table5
-  else print_endline "\n(table 5 timing skipped in --quick mode)";
-  if not quick then sec "ablations" Ablations.run
-  else print_endline "(ablations skipped in --quick mode)";
-  print_newline ();
-  (match json with Some path -> write_json ~path | None -> ());
-  print_endline "done."
+  let opts = parse_opts () in
+  match opts.diff with
+  | Some path ->
+    (* Diff-only mode: no benching, compare two snapshot files. *)
+    let baseline =
+      match opts.baseline with
+      | Some b -> load_snapshot ~path:b
+      | None ->
+        prerr_endline "bench: --diff requires --baseline FILE";
+        exit 2
+    in
+    let current = load_snapshot ~path in
+    exit (diff_snapshots ~wall_threshold:opts.wall_threshold ~baseline ~current)
+  | None ->
+    let quick = opts.quick in
+    if opts.json <> None || opts.baseline <> None then Obs.enable_stats ();
+    let sec name f = Obs.span ("bench." ^ name) f in
+    print_endline "slackhls benchmark harness";
+    print_endline "reproducing: Kondratyev et al., 'Exploiting area/delay tradeoffs";
+    print_endline "in high-level synthesis', DATE 2012";
+    sec "table1" Tables.table1;
+    sec "table2" Tables.table2;
+    sec "table3" Tables.table3;
+    sec "table4" Tables.table4;
+    sec "customer" (Tables.customer ~count:(if quick then 20 else 100));
+    sec "explore" (Explore_bench.run ~quick);
+    if not quick then sec "table5" Tables.table5
+    else print_endline "\n(table 5 timing skipped in --quick mode)";
+    if not quick then sec "ablations" Ablations.run
+    else print_endline "(ablations skipped in --quick mode)";
+    events_null_sink_note ();
+    print_newline ();
+    let doc = snapshot_doc ~quick in
+    (match opts.json with Some path -> write_json ~path doc | None -> ());
+    let code =
+      match opts.baseline with
+      | None -> 0
+      | Some bpath ->
+        let baseline = load_snapshot ~path:bpath in
+        let current =
+          match snapshot_of_json doc with
+          | Ok s -> s
+          | Error m ->
+            Printf.eprintf "bench: internal: %s\n" m;
+            exit 2
+        in
+        diff_snapshots ~wall_threshold:opts.wall_threshold ~baseline ~current
+    in
+    print_endline "done.";
+    exit code

@@ -154,6 +154,13 @@ let flow_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print a per-phase telemetry report (timings, counters, distributions) to stderr on exit.")
 
+let events_arg =
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+         ~doc:"Write decision-provenance events (JSONL, one typed event per line: \
+               slack recomputations, delay updates, per-edge scheduling, recovery \
+               steps) on exit.  Replay with $(b,hlsc explain).  Two identical runs \
+               write byte-identical files.")
+
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write a Chrome trace-event JSON file on exit (open in Perfetto or chrome://tracing).")
@@ -169,11 +176,25 @@ let max_recoveries_arg =
 (* Enable the requested telemetry sinks, run [k], then emit the report
    and/or trace file.  Emission happens even when [k] fails, so a failing
    flow still leaves its telemetry behind for diagnosis. *)
-let with_obs ~stats ~trace k =
+let with_obs ~stats ~trace ~events k =
   if stats then Obs.enable_stats ();
   (match trace with Some _ -> Obs.enable_trace () | None -> ());
+  (match events with Some _ -> Obs.Events.enable () | None -> ());
   let code = k () in
   if stats then prerr_string (Obs.report ());
+  let code =
+    match events with
+    | None -> code
+    | Some path -> (
+      try
+        Obs.Events.write_jsonl ~path;
+        Printf.eprintf "hlsc: wrote %d events to %s\n"
+          (List.length (Obs.Events.events ())) path;
+        code
+      with Sys_error m ->
+        Printf.eprintf "hlsc: cannot write events: %s\n" m;
+        if code = 0 then 1 else code)
+  in
   match trace with
   | None -> code
   | Some path -> (
@@ -211,8 +232,8 @@ let report_result r =
     (fun v -> Format.printf "warning: %a@." Check.pp_violation v)
     r.Hls.report.Flows.violations
 
-let run_cmd source builtin clock lib flow validate max_recoveries stats trace =
-  with_obs ~stats ~trace @@ fun () ->
+let run_cmd source builtin clock lib flow validate max_recoveries stats trace events =
+  with_obs ~stats ~trace ~events @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -221,8 +242,8 @@ let run_cmd source builtin clock lib flow validate max_recoveries stats trace =
      let* r = Result.map_error classify_flow_error (Hls.run ~lib ~config flow d) in
      Ok (report_result r))
 
-let compare_cmd source builtin clock lib validate max_recoveries stats trace =
-  with_obs ~stats ~trace @@ fun () ->
+let compare_cmd source builtin clock lib validate max_recoveries stats trace events =
+  with_obs ~stats ~trace ~events @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -247,8 +268,8 @@ let compare_cmd source builtin clock lib validate max_recoveries stats trace =
      | Some (Validation _ as e), _ | _, Some (Validation _ as e) -> Error e
      | Some e, _ | _, Some e -> Error e)
 
-let slack_cmd source builtin clock lib validate max_recoveries stats trace =
-  with_obs ~stats ~trace @@ fun () ->
+let slack_cmd source builtin clock lib validate max_recoveries stats trace events =
+  with_obs ~stats ~trace ~events @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -282,8 +303,9 @@ let slack_cmd source builtin clock lib validate max_recoveries stats trace =
        (if Slack.feasible res then "feasible (Prop. 1)" else "INFEASIBLE: relax latency or clock");
      Ok ())
 
-let emit_cmd source builtin clock lib flow validate max_recoveries output stats trace =
-  with_obs ~stats ~trace @@ fun () ->
+let emit_cmd source builtin clock lib flow validate max_recoveries output stats trace
+    events =
+  with_obs ~stats ~trace ~events @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -297,8 +319,9 @@ let emit_cmd source builtin clock lib flow validate max_recoveries output stats 
        Ok ()
      | exception Sys_error m -> Error (Internal m))
 
-let dot_cmd source builtin clock lib flow validate max_recoveries output stats trace =
-  with_obs ~stats ~trace @@ fun () ->
+let dot_cmd source builtin clock lib flow validate max_recoveries output stats trace
+    events =
+  with_obs ~stats ~trace ~events @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -377,8 +400,8 @@ let write_rendering ~what path content =
 
 let explore_cmd source builtin clock lib validate max_recoveries clocks flows iis
     recover jobs cache_file point_deadline deadline retries strict journal_file
-    resume_file csv json stats trace =
-  with_obs ~stats ~trace @@ fun () ->
+    resume_file csv json stats trace events progress =
+  with_obs ~stats ~trace ~events @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -462,10 +485,46 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
      in
      let prev_int = Sys.signal Sys.sigint (on_signal "SIGINT") in
      let prev_term = Sys.signal Sys.sigterm (on_signal "SIGTERM") in
+     (* --progress: live lines from Worker_sample events.  The hook runs
+        under the obs mutex inside worker domains, so it only formats to
+        stderr — no Obs calls.  Throttled to one line per second. *)
+     (if progress then begin
+        let total = Explore_grid.size grid in
+        let t_start = Obs.now_ns () in
+        let last_line = ref Int64.min_int in
+        let points_done = ref 0 in
+        Obs.Events.enable ();
+        Obs.Events.set_hook
+          (Some
+             (fun ev ->
+               match ev.Obs.Events.payload with
+               | Obs.Events.Worker_sample { domain; tasks_done; utilization } ->
+                 (* One sample per completed task: the sample count is the
+                    sweep-wide completion count. *)
+                 incr points_done;
+                 let now = Obs.now_ns () in
+                 if
+                   Int64.sub now !last_line >= 1_000_000_000L
+                   || !points_done >= total
+                 then begin
+                   last_line := now;
+                   let elapsed = Int64.to_float (Int64.sub now t_start) /. 1e9 in
+                   let rate = float_of_int !points_done /. Float.max 1e-9 elapsed in
+                   let eta =
+                     float_of_int (max 0 (total - !points_done)) /. Float.max 1e-9 rate
+                   in
+                   Printf.eprintf
+                     "hlsc: explore: %d/%d points done (worker %d: %d done, %.0f%% \
+                      busy), ETA %.1fs\n%!"
+                     !points_done total domain tasks_done (100.0 *. utilization) eta
+                 end
+               | _ -> ()))
+      end);
      let* outcome =
        match
          Fun.protect
            ~finally:(fun () ->
+             Obs.Events.set_hook None;
              Sys.set_signal Sys.sigint prev_int;
              Sys.set_signal Sys.sigterm prev_term;
              Option.iter Journal.close journal)
@@ -589,8 +648,8 @@ let fuzz_grids ~lib ~config ~grids ~seed =
    tolerated (tight random designs may be legitimately infeasible — the
    ladder transcript says the system degraded gracefully); invariant
    violations and crashes are not. *)
-let fuzz_cmd count seed lib validate max_recoveries grids stats trace =
-  with_obs ~stats ~trace @@ fun () ->
+let fuzz_cmd count seed lib validate max_recoveries grids stats trace events =
+  with_obs ~stats ~trace ~events @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -634,20 +693,118 @@ let fuzz_cmd count seed lib validate max_recoveries grids stats trace =
        | vs -> Error (Validation (String.concat "\n" vs))
      end)
 
+(* explain: replay a provenance event file into one operation's decision
+   timeline — its slack history across budgeting rounds, every delay-grade
+   update (with the phase that made it), and its final schedule state. *)
+let explain_cmd file op_name stats trace events =
+  with_obs ~stats ~trace ~events @@ fun () ->
+  finish
+    (let module E = Obs.Events in
+     let* path =
+       match file with
+       | Some p -> Ok p
+       | None -> Error (Usage "pass an event file (written with --events FILE)")
+     in
+     let* op =
+       match op_name with
+       | Some o -> Ok o
+       | None -> Error (Usage "pass --op NAME (an operation name from the design)")
+     in
+     let* evs =
+       match E.load_jsonl ~path with
+       | Ok evs -> Ok evs
+       | Error m -> Error (Usage (Printf.sprintf "%s: %s" path m))
+       | exception Sys_error m -> Error (Internal m)
+     in
+     let seen = Hashtbl.create 64 in
+     let note o = if not (Hashtbl.mem seen o) then Hashtbl.replace seen o () in
+     List.iter
+       (fun (e : E.t) ->
+         match e.E.payload with
+         | E.Slack_computed { op; _ } | E.Delay_update { op; _ } | E.Op_picked { op; _ }
+           ->
+           note op
+         | E.Budget_round _ | E.Edge_scheduled _ | E.Recovery_step _
+         | E.Worker_sample _ ->
+           ())
+       evs;
+     if not (Hashtbl.mem seen op) then begin
+       let names =
+         Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare
+       in
+       let preview =
+         match names with
+         | [] -> "no op-level events in the file"
+         | _ ->
+           let shown = List.filteri (fun i _ -> i < 24) names in
+           Printf.sprintf "%d ops seen: %s%s" (List.length names)
+             (String.concat ", " shown)
+             (if List.length names > 24 then ", ..." else "")
+       in
+       Error (Usage (Printf.sprintf "op %S not found in %s (%s)" op path preview))
+     end
+     else begin
+       Printf.printf "timeline for op %s (from %s, %d events)\n" op path
+         (List.length evs);
+       let final_delay = ref None in
+       let placement = ref None in
+       List.iter
+         (fun (e : E.t) ->
+           match e.E.payload with
+           | E.Slack_computed { op = o; phase; round; slack_ps } when String.equal o op
+             ->
+             Printf.printf "  [%6d] %-8s round %2d: slack %8.1f ps\n" e.E.seq phase
+               round slack_ps
+           | E.Delay_update { op = o; phase; round; from_ps; to_ps }
+             when String.equal o op ->
+             final_delay := Some to_ps;
+             Printf.printf "  [%6d] %-8s round %2d: delay %8.1f -> %8.1f ps\n" e.E.seq
+               phase round from_ps to_ps
+           | E.Op_picked { op = o; edge; step; priority; ready_set_size }
+             when String.equal o op ->
+             placement := Some (edge, step);
+             Printf.printf
+               "  [%6d] sched: picked on edge %d step %d (priority %.1f, %d ready)\n"
+               e.E.seq edge step priority ready_set_size
+           | E.Recovery_step { rung; outcome } ->
+             (* Ladder steps reshape every op's story; always shown. *)
+             Printf.printf "  [%6d] recovery ladder: %s -> %s\n" e.E.seq rung outcome
+           | _ -> ())
+         evs;
+       (match !final_delay with
+       | Some d -> Printf.printf "final grade: %.1f ps\n" d
+       | None -> Printf.printf "final grade: unchanged (no delay updates for this op)\n");
+       (match !placement with
+       | Some (edge, step) ->
+         Printf.printf "schedule state: placed on edge %d, step %d\n" edge step
+       | None ->
+         Printf.printf
+           "schedule state: never picked (inspect Edge_scheduled deferrals)\n");
+       Ok ()
+     end)
+
+let explain_file_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"EVENTS"
+         ~doc:"Provenance event file (JSONL) written by --events.")
+
+let explain_op_arg =
+  Arg.(value & opt (some string) None & info [ "op" ] ~docv:"NAME"
+         ~doc:"Operation name to explain (e.g. m_x0c4 in the idct design).")
+
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
     Term.(const run_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
-          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"Conventional vs slack-based, side by side")
     Term.(const compare_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
-          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg)
 
 let slack_t =
   Cmd.v (Cmd.info "slack" ~doc:"Pre-schedule sequential-slack report")
     Term.(const slack_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
-          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg)
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
@@ -656,7 +813,8 @@ let output_arg =
 let emit_t =
   Cmd.v (Cmd.info "emit" ~doc:"Run a flow and write the Verilog rendering")
     Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
-          $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg
+          $ events_arg)
 
 let clocks_arg =
   Arg.(value & opt string "auto" & info [ "clocks" ] ~docv:"SPEC"
@@ -732,6 +890,12 @@ let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
          ~doc:"Write sweep stats and the Pareto frontier as JSON ('-' for stdout).")
 
+let progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"Print periodic progress lines (completed/total points, per-worker \
+               utilization, ETA) to stderr while the sweep runs, fed by \
+               Worker_sample provenance events.")
+
 let explore_t =
   Cmd.v
     (Cmd.info "explore"
@@ -740,7 +904,7 @@ let explore_t =
           $ validate_arg $ max_recoveries_arg $ clocks_arg $ grid_flows_arg
           $ iis_arg $ recover_arg $ jobs_arg $ cache_arg $ point_deadline_arg
           $ deadline_arg $ retries_arg $ strict_arg $ journal_arg $ resume_arg
-          $ csv_arg $ json_arg $ stats_arg $ trace_arg)
+          $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg $ progress_arg)
 
 let count_arg =
   Arg.(value & opt int 25 & info [ "count"; "n" ] ~docv:"N"
@@ -765,17 +929,50 @@ let fuzz_t =
     (Cmd.info "fuzz"
        ~doc:"Random designs through every flow under invariant validation")
     Term.(const fuzz_cmd $ count_arg $ seed_arg $ lib_arg $ fuzz_validate_arg
-          $ max_recoveries_arg $ grids_fuzz_arg $ stats_arg $ trace_arg)
+          $ max_recoveries_arg $ grids_fuzz_arg $ stats_arg $ trace_arg $ events_arg)
 
 let dot_t =
   Cmd.v
     (Cmd.info "dot" ~doc:"Dump Graphviz renderings (CFG, DFG+spans, timed DFG, schedule)")
     Term.(const dot_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
-          $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg)
+          $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg
+          $ events_arg)
+
+let explain_t =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Replay a provenance event file into one operation's decision timeline")
+    Term.(const explain_cmd $ explain_file_arg $ explain_op_arg $ stats_arg
+          $ trace_arg $ events_arg)
 
 let () =
   let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in
-  let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S "EXIT CODES";
+      `P "Every subcommand uses the same contract:";
+      `I ("0", "success.");
+      `I ("1", "internal error (I/O, trace or event emission).");
+      `I
+        ( "2",
+          "usage error (bad flags, malformed source, invalid configuration — \
+           including a bad explore grid spec, a corrupt evaluation cache, or an \
+           unknown --op name passed to explain)." );
+      `I ("3", "validation failure (a pipeline invariant was violated).");
+      `I
+        ( "4",
+          "unrecoverable flow failure (scheduling failed after the full recovery \
+           ladder; for explore: every grid point failed, so the sweep produced an \
+           empty frontier)." );
+      `I
+        ( "5",
+          "interrupted sweep (SIGINT/SIGTERM or --deadline fired before every \
+           point completed; the journal and partial renderings were flushed — \
+           re-run with --resume to finish)." );
+    ]
+  in
+  let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc ~man in
   exit
     (Cmd.eval'
-       (Cmd.group info [ run_t; compare_t; slack_t; emit_t; explore_t; fuzz_t; dot_t ]))
+       (Cmd.group info
+          [ run_t; compare_t; slack_t; emit_t; explore_t; explain_t; fuzz_t; dot_t ]))

@@ -66,9 +66,13 @@ let analyze config tdfg ~clock delays =
     ignore (Bf_timing.analyze tdfg ~clock ~del));
   Slack.analyze ~aligned:config.aligned tdfg ~clock ~del
 
-let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
+let run ?(config = default_config) ?(event_phase = "budget") tdfg ~clock ~ranges
+    ~sensitivity =
   let eps = 1e-6 in
   let margin = config.margin_frac *. clock in
+  let dfg = Timed_dfg.dfg tdfg in
+  let op_name o = (Dfg.op dfg o).Dfg.name in
+  let ev_on () = Obs.Events.enabled () in
   Obs.incr c_runs;
   let feasible_with delays =
     Obs.incr c_probes;
@@ -98,12 +102,29 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
     let delays = at lambda in
     (* The uniform raise is itself a per-op budget update for every op with
        a non-degenerate delay range. *)
-    if lambda > 0.0 then
-      Obs.add c_updates
-        (List.length
-           (List.filter
-              (fun o -> Interval.width (ranges o) > eps)
-              (Timed_dfg.active_ops tdfg)));
+    (if lambda > 0.0 then begin
+       let raised =
+         List.filter
+           (fun o -> Interval.width (ranges o) > eps)
+           (Timed_dfg.active_ops tdfg)
+       in
+       Obs.add c_updates (List.length raised);
+       (* The uniform phase-1 raise reported as round 0. *)
+       if ev_on () then
+         List.iter
+           (fun o ->
+             let i = Dfg.Op_id.to_int o in
+             Obs.Events.emit
+               (Obs.Events.Delay_update
+                  {
+                    op = op_name o;
+                    phase = event_phase;
+                    round = 0;
+                    from_ps = Interval.lo (ranges o);
+                    to_ps = delays.(i);
+                  }))
+           raised
+     end);
     (* Phase 2 (positive budgeting): raise individual delays up to their
        binned slack, most area-sensitive ops first, verifying after each
        tentative increase.  An op whose increase fails verification is
@@ -111,9 +132,25 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
     let n = Array.length delays in
     let frozen = Array.make n false in
     let ops = Timed_dfg.active_ops tdfg in
+    let round_no = ref 0 in
     let round () =
       Obs.incr c_rounds;
+      incr round_no;
+      let rn = !round_no in
+      let updates_this_round = ref 0 in
       let result = ref (analyze config tdfg ~clock delays) in
+      if ev_on () then
+        List.iter
+          (fun o ->
+            Obs.Events.emit
+              (Obs.Events.Slack_computed
+                 {
+                   op = op_name o;
+                   phase = event_phase;
+                   round = rn;
+                   slack_ps = Slack.op_slack !result o;
+                 }))
+          ops;
       let by_gain =
         let gain o =
           let i = Dfg.Op_id.to_int o in
@@ -148,6 +185,17 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
               let r' = analyze config tdfg ~clock delays in
               if Slack.feasible ~eps r' then begin
                 Obs.incr c_updates;
+                incr updates_this_round;
+                if ev_on () then
+                  Obs.Events.emit
+                    (Obs.Events.Delay_update
+                       {
+                         op = op_name o;
+                         phase = event_phase;
+                         round = rn;
+                         from_ps = old;
+                         to_ps = delays.(i);
+                       });
                 result := r';
                 changed := true
               end
@@ -159,6 +207,17 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
                 let r'' = analyze config tdfg ~clock delays in
                 if Slack.feasible ~eps r'' && 0.5 *. bump > margin then begin
                   Obs.incr c_updates;
+                  incr updates_this_round;
+                  if ev_on () then
+                    Obs.Events.emit
+                      (Obs.Events.Delay_update
+                         {
+                           op = op_name o;
+                           phase = event_phase;
+                           round = rn;
+                           from_ps = old;
+                           to_ps = delays.(i);
+                         });
                   result := r'';
                   changed := true
                 end
@@ -171,6 +230,9 @@ let run ?(config = default_config) tdfg ~clock ~ranges ~sensitivity =
             end
           end)
         by_gain;
+      if ev_on () then
+        Obs.Events.emit
+          (Obs.Events.Budget_round { round = rn; updates = !updates_this_round });
       !changed
     in
     let rec loop k = if k > 0 && round () then loop (k - 1) in

@@ -68,6 +68,7 @@ type outcome =
 
 val run :
   ?config:config ->
+  ?event_phase:string ->
   Timed_dfg.t ->
   clock:float ->
   ranges:(Dfg.Op_id.t -> Interval.t) ->
@@ -75,7 +76,13 @@ val run :
   outcome
 (** [ranges] gives each active op's delay interval (callers typically clamp
     the upper end to the clock period); [sensitivity o d] is the area saved
-    per unit of delay added at delay [d] (see {!Curve.sensitivity}). *)
+    per unit of delay added at delay [d] (see {!Curve.sensitivity}).
+
+    [event_phase] (default ["budget"]) tags the provenance events this run
+    emits ({!Obs.Events.Slack_computed}, {!Obs.Events.Delay_update},
+    {!Obs.Events.Budget_round}) so replay can distinguish the initial
+    budgeting pass from per-edge re-budgeting (["rebudget"]) and the
+    recovery ladder (["recovery"]). *)
 
 val delays_at : lambda:float -> Timed_dfg.t -> ranges:(Dfg.Op_id.t -> Interval.t) -> float array
 (** The uniform-knob delay assignment used by the negative phase; exposed

@@ -43,14 +43,42 @@ let run ?jobs ?(retries = 0) ?(should_stop = no_stop) f tasks =
   let n = Array.length tasks in
   let jobs = min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n in
   Obs.add c_tasks n;
+  (* Worker provenance: one [Worker_sample] per completed task, carrying
+     the worker's index (stable across runs, unlike domain ids) and its
+     busy/elapsed utilization.  All timing reads are skipped when events
+     are off. *)
+  let ev_on = Obs.Events.enabled () in
+  let timed_task w ~t0 ~busy ~tasks_done x =
+    let s = Obs.now_ns () in
+    let r = attempt_task ~retries f x in
+    busy := !busy +. Int64.to_float (Int64.sub (Obs.now_ns ()) s);
+    incr tasks_done;
+    let elapsed = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) in
+    let utilization =
+      if elapsed <= 0.0 then 1.0 else Float.min 1.0 (!busy /. elapsed)
+    in
+    Obs.Events.emit
+      (Obs.Events.Worker_sample { domain = w; tasks_done = !tasks_done; utilization });
+    r
+  in
   let results =
-    if jobs <= 1 || n <= 1 then
+    if jobs <= 1 || n <= 1 then begin
+      let t0 = Obs.now_ns () in
+      let busy = ref 0.0 in
+      let tasks_done = ref 0 in
       Array.map
-        (fun x -> if should_stop () then Skipped else attempt_task ~retries f x)
+        (fun x ->
+          if should_stop () then Skipped
+          else if ev_on then timed_task 0 ~t0 ~busy ~tasks_done x
+          else attempt_task ~retries f x)
         tasks
+    end
     else begin
       let next = Atomic.make 0 in
-      let worker () =
+      let worker w () =
+        let t0 = Obs.now_ns () in
+        let busy = ref 0.0 in
+        let tasks_done = ref 0 in
         let buf = ref [] in
         let rec loop () =
           (* The stop poll gates task claiming only: in-flight tasks drain
@@ -59,7 +87,8 @@ let run ?jobs ?(retries = 0) ?(should_stop = no_stop) f tasks =
           if not (should_stop ()) then begin
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
-              buf := (i, attempt_task ~retries f tasks.(i)) :: !buf;
+              (if ev_on then buf := (i, timed_task w ~t0 ~busy ~tasks_done tasks.(i)) :: !buf
+               else buf := (i, attempt_task ~retries f tasks.(i)) :: !buf);
               loop ()
             end
           end
@@ -68,7 +97,7 @@ let run ?jobs ?(retries = 0) ?(should_stop = no_stop) f tasks =
         !buf
       in
       Obs.add c_spawns jobs;
-      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
       let merged = Array.make n Skipped in
       Array.iter
         (fun d -> List.iter (fun (i, r) -> merged.(i) <- r) (Domain.join d))

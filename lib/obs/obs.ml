@@ -105,170 +105,6 @@ let dist_stats d =
       }
   end
 
-(* ------------------------------------------------------------------ *)
-(* Spans and sinks *)
-
-type span_agg = { mutable s_count : int; mutable s_total_ns : int64 }
-
-type trace_event = {
-  ev_name : string;
-  ev_path : string;
-  ev_ts_ns : int64;  (* relative to [epoch_ns] *)
-  ev_dur_ns : int64;
-  ev_attrs : (string * string) list;
-}
-
-type state = {
-  mutable stats_on : bool;
-  mutable trace_on : bool;
-  mutable collecting : bool;  (* stats_on || trace_on, the fast-path test *)
-  span_aggs : (string, span_agg) Hashtbl.t;
-  mutable trace_buf : trace_event Vec.t;
-}
-
-let st =
-  {
-    stats_on = false;
-    trace_on = false;
-    collecting = false;
-    span_aggs = Hashtbl.create 32;
-    trace_buf = Vec.create ();
-  }
-
-(* The open-span path is per domain: concurrent workers each nest their
-   own spans without seeing each other's stack. *)
-let path_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
-
-let collecting () = st.collecting
-let enable_stats () = st.stats_on <- true; st.collecting <- true
-let enable_trace () = st.trace_on <- true; st.collecting <- true
-let disable () = st.stats_on <- false; st.trace_on <- false; st.collecting <- false
-
-let reset () =
-  locked @@ fun () ->
-  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
-  Hashtbl.reset dists;
-  Hashtbl.reset st.span_aggs;
-  Domain.DLS.set path_key [];
-  st.trace_buf <- Vec.create ()
-
-let span ?(attrs = []) name f =
-  if not st.collecting then f ()
-  else begin
-    let outer = Domain.DLS.get path_key in
-    let path = String.concat "/" (List.rev (name :: outer)) in
-    Domain.DLS.set path_key (name :: outer);
-    let t0 = now_ns () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dur = Int64.sub (now_ns ()) t0 in
-        Domain.DLS.set path_key outer;
-        locked (fun () ->
-            if st.stats_on then begin
-              match Hashtbl.find_opt st.span_aggs path with
-              | Some a ->
-                a.s_count <- a.s_count + 1;
-                a.s_total_ns <- Int64.add a.s_total_ns dur
-              | None ->
-                Hashtbl.replace st.span_aggs path { s_count = 1; s_total_ns = dur }
-            end;
-            if st.trace_on then
-              ignore
-                (Vec.push st.trace_buf
-                   {
-                     ev_name = name;
-                     ev_path = path;
-                     ev_ts_ns = Int64.sub t0 epoch_ns;
-                     ev_dur_ns = dur;
-                     ev_attrs = attrs;
-                   })))
-      f
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Outputs *)
-
-let counters_snapshot () =
-  locked (fun () ->
-      Hashtbl.fold (fun _ c acc -> (c.c_name, Atomic.get c.c_value) :: acc) counters [])
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let span_stats () =
-  locked (fun () ->
-      Hashtbl.fold
-        (fun path a acc -> (path, a.s_count, Int64.to_float a.s_total_ns) :: acc)
-        st.span_aggs [])
-  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
-
-let pp_ns ns =
-  if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
-  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-  else if ns >= 1e3 then Printf.sprintf "%.1f us" (ns /. 1e3)
-  else Printf.sprintf "%.0f ns" ns
-
-let report () =
-  let buf = Buffer.create 1024 in
-  let spans = span_stats () in
-  if spans <> [] then begin
-    Buffer.add_string buf "== phases (wall clock) ==\n";
-    let t = Text_table.create ~headers:[ "span"; "calls"; "total"; "mean" ] in
-    List.iter
-      (fun (path, count, total) ->
-        let depth =
-          String.fold_left (fun acc ch -> if ch = '/' then acc + 1 else acc) 0 path
-        in
-        let leaf =
-          match String.rindex_opt path '/' with
-          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
-          | None -> path
-        in
-        Text_table.add_row t
-          [
-            String.make (2 * depth) ' ' ^ leaf;
-            string_of_int count;
-            pp_ns total;
-            pp_ns (total /. float_of_int count);
-          ])
-      spans;
-    Buffer.add_string buf (Text_table.render t)
-  end;
-  let nonzero = List.filter (fun (_, v) -> v <> 0) (counters_snapshot ()) in
-  if nonzero <> [] then begin
-    Buffer.add_string buf "== counters ==\n";
-    List.iter
-      (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "  %-42s %12d\n" name v))
-      nonzero
-  end;
-  let dist_rows =
-    locked (fun () -> Hashtbl.fold (fun _ d acc -> (d.d_name, d) :: acc) dists [])
-    |> List.filter_map (fun (name, d) -> Option.map (fun s -> (name, s)) (dist_stats d))
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  if dist_rows <> [] then begin
-    Buffer.add_string buf "== distributions ==\n";
-    let t =
-      Text_table.create ~headers:[ "dist"; "n"; "min"; "mean"; "p50"; "p95"; "max" ]
-    in
-    List.iter
-      (fun (name, s) ->
-        Text_table.add_row t
-          [
-            name;
-            string_of_int s.n;
-            Printf.sprintf "%.1f" s.dmin;
-            Printf.sprintf "%.1f" s.mean;
-            Printf.sprintf "%.1f" s.p50;
-            Printf.sprintf "%.1f" s.p95;
-            Printf.sprintf "%.1f" s.dmax;
-          ])
-      dist_rows;
-    Buffer.add_string buf (Text_table.render t)
-  end;
-  if Buffer.length buf = 0 then "== no telemetry collected ==\n" else Buffer.contents buf
-
-(* ------------------------------------------------------------------ *)
-(* JSON *)
-
 module Json = struct
   type t =
     | Null
@@ -330,7 +166,623 @@ module Json = struct
     let buf = Buffer.create 256 in
     emit buf t;
     Buffer.contents buf
+
+  (* Minimal recursive-descent parser for the subset this module emits —
+     enough to replay event files and diff benchmark snapshots without a
+     JSON package dependency. *)
+  exception Parse_error of string
+
+  let parse s =
+    let incr = Stdlib.incr in
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let lit word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let utf8 buf code =
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+      end
+    in
+    let string_body () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; incr pos
+               | '\\' -> Buffer.add_char buf '\\'; incr pos
+               | '/' -> Buffer.add_char buf '/'; incr pos
+               | 'n' -> Buffer.add_char buf '\n'; incr pos
+               | 'r' -> Buffer.add_char buf '\r'; incr pos
+               | 't' -> Buffer.add_char buf '\t'; incr pos
+               | 'b' -> Buffer.add_char buf '\b'; incr pos
+               | 'f' -> Buffer.add_char buf '\012'; incr pos
+               | 'u' ->
+                 if !pos + 4 >= n then fail "truncated \\u escape";
+                 let hex = String.sub s (!pos + 1) 4 in
+                 (match int_of_string_opt ("0x" ^ hex) with
+                 | Some code -> utf8 buf code; pos := !pos + 5
+                 | None -> fail "bad \\u escape")
+               | c -> fail (Printf.sprintf "bad escape %C" c));
+            go ()
+          | c -> Buffer.add_char buf c; incr pos; go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do incr pos done;
+      let tok = String.sub s start (!pos - start) in
+      let floaty =
+        String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok
+      in
+      if floaty then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" tok)
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" tok))
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin incr pos; Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; members ((k, v) :: acc)
+            | Some '}' -> incr pos; List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin incr pos; List [] end
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos; elements (v :: acc)
+            | Some ']' -> incr pos; List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elements [])
+        end
+      | Some '"' -> String (string_body ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some ('-' | '0' .. '9') -> number ()
+      | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+    in
+    match
+      let v = value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error m -> Error m
 end
+
+(* ------------------------------------------------------------------ *)
+(* Spans and sinks *)
+
+type span_agg = { mutable s_count : int; mutable s_total_ns : int64 }
+
+type trace_event = {
+  ev_name : string;
+  ev_path : string;
+  ev_ts_ns : int64;  (* relative to [epoch_ns] *)
+  ev_dur_ns : int64;
+  ev_tid : int;  (* the recording domain's id: one trace lane per worker *)
+  ev_attrs : (string * string) list;
+}
+
+type state = {
+  mutable stats_on : bool;
+  mutable trace_on : bool;
+  mutable collecting : bool;  (* stats_on || trace_on, the fast-path test *)
+  span_aggs : (string, span_agg) Hashtbl.t;
+  mutable trace_buf : trace_event Vec.t;
+}
+
+let st =
+  {
+    stats_on = false;
+    trace_on = false;
+    collecting = false;
+    span_aggs = Hashtbl.create 32;
+    trace_buf = Vec.create ();
+  }
+
+(* The open-span path is per domain: concurrent workers each nest their
+   own spans without seeing each other's stack. *)
+let path_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let collecting () = st.collecting
+let enable_stats () = st.stats_on <- true; st.collecting <- true
+let enable_trace () = st.trace_on <- true; st.collecting <- true
+let disable () = st.stats_on <- false; st.trace_on <- false; st.collecting <- false
+
+(* ------------------------------------------------------------------ *)
+(* Decision provenance: typed events in a bounded ring buffer.
+
+   Events carry sequence numbers, never wall-clock timestamps, so two
+   identical runs write byte-identical JSONL files.  The off path is a
+   single flag test, matching the counter/span discipline. *)
+
+module Events = struct
+  type payload =
+    | Slack_computed of { op : string; phase : string; round : int; slack_ps : float }
+    | Delay_update of {
+        op : string;
+        phase : string;
+        round : int;
+        from_ps : float;
+        to_ps : float;
+      }
+    | Budget_round of { round : int; updates : int }
+    | Edge_scheduled of { edge : int; step : int; placed : int; deferred : int }
+    | Op_picked of {
+        op : string;
+        edge : int;
+        step : int;
+        priority : float;
+        ready_set_size : int;
+      }
+    | Recovery_step of { rung : string; outcome : string }
+    | Worker_sample of { domain : int; tasks_done : int; utilization : float }
+
+  type t = { seq : int; payload : payload }
+
+  (* Registered at module init: [emit] may run while [mu] is held by
+     nobody else, but [counter] itself takes [mu], so the lookup must
+     not happen inside the ring's critical section. *)
+  let c_dropped = counter "obs.events.dropped"
+
+  let default_capacity = 65536
+  let on = ref false
+  let cap = ref default_capacity
+  let ring : t option array ref = ref [||]
+  let start = ref 0
+  let len = ref 0
+  let next_seq = ref 0
+  let hook : (t -> unit) option ref = ref None
+
+  let enabled () = !on
+
+  let reset_unlocked () =
+    ring := [||];
+    start := 0;
+    len := 0;
+    next_seq := 0
+
+  let clear () = locked reset_unlocked
+
+  let enable ?(capacity = default_capacity) () =
+    locked (fun () ->
+        cap := max 1 capacity;
+        reset_unlocked ();
+        on := true)
+
+  let disable () = on := false
+  let set_hook h = locked (fun () -> hook := h)
+
+  let emit payload =
+    if not !on then ()
+    else
+      locked (fun () ->
+          let seq = !next_seq in
+          next_seq := seq + 1;
+          let ev = { seq; payload } in
+          if Array.length !ring < !cap then ring := Array.make !cap None;
+          if !len = !cap then begin
+            (* Full: overwrite the oldest slot and advance the window. *)
+            !ring.(!start) <- Some ev;
+            start := (!start + 1) mod !cap;
+            incr c_dropped
+          end
+          else begin
+            !ring.((!start + !len) mod !cap) <- Some ev;
+            len := !len + 1
+          end;
+          match !hook with Some h -> h ev | None -> ())
+
+  let events () =
+    locked (fun () ->
+        List.init !len (fun i ->
+            match !ring.((!start + i) mod !cap) with
+            | Some e -> e
+            | None -> assert false))
+
+  let to_json e =
+    let open Json in
+    let base tag fields = Obj (("type", String tag) :: ("seq", Int e.seq) :: fields) in
+    match e.payload with
+    | Slack_computed { op; phase; round; slack_ps } ->
+      base "slack"
+        [
+          ("op", String op);
+          ("phase", String phase);
+          ("round", Int round);
+          ("slack_ps", Float slack_ps);
+        ]
+    | Delay_update { op; phase; round; from_ps; to_ps } ->
+      base "delay"
+        [
+          ("op", String op);
+          ("phase", String phase);
+          ("round", Int round);
+          ("from_ps", Float from_ps);
+          ("to_ps", Float to_ps);
+        ]
+    | Budget_round { round; updates } ->
+      base "budget_round" [ ("round", Int round); ("updates", Int updates) ]
+    | Edge_scheduled { edge; step; placed; deferred } ->
+      base "edge"
+        [
+          ("edge", Int edge);
+          ("step", Int step);
+          ("placed", Int placed);
+          ("deferred", Int deferred);
+        ]
+    | Op_picked { op; edge; step; priority; ready_set_size } ->
+      base "pick"
+        [
+          ("op", String op);
+          ("edge", Int edge);
+          ("step", Int step);
+          ("priority", Float priority);
+          ("ready", Int ready_set_size);
+        ]
+    | Recovery_step { rung; outcome } ->
+      base "recovery" [ ("rung", String rung); ("outcome", String outcome) ]
+    | Worker_sample { domain; tasks_done; utilization } ->
+      base "worker"
+        [
+          ("domain", Int domain);
+          ("done", Int tasks_done);
+          ("utilization", Float utilization);
+        ]
+
+  let of_json j =
+    let fail msg = raise (Json.Parse_error msg) in
+    let decode () =
+      match j with
+      | Json.Obj fields ->
+        let str k =
+          match List.assoc_opt k fields with
+          | Some (Json.String s) -> s
+          | _ -> fail (Printf.sprintf "missing string field %S" k)
+        in
+        let int k =
+          match List.assoc_opt k fields with
+          | Some (Json.Int i) -> i
+          | _ -> fail (Printf.sprintf "missing int field %S" k)
+        in
+        let num k =
+          match List.assoc_opt k fields with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> fail (Printf.sprintf "missing number field %S" k)
+        in
+        let seq = int "seq" in
+        let payload =
+          match str "type" with
+          | "slack" ->
+            Slack_computed
+              {
+                op = str "op";
+                phase = str "phase";
+                round = int "round";
+                slack_ps = num "slack_ps";
+              }
+          | "delay" ->
+            Delay_update
+              {
+                op = str "op";
+                phase = str "phase";
+                round = int "round";
+                from_ps = num "from_ps";
+                to_ps = num "to_ps";
+              }
+          | "budget_round" ->
+            Budget_round { round = int "round"; updates = int "updates" }
+          | "edge" ->
+            Edge_scheduled
+              {
+                edge = int "edge";
+                step = int "step";
+                placed = int "placed";
+                deferred = int "deferred";
+              }
+          | "pick" ->
+            Op_picked
+              {
+                op = str "op";
+                edge = int "edge";
+                step = int "step";
+                priority = num "priority";
+                ready_set_size = int "ready";
+              }
+          | "recovery" ->
+            Recovery_step { rung = str "rung"; outcome = str "outcome" }
+          | "worker" ->
+            Worker_sample
+              {
+                domain = int "domain";
+                tasks_done = int "done";
+                utilization = num "utilization";
+              }
+          | tag -> fail (Printf.sprintf "unknown event type %S" tag)
+        in
+        { seq; payload }
+      | _ -> fail "event is not a JSON object"
+    in
+    match decode () with
+    | e -> Ok e
+    | exception Json.Parse_error m -> Error m
+
+  let to_jsonl_line e = Json.to_string (to_json e)
+
+  let write_jsonl ~path =
+    let evs = events () in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (to_jsonl_line e);
+            output_char oc '\n')
+          evs)
+
+  let load_jsonl ~path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go (lineno + 1) acc
+          | line -> (
+            match Json.parse line with
+            | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+            | Ok j -> (
+              match of_json j with
+              | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+              | Ok e -> go (lineno + 1) (e :: acc)))
+        in
+        go 1 [])
+end
+
+let reset () =
+  locked @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+  Hashtbl.reset dists;
+  Hashtbl.reset st.span_aggs;
+  Domain.DLS.set path_key [];
+  st.trace_buf <- Vec.create ();
+  Events.reset_unlocked ()
+
+let span ?(attrs = []) name f =
+  if not st.collecting then f ()
+  else begin
+    let outer = Domain.DLS.get path_key in
+    let path = String.concat "/" (List.rev (name :: outer)) in
+    Domain.DLS.set path_key (name :: outer);
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Int64.sub (now_ns ()) t0 in
+        Domain.DLS.set path_key outer;
+        locked (fun () ->
+            if st.stats_on then begin
+              match Hashtbl.find_opt st.span_aggs path with
+              | Some a ->
+                a.s_count <- a.s_count + 1;
+                a.s_total_ns <- Int64.add a.s_total_ns dur
+              | None ->
+                Hashtbl.replace st.span_aggs path { s_count = 1; s_total_ns = dur }
+            end;
+            if st.trace_on then
+              ignore
+                (Vec.push st.trace_buf
+                   {
+                     ev_name = name;
+                     ev_path = path;
+                     ev_ts_ns = Int64.sub t0 epoch_ns;
+                     ev_dur_ns = dur;
+                     ev_tid = (Domain.self () :> int);
+                     ev_attrs = attrs;
+                   })))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Outputs *)
+
+let counters_snapshot () =
+  locked (fun () ->
+      Hashtbl.fold (fun _ c acc -> (c.c_name, Atomic.get c.c_value) :: acc) counters [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let span_stats () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun path a acc -> (path, a.s_count, Int64.to_float a.s_total_ns) :: acc)
+        st.span_aggs [])
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let pp_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let report () =
+  let buf = Buffer.create 1024 in
+  let spans = span_stats () in
+  if spans <> [] then begin
+    Buffer.add_string buf "== phases (wall clock) ==\n";
+    let t = Text_table.create ~headers:[ "span"; "calls"; "total"; "mean" ] in
+    List.iter
+      (fun (path, count, total) ->
+        let depth =
+          String.fold_left (fun acc ch -> if ch = '/' then acc + 1 else acc) 0 path
+        in
+        let leaf =
+          match String.rindex_opt path '/' with
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+          | None -> path
+        in
+        Text_table.add_row t
+          [
+            String.make (2 * depth) ' ' ^ leaf;
+            string_of_int count;
+            pp_ns total;
+            pp_ns (total /. float_of_int count);
+          ])
+      spans;
+    Buffer.add_string buf (Text_table.render t)
+  end;
+  let nonzero = List.filter (fun (_, v) -> v <> 0) (counters_snapshot ()) in
+  if nonzero <> [] then begin
+    (* Counters grouped by subsystem prefix (the text before the first
+       '.'), pipeline phases first in flow order, then the engines that sit
+       around the pipeline (explore, cache, obs, ...), then anything else
+       alphabetically — so sweeps and caches summarise next to the phases
+       instead of dumping unsorted at the bottom. *)
+    let phase_order =
+      [
+        "frontend"; "graph"; "timed_dfg"; "slack"; "budget"; "sched"; "flow";
+        "recovery"; "bind"; "rtl"; "area"; "check"; "explore"; "cache"; "obs";
+      ]
+    in
+    let prefix_of name =
+      match String.index_opt name '.' with
+      | Some i -> String.sub name 0 i
+      | None -> name
+    in
+    let rank p =
+      let rec go i = function
+        | [] -> (List.length phase_order, p)
+        | q :: _ when String.equal q p -> (i, p)
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 phase_order
+    in
+    let groups =
+      List.fold_left
+        (fun acc ((name, _) as row) ->
+          let p = prefix_of name in
+          match List.assoc_opt p acc with
+          | Some rows ->
+            rows := row :: !rows;
+            acc
+          | None -> (p, ref [ row ]) :: acc)
+        [] nonzero
+      |> List.sort (fun (a, _) (b, _) -> compare (rank a) (rank b))
+    in
+    Buffer.add_string buf "== counters ==\n";
+    List.iter
+      (fun (p, rows) ->
+        let rows = List.rev !rows in
+        let total = List.fold_left (fun acc (_, v) -> acc + v) 0 rows in
+        Buffer.add_string buf (Printf.sprintf "  [%s] (%d events)\n" p total);
+        List.iter
+          (fun (name, v) ->
+            Buffer.add_string buf (Printf.sprintf "    %-42s %12d\n" name v))
+          rows)
+      groups
+  end;
+  let dist_rows =
+    locked (fun () -> Hashtbl.fold (fun _ d acc -> (d.d_name, d) :: acc) dists [])
+    |> List.filter_map (fun (name, d) -> Option.map (fun s -> (name, s)) (dist_stats d))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if dist_rows <> [] then begin
+    Buffer.add_string buf "== distributions ==\n";
+    let t =
+      Text_table.create ~headers:[ "dist"; "n"; "min"; "mean"; "p50"; "p95"; "max" ]
+    in
+    List.iter
+      (fun (name, s) ->
+        Text_table.add_row t
+          [
+            name;
+            string_of_int s.n;
+            Printf.sprintf "%.1f" s.dmin;
+            Printf.sprintf "%.1f" s.mean;
+            Printf.sprintf "%.1f" s.p50;
+            Printf.sprintf "%.1f" s.p95;
+            Printf.sprintf "%.1f" s.dmax;
+          ])
+      dist_rows;
+    Buffer.add_string buf (Text_table.render t)
+  end;
+  if Buffer.length buf = 0 then "== no telemetry collected ==\n" else Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
 
 let trace_json () =
   let events =
@@ -349,7 +801,7 @@ let trace_json () =
             ("ts", Json.Float (Int64.to_float ev.ev_ts_ns /. 1e3));
             ("dur", Json.Float (Int64.to_float ev.ev_dur_ns /. 1e3));
             ("pid", Json.Int 1);
-            ("tid", Json.Int 1);
+            ("tid", Json.Int ev.ev_tid);
             ("args", args);
           ]
         :: acc)

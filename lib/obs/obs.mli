@@ -88,8 +88,8 @@ val disable : unit -> unit
 (** Back to the null sink.  Collected data is kept until {!reset}. *)
 
 val reset : unit -> unit
-(** Zero every counter, clear distributions, span aggregates and the
-    trace buffer.  Sink enablement is unchanged. *)
+(** Zero every counter, clear distributions, span aggregates, the trace
+    buffer and the event ring.  Sink enablement is unchanged. *)
 
 (** {1 Outputs} *)
 
@@ -126,4 +126,79 @@ module Json : sig
     | Obj of (string * t) list
 
   val to_string : t -> string
+
+  val parse : string -> (t, string) result
+  (** Recursive-descent parser for the subset {!to_string} emits (plus
+      standard escapes); used to replay event files and diff benchmark
+      snapshots.  Numbers without [./e/E] parse as [Int]. *)
+end
+
+(** {1 Decision provenance}
+
+    Typed events recording {e why} the pipeline did what it did: slack
+    recomputation per budgeting round (§V), delay-grade updates, per-edge
+    scheduling outcomes (§VI, Fig. 8), recovery-ladder steps, and explore
+    worker samples.  Events live in a bounded ring buffer (oldest dropped
+    first, counted in [obs.events.dropped]) and carry sequence numbers
+    only — no wall-clock fields — so two identical runs write
+    byte-identical JSONL files.  Disabled, {!Events.emit} is a single
+    flag test, matching the null-sink discipline of spans. *)
+
+module Events : sig
+  type payload =
+    | Slack_computed of { op : string; phase : string; round : int; slack_ps : float }
+    | Delay_update of {
+        op : string;
+        phase : string;
+        round : int;
+        from_ps : float;
+        to_ps : float;
+      }
+    | Budget_round of { round : int; updates : int }
+    | Edge_scheduled of { edge : int; step : int; placed : int; deferred : int }
+    | Op_picked of {
+        op : string;
+        edge : int;
+        step : int;
+        priority : float;
+        ready_set_size : int;
+      }
+    | Recovery_step of { rung : string; outcome : string }
+    | Worker_sample of { domain : int; tasks_done : int; utilization : float }
+
+  type t = { seq : int; payload : payload }
+
+  val enabled : unit -> bool
+
+  val enable : ?capacity:int -> unit -> unit
+  (** Start recording into a fresh ring of [capacity] slots (default
+      65536, minimum 1). *)
+
+  val disable : unit -> unit
+  (** Stop recording.  Buffered events are kept until {!clear} or
+      {!Obs.reset}. *)
+
+  val clear : unit -> unit
+
+  val emit : payload -> unit
+  (** Record one event.  A single flag test when disabled. *)
+
+  val events : unit -> t list
+  (** Buffered events, oldest first. *)
+
+  val set_hook : (t -> unit) option -> unit
+  (** Called synchronously on every recorded event, under the internal
+      mutex: the hook must be fast and must not call back into [Obs]
+      locking operations (spans, [counter], [dist]).  Used for live
+      progress reporting. *)
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> (t, string) result
+
+  val to_jsonl_line : t -> string
+
+  val write_jsonl : path:string -> unit
+  (** Write every buffered event as one JSON object per line. *)
+
+  val load_jsonl : path:string -> (t list, string) result
 end

@@ -37,12 +37,15 @@ let c_rollbacks = Obs.counter "recovery.rollbacks"
 
 let run ?(max_iters = 20) sched =
   let alloc = sched.Schedule.alloc in
+  let dfg = sched.Schedule.dfg in
   let regrades = ref 0 in
   let frozen = Hashtbl.create 8 in
+  let sweep_no = ref 0 in
   let rec sweep k =
     if k <= 0 then ()
     else begin
       Obs.incr c_sweeps;
+      incr sweep_no;
       (match Schedule.retime sched with
       | Ok () -> ()
       | Error v ->
@@ -74,6 +77,20 @@ let run ?(max_iters = 20) sched =
                   | Ok () ->
                     incr regrades;
                     Obs.incr c_regrades;
+                    (* Every op bound to the regraded instance got slower. *)
+                    if Obs.Events.enabled () then
+                      List.iter
+                        (fun o ->
+                          Obs.Events.emit
+                            (Obs.Events.Delay_update
+                               {
+                                 op = (Dfg.op dfg o).Dfg.name;
+                                 phase = "recovery";
+                                 round = !sweep_no;
+                                 from_ps = old.Curve.delay;
+                                 to_ps = now.Curve.delay;
+                               }))
+                        ops;
                     changed := true
                   | Error _ ->
                     Obs.incr c_rollbacks;

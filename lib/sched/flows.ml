@@ -336,8 +336,8 @@ let run_once config ii flow dfg ~lib ~clock ~gamma0 ~cancel =
                 let sens' o d = if Schedule.is_placed sched o then 0.0 else sensitivity o d in
                 Obs.incr c_rebudget_runs;
                 (match
-                   Budget.run ~config:bcfg tdfg' ~clock:budget_clock ~ranges:ranges'
-                     ~sensitivity:sens'
+                   Budget.run ~config:bcfg ~event_phase:"rebudget" tdfg'
+                     ~clock:budget_clock ~ranges:ranges' ~sensitivity:sens'
                  with
                 | Budget.Feasible delays ->
                   List.iter
@@ -578,14 +578,22 @@ let run ?(config = default_config) ?(cancel = Cancel.never) ?ii flow dfg ~lib ~c
             Obs.incr c_recoveries;
             let state = apply_rung state rung in
             let config', ii', gamma0 = state in
+            let emit_rung outcome =
+              if Obs.Events.enabled () then
+                Obs.Events.emit
+                  (Obs.Events.Recovery_step
+                     { rung = recovery_step_name rung; outcome })
+            in
             (match run_once config' ii' flow dfg ~lib ~clock ~gamma0 ~cancel with
             | Ok report ->
+              emit_rung "recovered";
               Ok
                 {
                   report with
                   recovery_log = List.rev ({ step = rung; outcome = Recovered } :: log);
                 }
             | Error f ->
+              emit_rung "still-failing";
               escalate state f
                 ({ step = rung; outcome = Still_failing (once_failure_message f) }
                 :: log)

@@ -250,11 +250,25 @@ let run dfg ~alloc params =
     Obs.incr c_failures;
     raise (Fail { reason; message })
   in
+  let ev_on () = Obs.Events.enabled () in
+  let emit_pick o e step ~ready_set_size =
+    Obs.Events.emit
+      (Obs.Events.Op_picked
+         {
+           op = (Dfg.op dfg o).Dfg.name;
+           edge = Cfg.Edge_id.to_int e;
+           step;
+           priority = params.priority o;
+           ready_set_size;
+         })
+  in
   try
     List.iter
       (fun e ->
         Obs.incr c_edges;
         let step = Cfg.state_of_edge cfg e in
+        let placed_here = ref 0 in
+        let deferred_here = ref 0 in
         let progress = ref true in
         while !progress do
           progress := false;
@@ -273,13 +287,17 @@ let run dfg ~alloc params =
                      | c -> c)
                    | c -> c)
           in
-          Obs.add c_ready (List.length ready);
+          let nready = List.length ready in
+          Obs.add c_ready nready;
           List.iter
             (fun o ->
               if not (Schedule.is_placed sched o) then
                 match try_place o e step with
-                | Placed -> progress := true
-                | Defer _ -> ())
+                | Placed ->
+                  progress := true;
+                  incr placed_here;
+                  if ev_on () then emit_pick o e step ~ready_set_size:nready
+                | Defer _ -> incr deferred_here)
             ready
         done;
         (* Paper step (b): an op whose span ends here must be placed.  The
@@ -297,7 +315,10 @@ let run dfg ~alloc params =
                 if ready_on o e step then try_place o e step
                 else Defer (No_time { op = o; blame = blame_for o step })
               with
-              | Placed -> ()
+              | Placed ->
+                incr placed_here;
+                (* Span-end forced placement: the op was the only candidate. *)
+                if ev_on () then emit_pick o e step ~ready_set_size:1
               | Defer reason ->
                 if Sys.getenv_opt "HLS_DEBUG" <> None then begin
                   let sp = span_of o in
@@ -320,6 +341,15 @@ let run dfg ~alloc params =
                 fail (Dfg.op dfg o).Dfg.name reason
             end)
           (Dfg.topo_order dfg);
+        if ev_on () then
+          Obs.Events.emit
+            (Obs.Events.Edge_scheduled
+               {
+                 edge = Cfg.Edge_id.to_int e;
+                 step;
+                 placed = !placed_here;
+                 deferred = !deferred_here;
+               });
         if params.respan then begin
           Obs.incr c_respans;
           spans := Dfg.compute_spans ~pin dfg

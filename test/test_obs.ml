@@ -142,6 +142,125 @@ let test_slack_pass_linearity () =
         (lookup "graph.bf.edge_scans" db >= e))
     [ 16; 32; 64; 128 ]
 
+(* Edge cases around the distribution percentile estimator: 0 samples has
+   no stats at all, 1 sample pins every statistic to that sample. *)
+let test_dist_degenerate () =
+  let d0 = Obs.dist "test.obs.dist.empty" in
+  Alcotest.(check bool) "0 samples -> None" true (Obs.dist_stats d0 = None);
+  let d1 = Obs.dist "test.obs.dist.single" in
+  Obs.observe d1 42.0;
+  match Obs.dist_stats d1 with
+  | None -> Alcotest.fail "stats expected after one observation"
+  | Some s ->
+    Alcotest.(check int) "n" 1 s.Obs.n;
+    Alcotest.(check (float 1e-9)) "min" 42.0 s.Obs.dmin;
+    Alcotest.(check (float 1e-9)) "max" 42.0 s.Obs.dmax;
+    Alcotest.(check (float 1e-9)) "mean" 42.0 s.Obs.mean;
+    Alcotest.(check (float 1e-9)) "p50" 42.0 s.Obs.p50;
+    Alcotest.(check (float 1e-9)) "p95" 42.0 s.Obs.p95
+
+(* Ring wraparound: capacity 8, 20 events emitted -> the 12 oldest drop
+   (counted in obs.events.dropped), the survivors are the last 8 in seq
+   order. *)
+let test_events_wraparound () =
+  let (), d =
+    deltas (fun () ->
+        Obs.Events.enable ~capacity:8 ();
+        Fun.protect ~finally:Obs.Events.disable @@ fun () ->
+        for k = 0 to 19 do
+          Obs.Events.emit (Obs.Events.Budget_round { round = k; updates = k })
+        done)
+  in
+  let evs = Obs.Events.events () in
+  Alcotest.(check int) "ring holds capacity events" 8 (List.length evs);
+  Alcotest.(check int) "dropped counter bumped per overwrite" 12
+    (lookup "obs.events.dropped" d);
+  Alcotest.(check (list int)) "oldest dropped, order kept"
+    [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+    (List.map (fun e -> e.Obs.Events.seq) evs);
+  (match (List.hd evs).Obs.Events.payload with
+  | Obs.Events.Budget_round { round; _ } ->
+    Alcotest.(check int) "payload survives the wrap" 12 round
+  | _ -> Alcotest.fail "unexpected payload");
+  Obs.Events.clear ();
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length (Obs.Events.events ()))
+
+(* Every payload constructor round-trips through its JSONL line. *)
+let test_events_roundtrip () =
+  let open Obs.Events in
+  let payloads =
+    [
+      Slack_computed { op = "m_x0c4"; phase = "budget"; round = 1; slack_ps = -12.5 };
+      Delay_update
+        { op = "e\"0"; phase = "rebudget"; round = 0; from_ps = 573.333; to_ps = 1220.0 };
+      Budget_round { round = 3; updates = 17 };
+      Edge_scheduled { edge = 4; step = 2; placed = 5; deferred = 1 };
+      Op_picked { op = "h1s"; edge = 0; step = 0; priority = 24400.0; ready_set_size = 8 };
+      Recovery_step { rung = "relax-budget"; outcome = "recovered" };
+      Worker_sample { domain = 3; tasks_done = 7; utilization = 0.875 };
+    ]
+  in
+  List.iteri
+    (fun i payload ->
+      let e = { seq = i; payload } in
+      let line = to_jsonl_line e in
+      match Obs.Json.parse line with
+      | Error m -> Alcotest.fail ("emitted line does not parse: " ^ m)
+      | Ok j -> (
+        match of_json j with
+        | Error m -> Alcotest.fail ("parsed line does not decode: " ^ m)
+        | Ok e' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "payload %d round-trips" i)
+            true (e = e')))
+    payloads
+
+(* JSONL sink validity under concurrency: 4 domains emitting into the
+   shared ring; the file must be valid line-delimited JSON with every
+   sequence number unique. *)
+let test_events_concurrent_jsonl () =
+  Obs.Events.enable ~capacity:8192 ();
+  Fun.protect ~finally:Obs.Events.disable @@ fun () ->
+  let per_domain = 500 in
+  let emitter w () =
+    for k = 1 to per_domain do
+      Obs.Events.emit
+        (Obs.Events.Worker_sample
+           { domain = w; tasks_done = k; utilization = 0.5 })
+    done
+  in
+  let domains = Array.init 4 (fun w -> Domain.spawn (emitter w)) in
+  Array.iter Domain.join domains;
+  let path = Filename.temp_file "obs_events" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.Events.write_jsonl ~path;
+  (* Every line parses on its own... *)
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       match Obs.Json.parse line with
+       | Ok (Obs.Json.Obj _) -> ()
+       | Ok _ -> Alcotest.fail "line is not a JSON object"
+       | Error m -> Alcotest.fail ("invalid JSONL line: " ^ m)
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "all events written" (4 * per_domain) !lines;
+  (* ...and the typed loader agrees, with unique ordered seqs. *)
+  match Obs.Events.load_jsonl ~path with
+  | Error m -> Alcotest.fail m
+  | Ok evs ->
+    Alcotest.(check int) "loader sees every line" (4 * per_domain)
+      (List.length evs);
+    let seqs = List.map (fun e -> e.Obs.Events.seq) evs in
+    Alcotest.(check bool) "seqs strictly increasing" true
+      (List.for_all2 (fun a b -> a < b)
+         (List.filteri (fun i _ -> i < List.length seqs - 1) seqs)
+         (List.tl seqs))
+
 let test_trace_json_shape () =
   Obs.enable_trace ();
   Fun.protect ~finally:Obs.disable @@ fun () ->
@@ -176,5 +295,13 @@ let () =
             test_slack_pass_linearity;
           Alcotest.test_case "chrome trace JSON shape" `Quick
             test_trace_json_shape;
+          Alcotest.test_case "distribution 0- and 1-sample edge cases" `Quick
+            test_dist_degenerate;
+          Alcotest.test_case "event ring wraparound drops oldest" `Quick
+            test_events_wraparound;
+          Alcotest.test_case "event payloads round-trip through JSONL" `Quick
+            test_events_roundtrip;
+          Alcotest.test_case "JSONL sink valid under 4 domains" `Quick
+            test_events_concurrent_jsonl;
         ] );
     ]
