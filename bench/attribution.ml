@@ -1,0 +1,57 @@
+(* Wasted-work attribution table (tentpole observability PR; companion to
+   Table 5): for each kernel, run the slack-based flow and report how much
+   of the timing engine's edge-relaxation work an incremental engine could
+   have skipped — the full-analysis cost actually paid (touched), the
+   would-be dirty cone (the incident edges of ops whose arrival/required
+   times changed since the previous analysis), and the ops whose slack
+   moved to a different budgeting bin.  All four numbers come from the
+   global Attrib counters, read as before/after deltas per kernel, so the
+   table is deterministic and the same counters feed the baseline gate. *)
+
+let kernels =
+  [
+    ("interpolation", (fun () ->
+         let ip = Interpolation.unrolled () in
+         ip.Interpolation.dfg),
+     Interpolation.clock);
+    ("resizer", (fun () ->
+         let r = Resizer.full () in
+         r.Resizer.dfg),
+     4000.0);
+    ("idct", (fun () ->
+         let d = Idct.build ~latency:12 ~passes:1 () in
+         d.Idct.dfg),
+     2500.0);
+    ("fir8", (fun () ->
+         let f = Fir.build ~taps:8 ~latency:6 () in
+         f.Fir.dfg),
+     2500.0);
+  ]
+
+let run () =
+  Bench_common.section
+    "Work attribution: wasted-work ratio of full timing re-analysis";
+  Printf.printf "%-14s %9s %10s %10s %12s %8s\n" "kernel" "analyses" "touched"
+    "cone" "changed-bin" "wasted";
+  List.iter
+    (fun (name, build, clock) ->
+      let before = Attrib.totals () in
+      (match Hls.run Flows.Slack_based (Hls.design ~name ~clock (build ())) with
+      | Ok _ -> ()
+      | Error e -> Printf.printf "  %s FAILED: %s\n" name (Flows.error_message e));
+      let after = Attrib.totals () in
+      let d =
+        {
+          Attrib.analyses = after.Attrib.analyses - before.Attrib.analyses;
+          touched = after.Attrib.touched - before.Attrib.touched;
+          cone = after.Attrib.cone - before.Attrib.cone;
+          changed_bin = after.Attrib.changed_bin - before.Attrib.changed_bin;
+        }
+      in
+      Printf.printf "%-14s %9d %10d %10d %12d %7.1f%%\n" name d.Attrib.analyses
+        d.Attrib.touched d.Attrib.cone d.Attrib.changed_bin
+        (100.0 *. Attrib.wasted_ratio d))
+    kernels;
+  Printf.printf
+    "\n(wasted = 1 - cone/touched: the fraction of edge relaxations whose\n\
+    \ inputs had not changed since the previous analysis)\n"

@@ -11,9 +11,13 @@
    tolerance) — except the machine-dependent `explore.pool.*` family.
    Per-section wall clock fails past `--wall-threshold PCT` (default 20;
    0 disables the wall check, for CI machines with unknown speed).
-   `--diff FILE` skips benching and diffs an existing snapshot file
-   instead — the fast path for build rules.  Exit codes: 0 clean,
-   1 regression, 2 usage (including a quick/full mode mismatch). *)
+   Per-section GC allocation (minor/major words, deterministic on one
+   compiler version) fails past `--alloc-threshold PCT` (default 10;
+   0 disables); sections below 1024 baseline words are exempt, so tiny
+   sections can't alarm on rounding.  `--diff FILE` skips benching and
+   diffs an existing snapshot file instead — the fast path for build
+   rules.  Exit codes: 0 clean, 1 regression, 2 usage (including a
+   quick/full mode mismatch). *)
 
 type opts = {
   quick : bool;
@@ -21,17 +25,26 @@ type opts = {
   baseline : string option;
   diff : string option;
   wall_threshold : float;
+  alloc_threshold : float;
 }
 
 let usage () =
   prerr_endline
     "usage: bench [--quick] [--json FILE] [--baseline FILE] [--diff FILE] \
-     [--wall-threshold PCT]";
+     [--wall-threshold PCT] [--alloc-threshold PCT]";
   exit 2
 
 let parse_opts () =
   let o =
-    ref { quick = false; json = None; baseline = None; diff = None; wall_threshold = 20.0 }
+    ref
+      {
+        quick = false;
+        json = None;
+        baseline = None;
+        diff = None;
+        wall_threshold = 20.0;
+        alloc_threshold = 10.0;
+      }
   in
   let rec go = function
     | [] -> ()
@@ -55,7 +68,16 @@ let parse_opts () =
       | _ ->
         prerr_endline "bench: --wall-threshold needs a non-negative number";
         exit 2)
-    | [ ("--json" | "--baseline" | "--diff" | "--wall-threshold") as flag ] ->
+    | "--alloc-threshold" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some t when t >= 0.0 ->
+        o := { !o with alloc_threshold = t };
+        go rest
+      | _ ->
+        prerr_endline "bench: --alloc-threshold needs a non-negative number";
+        exit 2)
+    | [ ("--json" | "--baseline" | "--diff" | "--wall-threshold"
+        | "--alloc-threshold") as flag ] ->
       Printf.eprintf "bench: %s requires an argument\n" flag;
       exit 2
     | arg :: _ ->
@@ -66,63 +88,9 @@ let parse_opts () =
   !o
 
 (* ------------------------------------------------------------------ *)
-(* Snapshots: the JSON document written by --json, and its parsed form
-   used on both sides of a baseline diff. *)
-
-type snapshot = {
-  mode : string;  (* "quick" | "full": only like-for-like runs compare *)
-  sections : (string * float) list;  (* span path -> total_ns *)
-  counters : (string * int) list;
-}
-
-let snapshot_doc ~quick =
-  let open Obs.Json in
-  let sections =
-    List.map
-      (fun (p, calls, total_ns) ->
-        Obj [ ("span", String p); ("calls", Int calls); ("total_ns", Float total_ns) ])
-      (Obs.span_stats ())
-  in
-  let counters = List.map (fun (name, v) -> (name, Int v)) (Obs.counters_snapshot ()) in
-  Obj
-    [
-      ("harness", String "slackhls-bench");
-      ("mode", String (if quick then "quick" else "full"));
-      ("sections", List sections);
-      ("counters", Obj counters);
-    ]
-
-let snapshot_of_json doc =
-  let open Obs.Json in
-  match doc with
-  | Obj fields ->
-    let mode =
-      match List.assoc_opt "mode" fields with Some (String m) -> m | _ -> "full"
-    in
-    let num = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None in
-    let sections =
-      match List.assoc_opt "sections" fields with
-      | Some (List rows) ->
-        List.filter_map
-          (function
-            | Obj row -> (
-              match (List.assoc_opt "span" row, List.assoc_opt "total_ns" row) with
-              | Some (String span), Some ns -> Option.map (fun v -> (span, v)) (num ns)
-              | _ -> None)
-            | _ -> None)
-          rows
-      | _ -> []
-    in
-    let counters =
-      match List.assoc_opt "counters" fields with
-      | Some (Obj rows) ->
-        List.filter_map
-          (function name, Int v -> Some (name, v) | _ -> None)
-          rows
-      | _ -> []
-    in
-    Ok { mode; sections; counters }
-  | _ -> Error "snapshot is not a JSON object"
+(* Snapshots: the profile document written by --json and diffed by the
+   baseline gate now lives in Obs.Prof (shared with any other harness);
+   it carries per-section GC/alloc telemetry alongside wall clock. *)
 
 let load_snapshot ~path =
   match
@@ -140,7 +108,7 @@ let load_snapshot ~path =
       Printf.eprintf "bench: %s: %s\n" path m;
       exit 2
     | Ok doc -> (
-      match snapshot_of_json doc with
+      match Obs.Prof.snapshot_of_json doc with
       | Error m ->
         Printf.eprintf "bench: %s: %s\n" path m;
         exit 2
@@ -158,19 +126,24 @@ let write_json ~path doc =
    hardware-dependent even though sweep results are not. *)
 let volatile_counter name = String.starts_with ~prefix:"explore.pool." name
 
-let diff_snapshots ~wall_threshold ~(baseline : snapshot) ~(current : snapshot) =
-  if not (String.equal baseline.mode current.mode) then begin
+(* Sections below this many baseline words are exempt from the alloc gate:
+   at tiny volumes a single extra boxed value is a huge percentage. *)
+let alloc_floor_words = 1024.0
+
+let diff_snapshots ~wall_threshold ~alloc_threshold
+    ~(baseline : Obs.Prof.snapshot) ~(current : Obs.Prof.snapshot) =
+  if not (String.equal baseline.Obs.Prof.mode current.Obs.Prof.mode) then begin
     Printf.eprintf
       "bench: baseline mode %S does not match current mode %S (regenerate the \
        baseline with the same --quick setting)\n"
-      baseline.mode current.mode;
+      baseline.Obs.Prof.mode current.Obs.Prof.mode;
     exit 2
   end;
   let regressions = ref 0 in
   List.iter
     (fun (name, bv) ->
       if not (volatile_counter name) then
-        match List.assoc_opt name current.counters with
+        match List.assoc_opt name current.Obs.Prof.counters with
         | Some cv when cv = bv -> ()
         | Some cv ->
           incr regressions;
@@ -180,31 +153,68 @@ let diff_snapshots ~wall_threshold ~(baseline : snapshot) ~(current : snapshot) 
           incr regressions;
           Printf.printf "REGRESSION counter %s: baseline %d, missing from current\n"
             name bv)
-    baseline.counters;
+    baseline.Obs.Prof.counters;
   List.iter
     (fun (name, cv) ->
-      if (not (volatile_counter name)) && List.assoc_opt name baseline.counters = None
+      if
+        (not (volatile_counter name))
+        && List.assoc_opt name baseline.Obs.Prof.counters = None
       then Printf.printf "note: new counter %s = %d (not in baseline)\n" name cv)
-    current.counters;
-  if wall_threshold > 0.0 then
-    List.iter
-      (fun (name, bns) ->
-        match List.assoc_opt name current.sections with
-        | Some cns when bns > 0.0 ->
-          let pct = (cns -. bns) /. bns *. 100.0 in
-          if pct > wall_threshold then begin
-            incr regressions;
-            Printf.printf
-              "REGRESSION wall %s: %.2f ms -> %.2f ms (+%.1f%%, threshold %.1f%%)\n"
-              name (bns /. 1e6) (cns /. 1e6) pct wall_threshold
-          end
-        | Some _ | None -> ())
-      baseline.sections;
+    current.Obs.Prof.counters;
+  let current_row path =
+    List.find_opt
+      (fun (r : Obs.Prof.row) -> String.equal r.Obs.Prof.path path)
+      current.Obs.Prof.sections
+  in
+  List.iter
+    (fun (b : Obs.Prof.row) ->
+      match current_row b.Obs.Prof.path with
+      | None -> ()
+      | Some c ->
+        (if wall_threshold > 0.0 && b.Obs.Prof.total_ns > 0.0 then begin
+           let pct =
+             (c.Obs.Prof.total_ns -. b.Obs.Prof.total_ns)
+             /. b.Obs.Prof.total_ns *. 100.0
+           in
+           if pct > wall_threshold then begin
+             incr regressions;
+             Printf.printf
+               "REGRESSION wall %s: %.2f ms -> %.2f ms (+%.1f%%, threshold %.1f%%)\n"
+               b.Obs.Prof.path
+               (b.Obs.Prof.total_ns /. 1e6)
+               (c.Obs.Prof.total_ns /. 1e6)
+               pct wall_threshold
+           end
+         end);
+        if alloc_threshold > 0.0 then
+          List.iter
+            (fun (what, bw, cw) ->
+              (* Only increases regress: less allocation is an improvement,
+                 and the next baseline refresh absorbs it. *)
+              if bw >= alloc_floor_words && cw > bw then begin
+                let pct = (cw -. bw) /. bw *. 100.0 in
+                if pct > alloc_threshold then begin
+                  incr regressions;
+                  Printf.printf
+                    "REGRESSION alloc %s (%s): %.0f -> %.0f words (+%.1f%%, \
+                     threshold %.1f%%)\n"
+                    b.Obs.Prof.path what bw cw pct alloc_threshold
+                end
+              end)
+            [
+              ("minor", b.Obs.Prof.minor_words, c.Obs.Prof.minor_words);
+              ("major", b.Obs.Prof.major_words, c.Obs.Prof.major_words);
+            ])
+    baseline.Obs.Prof.sections;
   if !regressions = 0 then begin
-    Printf.printf "baseline check: OK (%d counters, %d sections, wall threshold %s)\n"
-      (List.length baseline.counters)
-      (List.length baseline.sections)
+    Printf.printf
+      "baseline check: OK (%d counters, %d sections, wall threshold %s, alloc \
+       threshold %s)\n"
+      (List.length baseline.Obs.Prof.counters)
+      (List.length baseline.Obs.Prof.sections)
       (if wall_threshold > 0.0 then Printf.sprintf "%.0f%%" wall_threshold
+       else "disabled")
+      (if alloc_threshold > 0.0 then Printf.sprintf "%.0f%%" alloc_threshold
        else "disabled");
     0
   end
@@ -242,10 +252,15 @@ let () =
         exit 2
     in
     let current = load_snapshot ~path in
-    exit (diff_snapshots ~wall_threshold:opts.wall_threshold ~baseline ~current)
+    exit
+      (diff_snapshots ~wall_threshold:opts.wall_threshold
+         ~alloc_threshold:opts.alloc_threshold ~baseline ~current)
   | None ->
     let quick = opts.quick in
-    if opts.json <> None || opts.baseline <> None then Obs.enable_stats ();
+    if opts.json <> None || opts.baseline <> None then begin
+      Obs.enable_stats ();
+      Obs.Prof.enable ()
+    end;
     let sec name f = Obs.span ("bench." ^ name) f in
     print_endline "slackhls benchmark harness";
     print_endline "reproducing: Kondratyev et al., 'Exploiting area/delay tradeoffs";
@@ -256,27 +271,23 @@ let () =
     sec "table4" Tables.table4;
     sec "customer" (Tables.customer ~count:(if quick then 20 else 100));
     sec "explore" (Explore_bench.run ~quick);
+    sec "attribution" Attribution.run;
     if not quick then sec "table5" Tables.table5
     else print_endline "\n(table 5 timing skipped in --quick mode)";
     if not quick then sec "ablations" Ablations.run
     else print_endline "(ablations skipped in --quick mode)";
     events_null_sink_note ();
     print_newline ();
-    let doc = snapshot_doc ~quick in
+    let current = Obs.Prof.snapshot ~mode:(if quick then "quick" else "full") in
+    let doc = Obs.Prof.snapshot_to_json ~harness:"slackhls-bench" current in
     (match opts.json with Some path -> write_json ~path doc | None -> ());
     let code =
       match opts.baseline with
       | None -> 0
       | Some bpath ->
         let baseline = load_snapshot ~path:bpath in
-        let current =
-          match snapshot_of_json doc with
-          | Ok s -> s
-          | Error m ->
-            Printf.eprintf "bench: internal: %s\n" m;
-            exit 2
-        in
-        diff_snapshots ~wall_threshold:opts.wall_threshold ~baseline ~current
+        diff_snapshots ~wall_threshold:opts.wall_threshold
+          ~alloc_threshold:opts.alloc_threshold ~baseline ~current
     in
     print_endline "done.";
     exit code

@@ -6,6 +6,9 @@
      compare  run conventional and slack-based flows side by side
      slack    print the pre-schedule sequential-slack report
      emit     run a flow and write the Verilog rendering
+     diff-events  align two provenance event files (JSONL) by sequence and
+              report the first diverging event with context and a
+              per-field payload diff
      explore  parallel design-space exploration: sweep a configuration grid
               (clocks x flows x initiation intervals x recovery policy) on
               a domain pool, fold the results into an area/delay Pareto
@@ -20,7 +23,8 @@
 
    Exit codes:
      0  success
-     1  internal error (I/O, trace emission)
+     1  internal error (I/O, trace emission; for diff-events: the streams
+        diverge)
      2  usage error (bad flags, malformed source, invalid configuration —
         including a bad explore grid spec or a corrupt evaluation cache)
      3  validation failure (a pipeline invariant was violated)
@@ -158,8 +162,14 @@ let events_arg =
   Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
          ~doc:"Write decision-provenance events (JSONL, one typed event per line: \
                slack recomputations, delay updates, per-edge scheduling, recovery \
-               steps) on exit.  Replay with $(b,hlsc explain).  Two identical runs \
-               write byte-identical files.")
+               steps) on exit.  Replay with $(b,hlsc explain), compare runs with \
+               $(b,hlsc diff-events).  Two identical runs write byte-identical \
+               files.  Refuses to overwrite an existing file unless $(b,--force) \
+               is given.")
+
+let force_arg =
+  Arg.(value & flag & info [ "force" ]
+         ~doc:"Allow --events to overwrite an existing file.")
 
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -176,12 +186,31 @@ let max_recoveries_arg =
 (* Enable the requested telemetry sinks, run [k], then emit the report
    and/or trace file.  Emission happens even when [k] fails, so a failing
    flow still leaves its telemetry behind for diagnosis. *)
-let with_obs ~stats ~trace ~events k =
+let with_obs ~stats ~trace ~events ?(force = false) k =
+  match events with
+  | Some path when Sys.file_exists path && not force ->
+    Printf.eprintf
+      "hlsc: refusing to overwrite %s (an existing event file may be someone's \
+       baseline); pass --force to replace it\n"
+      path;
+    2
+  | _ ->
   if stats then Obs.enable_stats ();
   (match trace with Some _ -> Obs.enable_trace () | None -> ());
   (match events with Some _ -> Obs.Events.enable () | None -> ());
+  (* GC deltas ride on the span sinks: profile whenever spans are timed. *)
+  if stats || trace <> None then Obs.Prof.enable ();
   let code = k () in
-  if stats then prerr_string (Obs.report ());
+  if stats then begin
+    prerr_string (Obs.report ());
+    let tt = Attrib.totals () in
+    if tt.Attrib.touched > 0 then
+      Printf.eprintf
+        "attribution: %d analyses, %d edge relaxations, cone %d, bin changes %d \
+         -> wasted-work ratio %.1f%%\n"
+        tt.Attrib.analyses tt.Attrib.touched tt.Attrib.cone tt.Attrib.changed_bin
+        (100.0 *. Attrib.wasted_ratio tt)
+  end;
   let code =
     match events with
     | None -> code
@@ -232,8 +261,9 @@ let report_result r =
     (fun v -> Format.printf "warning: %a@." Check.pp_violation v)
     r.Hls.report.Flows.violations
 
-let run_cmd source builtin clock lib flow validate max_recoveries stats trace events =
-  with_obs ~stats ~trace ~events @@ fun () ->
+let run_cmd source builtin clock lib flow validate max_recoveries stats trace events
+    force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -242,8 +272,9 @@ let run_cmd source builtin clock lib flow validate max_recoveries stats trace ev
      let* r = Result.map_error classify_flow_error (Hls.run ~lib ~config flow d) in
      Ok (report_result r))
 
-let compare_cmd source builtin clock lib validate max_recoveries stats trace events =
-  with_obs ~stats ~trace ~events @@ fun () ->
+let compare_cmd source builtin clock lib validate max_recoveries stats trace events
+    force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -268,8 +299,9 @@ let compare_cmd source builtin clock lib validate max_recoveries stats trace eve
      | Some (Validation _ as e), _ | _, Some (Validation _ as e) -> Error e
      | Some e, _ | _, Some e -> Error e)
 
-let slack_cmd source builtin clock lib validate max_recoveries stats trace events =
-  with_obs ~stats ~trace ~events @@ fun () ->
+let slack_cmd source builtin clock lib validate max_recoveries stats trace events
+    force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -304,8 +336,8 @@ let slack_cmd source builtin clock lib validate max_recoveries stats trace event
      Ok ())
 
 let emit_cmd source builtin clock lib flow validate max_recoveries output stats trace
-    events =
-  with_obs ~stats ~trace ~events @@ fun () ->
+    events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -320,8 +352,8 @@ let emit_cmd source builtin clock lib flow validate max_recoveries output stats 
      | exception Sys_error m -> Error (Internal m))
 
 let dot_cmd source builtin clock lib flow validate max_recoveries output stats trace
-    events =
-  with_obs ~stats ~trace ~events @@ fun () ->
+    events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -400,8 +432,8 @@ let write_rendering ~what path content =
 
 let explore_cmd source builtin clock lib validate max_recoveries clocks flows iis
     recover jobs cache_file point_deadline deadline retries strict journal_file
-    resume_file csv json stats trace events progress =
-  with_obs ~stats ~trace ~events @@ fun () ->
+    resume_file csv json stats trace events force progress =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -498,7 +530,7 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
           (Some
              (fun ev ->
                match ev.Obs.Events.payload with
-               | Obs.Events.Worker_sample { domain; tasks_done; utilization } ->
+               | Obs.Events.Worker_sample { domain; tasks_done; utilization; _ } ->
                  (* One sample per completed task: the sample count is the
                     sweep-wide completion count. *)
                  incr points_done;
@@ -648,8 +680,8 @@ let fuzz_grids ~lib ~config ~grids ~seed =
    tolerated (tight random designs may be legitimately infeasible — the
    ladder transcript says the system degraded gracefully); invariant
    violations and crashes are not. *)
-let fuzz_cmd count seed lib validate max_recoveries grids stats trace events =
-  with_obs ~stats ~trace ~events @@ fun () ->
+let fuzz_cmd count seed lib validate max_recoveries grids stats trace events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -696,8 +728,8 @@ let fuzz_cmd count seed lib validate max_recoveries grids stats trace events =
 (* explain: replay a provenance event file into one operation's decision
    timeline — its slack history across budgeting rounds, every delay-grade
    update (with the phase that made it), and its final schedule state. *)
-let explain_cmd file op_name stats trace events =
-  with_obs ~stats ~trace ~events @@ fun () ->
+let explain_cmd file op_name stats trace events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let module E = Obs.Events in
      let* path =
@@ -730,7 +762,8 @@ let explain_cmd file op_name stats trace events =
        evs;
      if not (Hashtbl.mem seen op) then begin
        let names =
-         Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort String.compare
+         Hashtbl.fold (fun k () acc -> k :: acc) seen []
+         |> List.sort_uniq String.compare
        in
        let preview =
          match names with
@@ -783,6 +816,87 @@ let explain_cmd file op_name stats trace events =
        Ok ()
      end)
 
+(* diff-events: positional comparison of two provenance streams that should
+   be identical (full recompute vs incremental replay, or two runs of the
+   same configuration).  The first diverging event — shown with +-K context
+   and a per-field payload diff — is where the runs' decisions split. *)
+let diff_events_cmd file_a file_b context stats trace events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
+  finish
+    (let module E = Obs.Events in
+     let* path_a, path_b =
+       match (file_a, file_b) with
+       | Some a, Some b -> Ok (a, b)
+       | _ -> Error (Usage "pass two event files (written with --events FILE)")
+     in
+     let* () =
+       if context < 0 then Error (Usage "--context must be non-negative") else Ok ()
+     in
+     let load path =
+       match E.load_jsonl ~path with
+       | Ok evs -> Ok evs
+       | Error m -> Error (Usage (Printf.sprintf "%s: %s" path m))
+       | exception Sys_error m -> Error (Usage m)
+     in
+     let* evs_a = load path_a in
+     let* evs_b = load path_b in
+     match E.diff evs_a evs_b with
+     | None ->
+       Printf.printf "identical: %d events\n" (List.length evs_a);
+       Ok ()
+     | Some d ->
+       let arr_a = Array.of_list evs_a and arr_b = Array.of_list evs_b in
+       Printf.printf "--- A: %s (%d events)\n" path_a (Array.length arr_a);
+       Printf.printf "+++ B: %s (%d events)\n" path_b (Array.length arr_b);
+       (* Leading context comes from A; the streams agree on it by
+          construction (everything before the divergence index is equal). *)
+       for i = max 0 (d.E.index - context) to d.E.index - 1 do
+         Printf.printf "  [%d] %s\n" i (E.to_jsonl_line arr_a.(i))
+       done;
+       (match d.E.a with
+       | Some e -> Printf.printf "- [%d] %s\n" d.E.index (E.to_jsonl_line e)
+       | None -> Printf.printf "- <A ends: %d events>\n" (Array.length arr_a));
+       (match d.E.b with
+       | Some e -> Printf.printf "+ [%d] %s\n" d.E.index (E.to_jsonl_line e)
+       | None -> Printf.printf "+ <B ends: %d events>\n" (Array.length arr_b));
+       List.iter
+         (fun f ->
+           Printf.printf "    field %s: %s /= %s\n" f.E.field f.E.a_val f.E.b_val)
+         d.E.fields;
+       (* Trailing context from whichever stream still has events: after the
+          divergence the streams are unaligned, so each side is shown. *)
+       let trail label arr =
+         let lo = d.E.index + 1 in
+         let hi = min (Array.length arr) (lo + context) in
+         for i = lo to hi - 1 do
+           Printf.printf "  %s[%d] %s\n" label i (E.to_jsonl_line arr.(i))
+         done
+       in
+       trail "A" arr_a;
+       trail "B" arr_b;
+       let seq =
+         match (d.E.a, d.E.b) with
+         | Some e, _ | None, Some e -> e.E.seq
+         | None, None -> d.E.index
+       in
+       Error
+         (Internal
+            (Printf.sprintf "event streams diverge at seq %d (index %d, %d field%s)"
+               seq d.E.index (List.length d.E.fields)
+               (if List.length d.E.fields = 1 then "" else "s"))))
+
+let diff_a_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"A"
+         ~doc:"First provenance event file (JSONL) written by --events.")
+
+let diff_b_arg =
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"B"
+         ~doc:"Second provenance event file to compare against.")
+
+let diff_context_arg =
+  Arg.(value & opt int 3 & info [ "context"; "C" ] ~docv:"K"
+         ~doc:"Events of context to print around the divergence (default 3).")
+
 let explain_file_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"EVENTS"
          ~doc:"Provenance event file (JSONL) written by --events.")
@@ -794,17 +908,20 @@ let explain_op_arg =
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
     Term.(const run_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
-          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg
+          $ force_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"Conventional vs slack-based, side by side")
     Term.(const compare_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
-          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg
+          $ force_arg)
 
 let slack_t =
   Cmd.v (Cmd.info "slack" ~doc:"Pre-schedule sequential-slack report")
     Term.(const slack_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
-          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg)
+          $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg
+          $ force_arg)
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
@@ -814,7 +931,7 @@ let emit_t =
   Cmd.v (Cmd.info "emit" ~doc:"Run a flow and write the Verilog rendering")
     Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
           $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg
-          $ events_arg)
+          $ events_arg $ force_arg)
 
 let clocks_arg =
   Arg.(value & opt string "auto" & info [ "clocks" ] ~docv:"SPEC"
@@ -904,7 +1021,8 @@ let explore_t =
           $ validate_arg $ max_recoveries_arg $ clocks_arg $ grid_flows_arg
           $ iis_arg $ recover_arg $ jobs_arg $ cache_arg $ point_deadline_arg
           $ deadline_arg $ retries_arg $ strict_arg $ journal_arg $ resume_arg
-          $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg $ progress_arg)
+          $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg $ force_arg
+          $ progress_arg)
 
 let count_arg =
   Arg.(value & opt int 25 & info [ "count"; "n" ] ~docv:"N"
@@ -929,21 +1047,29 @@ let fuzz_t =
     (Cmd.info "fuzz"
        ~doc:"Random designs through every flow under invariant validation")
     Term.(const fuzz_cmd $ count_arg $ seed_arg $ lib_arg $ fuzz_validate_arg
-          $ max_recoveries_arg $ grids_fuzz_arg $ stats_arg $ trace_arg $ events_arg)
+          $ max_recoveries_arg $ grids_fuzz_arg $ stats_arg $ trace_arg $ events_arg
+          $ force_arg)
 
 let dot_t =
   Cmd.v
     (Cmd.info "dot" ~doc:"Dump Graphviz renderings (CFG, DFG+spans, timed DFG, schedule)")
     Term.(const dot_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
           $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg
-          $ events_arg)
+          $ events_arg $ force_arg)
 
 let explain_t =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Replay a provenance event file into one operation's decision timeline")
     Term.(const explain_cmd $ explain_file_arg $ explain_op_arg $ stats_arg
-          $ trace_arg $ events_arg)
+          $ trace_arg $ events_arg $ force_arg)
+
+let diff_events_t =
+  Cmd.v
+    (Cmd.info "diff-events"
+       ~doc:"Localize the first divergence between two provenance event files")
+    Term.(const diff_events_cmd $ diff_a_arg $ diff_b_arg $ diff_context_arg
+          $ stats_arg $ trace_arg $ events_arg $ force_arg)
 
 let () =
   let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in
@@ -952,7 +1078,10 @@ let () =
       `S "EXIT CODES";
       `P "Every subcommand uses the same contract:";
       `I ("0", "success.");
-      `I ("1", "internal error (I/O, trace or event emission).");
+      `I
+        ( "1",
+          "internal error (I/O, trace or event emission); for diff-events: \
+           the two event streams diverge." );
       `I
         ( "2",
           "usage error (bad flags, malformed source, invalid configuration — \
@@ -975,4 +1104,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_t; compare_t; slack_t; emit_t; explore_t; explain_t; fuzz_t; dot_t ]))
+          [
+            run_t; compare_t; slack_t; emit_t; explore_t; explain_t;
+            diff_events_t; fuzz_t; dot_t;
+          ]))

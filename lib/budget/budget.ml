@@ -56,7 +56,7 @@ let delays_at ~lambda tdfg ~ranges =
       let r = ranges o in
       Interval.lo r +. (lambda *. Interval.width r))
 
-let analyze config tdfg ~clock delays =
+let analyze ?attrib config tdfg ~clock delays =
   let del o = delays.(Dfg.Op_id.to_int o) in
   (match config.engine with
   | Two_pass -> ()
@@ -64,12 +64,22 @@ let analyze config tdfg ~clock delays =
     (* Charge the prior-work fixpoint cost; its (unaligned) result is
        discarded in favour of the aligned linear pass below. *)
     ignore (Bf_timing.analyze tdfg ~clock ~del));
-  Slack.analyze ~aligned:config.aligned tdfg ~clock ~del
+  let r = Slack.analyze ~aligned:config.aligned tdfg ~clock ~del in
+  (match attrib with
+  | Some a -> Attrib.observe a ~margin:(config.margin_frac *. clock) r
+  | None -> ());
+  r
 
-let run ?(config = default_config) ?(event_phase = "budget") tdfg ~clock ~ranges
-    ~sensitivity =
+let run ?(config = default_config) ?(event_phase = "budget") ?attrib tdfg ~clock
+    ~ranges ~sensitivity =
   let eps = 1e-6 in
   let margin = config.margin_frac *. clock in
+  let attrib =
+    match attrib with Some a -> a | None -> Attrib.create tdfg
+  in
+  let analyze config tdfg ~clock delays =
+    analyze ~attrib config tdfg ~clock delays
+  in
   let dfg = Timed_dfg.dfg tdfg in
   let op_name o = (Dfg.op dfg o).Dfg.name in
   let ev_on () = Obs.Events.enabled () in

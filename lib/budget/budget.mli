@@ -69,6 +69,7 @@ type outcome =
 val run :
   ?config:config ->
   ?event_phase:string ->
+  ?attrib:Attrib.t ->
   Timed_dfg.t ->
   clock:float ->
   ranges:(Dfg.Op_id.t -> Interval.t) ->
@@ -77,6 +78,12 @@ val run :
 (** [ranges] gives each active op's delay interval (callers typically clamp
     the upper end to the clock period); [sensitivity o d] is the area saved
     per unit of delay added at delay [d] (see {!Curve.sensitivity}).
+
+    [attrib] is the work-attribution tracker every timing analysis of this
+    run is observed into (see {!Attrib.observe}); a run-private tracker is
+    created when omitted, so the global wasted-work counters are always
+    charged.  Pass one explicitly to also read {!Attrib.instance_totals}
+    for this run alone.
 
     [event_phase] (default ["budget"]) tags the provenance events this run
     emits ({!Obs.Events.Slack_computed}, {!Obs.Events.Delay_update},

@@ -50,7 +50,10 @@ let run ?jobs ?(retries = 0) ?(should_stop = no_stop) f tasks =
   let ev_on = Obs.Events.enabled () in
   let timed_task w ~t0 ~busy ~tasks_done x =
     let s = Obs.now_ns () in
+    (* Gc counters are domain-local: the delta is this task's own churn. *)
+    let g0 = Obs.Prof.sample () in
     let r = attempt_task ~retries f x in
+    let g = Obs.Prof.delta ~before:g0 ~after:(Obs.Prof.sample ()) in
     busy := !busy +. Int64.to_float (Int64.sub (Obs.now_ns ()) s);
     incr tasks_done;
     let elapsed = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) in
@@ -58,7 +61,14 @@ let run ?jobs ?(retries = 0) ?(should_stop = no_stop) f tasks =
       if elapsed <= 0.0 then 1.0 else Float.min 1.0 (!busy /. elapsed)
     in
     Obs.Events.emit
-      (Obs.Events.Worker_sample { domain = w; tasks_done = !tasks_done; utilization });
+      (Obs.Events.Worker_sample
+         {
+           domain = w;
+           tasks_done = !tasks_done;
+           utilization;
+           minor_words = g.Obs.Prof.minor_words;
+           major_words = g.Obs.Prof.major_words;
+         });
     r
   in
   let results =

@@ -324,7 +324,25 @@ end
 (* ------------------------------------------------------------------ *)
 (* Spans and sinks *)
 
-type span_agg = { mutable s_count : int; mutable s_total_ns : int64 }
+type span_agg = {
+  mutable s_count : int;
+  mutable s_total_ns : int64;
+  (* GC/alloc deltas, accumulated only while profiling is enabled. *)
+  mutable s_minor_w : float;
+  mutable s_major_w : float;
+  mutable s_minor_c : int;
+  mutable s_major_c : int;
+}
+
+let new_span_agg () =
+  {
+    s_count = 0;
+    s_total_ns = 0L;
+    s_minor_w = 0.0;
+    s_major_w = 0.0;
+    s_minor_c = 0;
+    s_major_c = 0;
+  }
 
 type trace_event = {
   ev_name : string;
@@ -335,21 +353,35 @@ type trace_event = {
   ev_attrs : (string * string) list;
 }
 
+(* One heap-pressure sample per closed span, rendered as Chrome-trace
+   counter events (ph:"C"): cumulative words allocated by the recording
+   domain, so traces show memory pressure alongside the span lanes. *)
+type gc_trace_sample = {
+  g_ts_ns : int64;  (* relative to [epoch_ns] *)
+  g_tid : int;
+  g_minor_w : float;
+  g_major_w : float;
+}
+
 type state = {
   mutable stats_on : bool;
   mutable trace_on : bool;
+  mutable prof_on : bool;  (* take Gc.quick_stat deltas around spans *)
   mutable collecting : bool;  (* stats_on || trace_on, the fast-path test *)
   span_aggs : (string, span_agg) Hashtbl.t;
   mutable trace_buf : trace_event Vec.t;
+  mutable gc_buf : gc_trace_sample Vec.t;
 }
 
 let st =
   {
     stats_on = false;
     trace_on = false;
+    prof_on = false;
     collecting = false;
     span_aggs = Hashtbl.create 32;
     trace_buf = Vec.create ();
+    gc_buf = Vec.create ();
   }
 
 (* The open-span path is per domain: concurrent workers each nest their
@@ -388,7 +420,13 @@ module Events = struct
         ready_set_size : int;
       }
     | Recovery_step of { rung : string; outcome : string }
-    | Worker_sample of { domain : int; tasks_done : int; utilization : float }
+    | Worker_sample of {
+        domain : int;
+        tasks_done : int;
+        utilization : float;
+        minor_words : float;  (* allocation delta of the sampled task *)
+        major_words : float;
+      }
 
   type t = { seq : int; payload : payload }
 
@@ -494,12 +532,14 @@ module Events = struct
         ]
     | Recovery_step { rung; outcome } ->
       base "recovery" [ ("rung", String rung); ("outcome", String outcome) ]
-    | Worker_sample { domain; tasks_done; utilization } ->
+    | Worker_sample { domain; tasks_done; utilization; minor_words; major_words } ->
       base "worker"
         [
           ("domain", Int domain);
           ("done", Int tasks_done);
           ("utilization", Float utilization);
+          ("minor_w", Float minor_words);
+          ("major_w", Float major_words);
         ]
 
   let of_json j =
@@ -522,6 +562,14 @@ module Events = struct
           | Some (Json.Float f) -> f
           | Some (Json.Int i) -> float_of_int i
           | _ -> fail (Printf.sprintf "missing number field %S" k)
+        in
+        (* For fields added after a payload shipped: event files written by
+           older builds decode with the default instead of failing. *)
+        let num_or default k =
+          match List.assoc_opt k fields with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> default
         in
         let seq = int "seq" in
         let payload =
@@ -570,6 +618,8 @@ module Events = struct
                 domain = int "domain";
                 tasks_done = int "done";
                 utilization = num "utilization";
+                minor_words = num_or 0.0 "minor_w";
+                major_words = num_or 0.0 "major_w";
               }
           | tag -> fail (Printf.sprintf "unknown event type %S" tag)
         in
@@ -612,6 +662,52 @@ module Events = struct
               | Ok e -> go (lineno + 1) (e :: acc)))
         in
         go 1 [])
+
+  (* Divergence localization: two runs that should be identical (the
+     byte-identical-equivalence proof of an incremental engine) are
+     compared positionally; the first mismatching event, with its
+     per-payload field diff, is where the runs' decisions split. *)
+
+  type field_diff = { field : string; a_val : string; b_val : string }
+
+  type divergence = {
+    index : int;  (* position in the aligned streams *)
+    a : t option;  (* [None]: this stream ended before the other *)
+    b : t option;
+    fields : field_diff list;  (* differing payload fields, both present *)
+  }
+
+  let field_diffs ea eb =
+    let flat e = match to_json e with Json.Obj kvs -> kvs | j -> [ ("event", j) ] in
+    let fa = flat ea and fb = flat eb in
+    let keys =
+      List.fold_left
+        (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ])
+        [] (fa @ fb)
+    in
+    List.filter_map
+      (fun k ->
+        let show kvs =
+          match List.assoc_opt k kvs with
+          | Some v -> Json.to_string v
+          | None -> "<absent>"
+        in
+        let va = show fa and vb = show fb in
+        if String.equal va vb then None
+        else Some { field = k; a_val = va; b_val = vb })
+      keys
+
+  let diff a b =
+    let rec go index a b =
+      match (a, b) with
+      | [], [] -> None
+      | ea :: _, [] -> Some { index; a = Some ea; b = None; fields = [] }
+      | [], eb :: _ -> Some { index; a = None; b = Some eb; fields = [] }
+      | ea :: ra, eb :: rb ->
+        if ea = eb then go (index + 1) ra rb
+        else Some { index; a = Some ea; b = Some eb; fields = field_diffs ea eb }
+    in
+    go 0 a b
 end
 
 let reset () =
@@ -621,7 +717,16 @@ let reset () =
   Hashtbl.reset st.span_aggs;
   Domain.DLS.set path_key [];
   st.trace_buf <- Vec.create ();
+  st.gc_buf <- Vec.create ();
   Events.reset_unlocked ()
+
+(* GC counters are domain-local, so a delta is the measured region's own
+   churn (children included, like wall clock) even while other domains
+   allocate concurrently.  [Gc.quick_stat]'s [minor_words] only counts up
+   to the last minor collection in native code; [Gc.minor_words ()] adds
+   the live young generation, making small deltas exact — so the minor
+   count rides alongside the stat record. *)
+let gc_sample () = (Gc.minor_words (), Gc.quick_stat ())
 
 let span ?(attrs = []) name f =
   if not st.collecting then f ()
@@ -629,21 +734,37 @@ let span ?(attrs = []) name f =
     let outer = Domain.DLS.get path_key in
     let path = String.concat "/" (List.rev (name :: outer)) in
     Domain.DLS.set path_key (name :: outer);
+    let g0 = if st.prof_on then Some (gc_sample ()) else None in
     let t0 = now_ns () in
     Fun.protect
       ~finally:(fun () ->
-        let dur = Int64.sub (now_ns ()) t0 in
+        let t1 = now_ns () in
+        let dur = Int64.sub t1 t0 in
+        let g1 = match g0 with Some _ -> Some (gc_sample ()) | None -> None in
         Domain.DLS.set path_key outer;
         locked (fun () ->
             if st.stats_on then begin
-              match Hashtbl.find_opt st.span_aggs path with
-              | Some a ->
-                a.s_count <- a.s_count + 1;
-                a.s_total_ns <- Int64.add a.s_total_ns dur
-              | None ->
-                Hashtbl.replace st.span_aggs path { s_count = 1; s_total_ns = dur }
+              let a =
+                match Hashtbl.find_opt st.span_aggs path with
+                | Some a -> a
+                | None ->
+                  let a = new_span_agg () in
+                  Hashtbl.replace st.span_aggs path a;
+                  a
+              in
+              a.s_count <- a.s_count + 1;
+              a.s_total_ns <- Int64.add a.s_total_ns dur;
+              match (g0, g1) with
+              | Some (bm, b), Some (em, e) ->
+                a.s_minor_w <- a.s_minor_w +. (em -. bm);
+                a.s_major_w <- a.s_major_w +. (e.Gc.major_words -. b.Gc.major_words);
+                a.s_minor_c <-
+                  a.s_minor_c + (e.Gc.minor_collections - b.Gc.minor_collections);
+                a.s_major_c <-
+                  a.s_major_c + (e.Gc.major_collections - b.Gc.major_collections)
+              | _ -> ()
             end;
-            if st.trace_on then
+            if st.trace_on then begin
               ignore
                 (Vec.push st.trace_buf
                    {
@@ -653,7 +774,19 @@ let span ?(attrs = []) name f =
                      ev_dur_ns = dur;
                      ev_tid = (Domain.self () :> int);
                      ev_attrs = attrs;
-                   })))
+                   });
+              match g1 with
+              | Some (em, e) ->
+                ignore
+                  (Vec.push st.gc_buf
+                     {
+                       g_ts_ns = Int64.sub t1 epoch_ns;
+                       g_tid = (Domain.self () :> int);
+                       g_minor_w = em;
+                       g_major_w = e.Gc.major_words;
+                     })
+              | None -> ()
+            end))
       f
   end
 
@@ -672,20 +805,186 @@ let span_stats () =
         st.span_aggs [])
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
+(* ------------------------------------------------------------------ *)
+(* Work-attribution profiling: Gc.quick_stat deltas per span, and the
+   snapshot document shared by `bench --json` and its baseline gate. *)
+
+module Prof = struct
+  type sample = {
+    minor_words : float;
+    major_words : float;
+    promoted_words : float;
+    minor_collections : int;
+    major_collections : int;
+  }
+
+  let sample () =
+    let g = Gc.quick_stat () in
+    {
+      minor_words = Gc.minor_words ();
+      major_words = g.Gc.major_words;
+      promoted_words = g.Gc.promoted_words;
+      minor_collections = g.Gc.minor_collections;
+      major_collections = g.Gc.major_collections;
+    }
+
+  let delta ~before ~after =
+    {
+      minor_words = after.minor_words -. before.minor_words;
+      major_words = after.major_words -. before.major_words;
+      promoted_words = after.promoted_words -. before.promoted_words;
+      minor_collections = after.minor_collections - before.minor_collections;
+      major_collections = after.major_collections - before.major_collections;
+    }
+
+  let enabled () = st.prof_on
+  let enable () = st.prof_on <- true
+  let disable () = st.prof_on <- false
+
+  type row = {
+    path : string;
+    calls : int;
+    total_ns : float;
+    minor_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+  }
+
+  let rows () =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun path a acc ->
+            {
+              path;
+              calls = a.s_count;
+              total_ns = Int64.to_float a.s_total_ns;
+              minor_words = a.s_minor_w;
+              major_words = a.s_major_w;
+              minor_collections = a.s_minor_c;
+              major_collections = a.s_major_c;
+            }
+            :: acc)
+          st.span_aggs [])
+    |> List.sort (fun a b -> String.compare a.path b.path)
+
+  type snapshot = {
+    mode : string;  (* "quick" | "full": only like-for-like runs compare *)
+    sections : row list;
+    counters : (string * int) list;
+  }
+
+  let snapshot ~mode = { mode; sections = rows (); counters = counters_snapshot () }
+
+  let snapshot_to_json ?(harness = "slackhls") s =
+    let open Json in
+    let sections =
+      List.map
+        (fun r ->
+          Obj
+            [
+              ("span", String r.path);
+              ("calls", Int r.calls);
+              ("total_ns", Float r.total_ns);
+              ("minor_words", Float r.minor_words);
+              ("major_words", Float r.major_words);
+              ("minor_collections", Int r.minor_collections);
+              ("major_collections", Int r.major_collections);
+            ])
+        s.sections
+    in
+    Obj
+      [
+        ("harness", String harness);
+        ("mode", String s.mode);
+        ("sections", List sections);
+        ("counters", Obj (List.map (fun (name, v) -> (name, Int v)) s.counters));
+      ]
+
+  let snapshot_of_json doc =
+    let open Json in
+    match doc with
+    | Obj fields ->
+      let mode =
+        match List.assoc_opt "mode" fields with Some (String m) -> m | _ -> "full"
+      in
+      let num = function
+        | Some (Float f) -> Some f
+        | Some (Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      let sections =
+        match List.assoc_opt "sections" fields with
+        | Some (List rws) ->
+          List.filter_map
+            (function
+              | Obj rw -> (
+                (* Alloc fields default to 0 so snapshots written before
+                   the profiler existed still load and diff. *)
+                let fnum k d = Option.value ~default:d (num (List.assoc_opt k rw)) in
+                let fint k d =
+                  match List.assoc_opt k rw with Some (Int i) -> i | _ -> d
+                in
+                match (List.assoc_opt "span" rw, num (List.assoc_opt "total_ns" rw))
+                with
+                | Some (String span), Some total_ns ->
+                  Some
+                    {
+                      path = span;
+                      calls = fint "calls" 0;
+                      total_ns;
+                      minor_words = fnum "minor_words" 0.0;
+                      major_words = fnum "major_words" 0.0;
+                      minor_collections = fint "minor_collections" 0;
+                      major_collections = fint "major_collections" 0;
+                    }
+                | _ -> None)
+              | _ -> None)
+            rws
+        | _ -> []
+      in
+      let counters =
+        match List.assoc_opt "counters" fields with
+        | Some (Obj rws) ->
+          List.filter_map (function name, Int v -> Some (name, v) | _ -> None) rws
+        | _ -> []
+      in
+      Ok { mode; sections; counters }
+    | _ -> Error "snapshot is not a JSON object"
+end
+
 let pp_ns ns =
   if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
   else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
   else if ns >= 1e3 then Printf.sprintf "%.1f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
 
+let pp_words w =
+  if w >= 1e9 then Printf.sprintf "%.2f Gw" (w /. 1e9)
+  else if w >= 1e6 then Printf.sprintf "%.2f Mw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1f kw" (w /. 1e3)
+  else Printf.sprintf "%.0f w" w
+
 let report () =
   let buf = Buffer.create 1024 in
-  let spans = span_stats () in
+  let spans = Prof.rows () in
   if spans <> [] then begin
-    Buffer.add_string buf "== phases (wall clock) ==\n";
-    let t = Text_table.create ~headers:[ "span"; "calls"; "total"; "mean" ] in
+    let with_alloc =
+      List.exists
+        (fun r -> r.Prof.minor_words > 0.0 || r.Prof.major_words > 0.0)
+        spans
+    in
+    Buffer.add_string buf
+      (if with_alloc then "== phases (wall clock, GC/alloc) ==\n"
+       else "== phases (wall clock) ==\n");
+    let headers =
+      [ "span"; "calls"; "total"; "mean" ]
+      @ if with_alloc then [ "minor"; "major"; "gcs" ] else []
+    in
+    let t = Text_table.create ~headers in
     List.iter
-      (fun (path, count, total) ->
+      (fun (r : Prof.row) ->
+        let path = r.Prof.path in
         let depth =
           String.fold_left (fun acc ch -> if ch = '/' then acc + 1 else acc) 0 path
         in
@@ -695,12 +994,20 @@ let report () =
           | None -> path
         in
         Text_table.add_row t
-          [
-            String.make (2 * depth) ' ' ^ leaf;
-            string_of_int count;
-            pp_ns total;
-            pp_ns (total /. float_of_int count);
-          ])
+          ([
+             String.make (2 * depth) ' ' ^ leaf;
+             string_of_int r.Prof.calls;
+             pp_ns r.Prof.total_ns;
+             pp_ns (r.Prof.total_ns /. float_of_int (max 1 r.Prof.calls));
+           ]
+          @
+          if with_alloc then
+            [
+              pp_words r.Prof.minor_words;
+              pp_words r.Prof.major_words;
+              string_of_int (r.Prof.minor_collections + r.Prof.major_collections);
+            ]
+          else []))
       spans;
     Buffer.add_string buf (Text_table.render t)
   end;
@@ -808,9 +1115,36 @@ let trace_json () =
       [] st.trace_buf
     |> List.rev
   in
+  (* Heap-pressure counter lane (ph:"C"): one sample per closed span while
+     profiling was on; Perfetto renders these as a stacked area chart. *)
+  let heap =
+    Vec.fold_left
+      (fun acc g ->
+        Json.Obj
+          [
+            ("name", Json.String "heap words");
+            ("cat", Json.String "hls");
+            ("ph", Json.String "C");
+            ("ts", Json.Float (Int64.to_float g.g_ts_ns /. 1e3));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int g.g_tid);
+            ( "args",
+              Json.Obj
+                [
+                  ("minor_words", Json.Float g.g_minor_w);
+                  ("major_words", Json.Float g.g_major_w);
+                ] );
+          ]
+        :: acc)
+      [] st.gc_buf
+    |> List.rev
+  in
   Json.to_string
     (Json.Obj
-       [ ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ms") ])
+       [
+         ("traceEvents", Json.List (events @ heap));
+         ("displayTimeUnit", Json.String "ms");
+       ])
 
 let write_trace ~path =
   let oc = open_out path in

@@ -100,6 +100,7 @@ val counters_snapshot : unit -> (string * int) list
 val span_stats : unit -> (string * int * float) list
 (** Aggregated spans as [(path, count, total_ns)], sorted by path. *)
 
+
 val report : unit -> string
 (** Human-readable text report: per-phase wall-clock (if stats were
     enabled), counters, distributions. *)
@@ -133,6 +134,69 @@ module Json : sig
       snapshots.  Numbers without [./e/E] parse as [Int]. *)
 end
 
+(** {1 Work-attribution profiling}
+
+    Per-span GC/alloc telemetry: with {!Prof.enable}, every closed span
+    additionally accumulates the [Gc.quick_stat] delta of its body —
+    minor/major words allocated and collections triggered.  The counters
+    are domain-local, so a span's delta is its own churn even while other
+    domains allocate concurrently; word counts are integers, so identical
+    runs produce identical profiles.  [Prof] also owns the snapshot
+    document written by [bench --json] and diffed by its baseline gate,
+    so allocation regressions fail CI like wall-clock ones. *)
+
+module Prof : sig
+  type sample = {
+    minor_words : float;
+    major_words : float;
+    promoted_words : float;
+    minor_collections : int;
+    major_collections : int;
+  }
+
+  val sample : unit -> sample
+  (** Cumulative [Gc.quick_stat] counters of the calling domain. *)
+
+  val delta : before:sample -> after:sample -> sample
+
+  val enable : unit -> unit
+  (** Start taking GC deltas around spans (and, when tracing, emitting
+      heap-words counter events).  Effective only while a span sink is on
+      ({!enable_stats} / {!enable_trace}). *)
+
+  val disable : unit -> unit
+  val enabled : unit -> bool
+
+  type row = {
+    path : string;
+    calls : int;
+    total_ns : float;
+    minor_words : float;
+    major_words : float;
+    minor_collections : int;
+    major_collections : int;
+  }
+
+  val rows : unit -> row list
+  (** Aggregated spans with their alloc telemetry, sorted by path.  Alloc
+      fields are zero for spans recorded while profiling was off. *)
+
+  type snapshot = {
+    mode : string;  (** "quick" | "full": only like-for-like runs compare *)
+    sections : row list;
+    counters : (string * int) list;
+  }
+
+  val snapshot : mode:string -> snapshot
+  (** Current rows plus {!counters_snapshot}. *)
+
+  val snapshot_to_json : ?harness:string -> snapshot -> Json.t
+  val snapshot_of_json : Json.t -> (snapshot, string) result
+  (** Lenient on alloc fields (default 0), so snapshots written before
+      the profiler existed still load. *)
+end
+
+
 (** {1 Decision provenance}
 
     Typed events recording {e why} the pipeline did what it did: slack
@@ -164,7 +228,13 @@ module Events : sig
         ready_set_size : int;
       }
     | Recovery_step of { rung : string; outcome : string }
-    | Worker_sample of { domain : int; tasks_done : int; utilization : float }
+    | Worker_sample of {
+        domain : int;
+        tasks_done : int;
+        utilization : float;
+        minor_words : float;  (** allocation delta of the sampled task *)
+        major_words : float;
+      }
 
   type t = { seq : int; payload : payload }
 
@@ -201,4 +271,26 @@ module Events : sig
   (** Write every buffered event as one JSON object per line. *)
 
   val load_jsonl : path:string -> (t list, string) result
+
+  (** {2 Divergence localization}
+
+      Positional comparison of two event streams that should be identical
+      (e.g. a full recompute against an incremental engine's replay): the
+      first mismatching event, with a per-payload field diff, is where the
+      two runs' decisions split. *)
+
+  type field_diff = { field : string; a_val : string; b_val : string }
+
+  type divergence = {
+    index : int;  (** position in the aligned streams *)
+    a : t option;  (** [None]: stream A ended before B *)
+    b : t option;
+    fields : field_diff list;
+        (** differing payload fields when both events are present,
+            rendered as JSON fragments *)
+  }
+
+  val diff : t list -> t list -> divergence option
+  (** [None] when the streams are identical (same length, equal events in
+      order). *)
 end

@@ -78,6 +78,11 @@ let c_resource_adds = Obs.counter "flow.resource_additions"
 let c_gamma_decays = Obs.counter "flow.gamma_decays"
 let c_rebudget_runs = Obs.counter "sched.rebudget.runs"
 let c_rebudget_infeasible = Obs.counter "sched.rebudget.infeasible"
+
+(* Per-edge attribution (instance totals, not global counter deltas, so the
+   numbers stay race-free when explore evaluates flows concurrently). *)
+let d_edge_cone = Obs.dist "sched.rebudget.cone_relaxations"
+let d_edge_waste = Obs.dist "sched.rebudget.wasted_pct"
 let c_recoveries = Obs.counter "flow.recovery.attempts"
 
 type sharing = {
@@ -335,8 +340,9 @@ let run_once config ii flow dfg ~lib ~clock ~gamma0 ~cancel =
                 in
                 let sens' o d = if Schedule.is_placed sched o then 0.0 else sensitivity o d in
                 Obs.incr c_rebudget_runs;
+                let attrib = Attrib.create tdfg' in
                 (match
-                   Budget.run ~config:bcfg ~event_phase:"rebudget" tdfg'
+                   Budget.run ~config:bcfg ~event_phase:"rebudget" ~attrib tdfg'
                      ~clock:budget_clock ~ranges:ranges' ~sensitivity:sens'
                  with
                 | Budget.Feasible delays ->
@@ -362,7 +368,12 @@ let run_once config ii flow dfg ~lib ~clock ~gamma0 ~cancel =
                       let i = Dfg.Op_id.to_int o in
                       if not (Schedule.is_placed sched o) then
                         targets.(i) <- Interval.lo (ranges o))
-                    ops)
+                    ops);
+                let tt = Attrib.instance_totals attrib in
+                if tt.Attrib.touched > 0 then begin
+                  Obs.observe d_edge_cone (float_of_int tt.Attrib.cone);
+                  Obs.observe d_edge_waste (100.0 *. Attrib.wasted_ratio tt)
+                end
             end)
       | (Conventional | Slowest_first | Slack_based), _ -> None
     in

@@ -8,6 +8,10 @@ let c_analyses = Obs.counter "slack.bf_analyses"
 
 let analyze tdfg ~clock ~del =
   Obs.incr c_analyses;
+  (* The fixpoint scans each edge list at least once in both directions;
+     charge the deterministic lower bound rather than the solver's scan
+     counter, which races across explore domains. *)
+  Attrib.charge_touched (2 * Timed_dfg.edge_count tdfg);
   if clock <= 0.0 then invalid_arg "Bf_timing.analyze: clock must be positive";
   let dfg = Timed_dfg.dfg tdfg in
   let n = Dfg.op_count dfg in

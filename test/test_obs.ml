@@ -198,7 +198,14 @@ let test_events_roundtrip () =
       Edge_scheduled { edge = 4; step = 2; placed = 5; deferred = 1 };
       Op_picked { op = "h1s"; edge = 0; step = 0; priority = 24400.0; ready_set_size = 8 };
       Recovery_step { rung = "relax-budget"; outcome = "recovered" };
-      Worker_sample { domain = 3; tasks_done = 7; utilization = 0.875 };
+      Worker_sample
+        {
+          domain = 3;
+          tasks_done = 7;
+          utilization = 0.875;
+          minor_words = 123456.0;
+          major_words = 2048.0;
+        };
     ]
   in
   List.iteri
@@ -227,7 +234,13 @@ let test_events_concurrent_jsonl () =
     for k = 1 to per_domain do
       Obs.Events.emit
         (Obs.Events.Worker_sample
-           { domain = w; tasks_done = k; utilization = 0.5 })
+           {
+             domain = w;
+             tasks_done = k;
+             utilization = 0.5;
+             minor_words = 0.0;
+             major_words = 0.0;
+           })
     done
   in
   let domains = Array.init 4 (fun w -> Domain.spawn (emitter w)) in
