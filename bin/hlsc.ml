@@ -15,6 +15,15 @@
               frontier, optionally memoized in an on-disk evaluation cache
      fuzz     seeded random designs through every flow under validation
      dot      dump Graphviz renderings
+     serve    supervised synthesis daemon: concurrent run/explore requests
+              over a Unix or loopback TCP socket, sharing one warm cache
+              and one domain pool, with per-request deadlines, admission
+              control (load shedding past a high-water mark), crash
+              containment with retry/backoff, and graceful drain on
+              SIGTERM/SIGINT (exit 5 + journal, resumable by explore
+              --resume)
+     request  client for serve: send one request, print the response,
+              exit by its status
 
    Every subcommand accepts --stats (per-phase telemetry report on stderr),
    --trace FILE (Chrome trace-event JSON), --validate LEVEL (phase-boundary
@@ -757,7 +766,7 @@ let explain_cmd file op_name stats trace events force =
            ->
            note op
          | E.Budget_round _ | E.Edge_scheduled _ | E.Recovery_step _
-         | E.Worker_sample _ ->
+         | E.Worker_sample _ | E.Serve_sample _ ->
            ())
        evs;
      if not (Hashtbl.mem seen op) then begin
@@ -904,6 +913,241 @@ let explain_file_arg =
 let explain_op_arg =
   Arg.(value & opt (some string) None & info [ "op" ] ~docv:"NAME"
          ~doc:"Operation name to explain (e.g. m_x0c4 in the idct design).")
+
+(* ------------------------------------------------------------------ *)
+(* serve / request: the synthesis daemon and its client *)
+
+let socket_arg =
+  Arg.(value & opt string "hlsc.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path to listen on (default hlsc.sock).")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+         ~doc:"Listen on loopback TCP instead of the Unix socket.")
+
+let serve_jobs_arg =
+  Arg.(value & opt int 2 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains in the shared evaluation pool (default 2); \
+               every request's points are multiplexed onto it.")
+
+let high_water_arg =
+  Arg.(value & opt int 4 & info [ "high-water" ] ~docv:"N"
+         ~doc:"Admission-control bound: past N requests in flight, new work \
+               is shed with an 'overloaded' response and a retry-after hint \
+               instead of queueing unboundedly.")
+
+let drain_deadline_arg =
+  Arg.(value & opt float 30.0 & info [ "drain-deadline" ] ~docv:"SECONDS"
+         ~doc:"On SIGTERM/SIGINT or a shutdown request: stop accepting, then \
+               wait up to this long for in-flight requests before exiting.")
+
+let read_timeout_arg =
+  Arg.(value & opt float 5.0 & info [ "read-timeout" ] ~docv:"SECONDS"
+         ~doc:"Mid-frame stall budget per connection: a request that starts \
+               arriving and then stops flowing for this long is answered \
+               with an error and the connection is closed.  Idle keep-alive \
+               connections are unaffected.")
+
+let serve_deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS"
+         ~doc:"Default per-request deadline for requests that do not carry \
+               their own; a fired deadline yields a timed_out/partial \
+               response, never a wedged connection.")
+
+let serve_retries_arg =
+  Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N"
+         ~doc:"Re-run a request's crashed points up to N times with \
+               exponential backoff before reporting them crashed.")
+
+let backoff_arg =
+  Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS"
+         ~doc:"Base of the exponential retry backoff; also the retry-after \
+               hint sent with 'overloaded' responses.")
+
+let once_arg =
+  Arg.(value & flag & info [ "once" ]
+         ~doc:"Self-test mode: start on a private socket in a temp \
+               directory, run the scripted --request(s) through an \
+               in-process client, print each response, drain, and exit \
+               with the combined status.")
+
+let request_script_arg =
+  Arg.(value & opt string "{\"op\":\"ping\"}" & info [ "request" ] ~docv:"JSON"
+         ~doc:"Request payload(s) for --once, one JSON object per line.")
+
+let drain_after_points_arg =
+  Arg.(value & opt (some int) None & info [ "drain-after-points" ] ~docv:"K"
+         ~doc:"Testing hook: trigger a drain after exactly K completed point \
+               evaluations — a deterministic mid-sweep SIGTERM.")
+
+let address_name = function
+  | Server.Unix_sock p -> p
+  | Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+
+let serve_cmd socket port lib validate max_recoveries jobs high_water
+    drain_deadline read_timeout deadline point_deadline retries backoff
+    journal_file cache_file once request_script drain_after_points stats trace
+    events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
+  let cfg =
+    let* lib = lib_of lib in
+    let* config = config_of validate max_recoveries in
+    let* () = if jobs < 1 then Error (Usage "--jobs must be at least 1") else Ok () in
+    let* () =
+      if high_water < 1 then Error (Usage "--high-water must be at least 1")
+      else Ok ()
+    in
+    let* () =
+      if retries < 0 then Error (Usage "--retries must be non-negative") else Ok ()
+    in
+    let address =
+      match port with Some p -> Server.Tcp p | None -> Server.Unix_sock socket
+    in
+    Ok
+      {
+        Server.default_config with
+        Server.address;
+        jobs;
+        high_water;
+        drain_deadline;
+        read_timeout;
+        default_deadline = deadline;
+        point_deadline;
+        request_retries = retries;
+        backoff;
+        lib;
+        flow_config = config;
+        designs = List.map (fun (n, mk) -> (n, mk)) builtin_designs;
+        journal_path = journal_file;
+        cache_path = cache_file;
+        drain_after_points;
+      }
+  in
+  match cfg with
+  | Error err ->
+    Printf.eprintf "hlsc: %s\n" (message_of err);
+    exit_code_of err
+  | Ok cfg ->
+    if once then begin
+      match Server.once cfg ~request_json:request_script with
+      | Error m ->
+        Printf.eprintf "hlsc: %s\n" m;
+        1
+      | Ok (responses, daemon_code) ->
+        List.iter (fun (body, _) -> print_endline body) responses;
+        let worst = List.fold_left (fun acc (_, c) -> max acc c) 0 responses in
+        (* A daemon that drained with resumable work owes its caller the
+           exit-5 resume contract even when every response was answered. *)
+        if daemon_code = 5 then 5 else worst
+    end
+    else begin
+      match Server.start cfg with
+      | Error m ->
+        Printf.eprintf "hlsc: %s\n" m;
+        1
+      | Ok t ->
+        let on_signal name =
+          Sys.Signal_handle (fun _ -> Server.drain ~reason:name t)
+        in
+        let prev_int = Sys.signal Sys.sigint (on_signal "SIGINT") in
+        let prev_term = Sys.signal Sys.sigterm (on_signal "SIGTERM") in
+        Printf.eprintf
+          "hlsc serve: listening on %s (%d worker domain%s, high water %d)\n%!"
+          (address_name cfg.Server.address)
+          cfg.Server.jobs
+          (if cfg.Server.jobs = 1 then "" else "s")
+          cfg.Server.high_water;
+        let code = Server.serve t in
+        Sys.set_signal Sys.sigint prev_int;
+        Sys.set_signal Sys.sigterm prev_term;
+        code
+    end
+
+let req_host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Daemon host when using --port.")
+
+let req_op_arg =
+  Arg.(value & pos 0 string "ping" & info [] ~docv:"OP"
+         ~doc:"Request: ping, stats, shutdown, run or explore.")
+
+let req_json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"JSON"
+         ~doc:"Send this raw payload instead of building one from the flags.")
+
+let req_id_arg =
+  Arg.(value & opt string "" & info [ "id" ] ~docv:"ID"
+         ~doc:"Request id, echoed in the response.")
+
+let req_design_arg =
+  Arg.(value & opt (some string) None & info [ "design"; "d" ] ~docv:"NAME"
+         ~doc:"Built-in design name for run/explore requests.")
+
+let request_cmd socket host port op json id design clock flow clocks flows iis
+    recover deadline point_deadline stats trace events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
+  let addr =
+    match port with
+    | Some p -> Client.Tcp (host, p)
+    | None -> Client.Unix_path socket
+  in
+  let payload =
+    match json with
+    | Some j -> Ok j
+    | None ->
+      let* req =
+        match op with
+        | "ping" -> Ok Protocol.Ping
+        | "stats" -> Ok Protocol.Stats
+        | "shutdown" -> Ok Protocol.Shutdown
+        | "run" -> (
+          match design with
+          | Some d -> Ok (Protocol.Run { design = d; clock; flow })
+          | None -> Error (Usage "run requests need --design"))
+        | "explore" -> (
+          match design with
+          | Some d ->
+            Ok
+              (Protocol.Explore
+                 {
+                   design = d;
+                   clocks = (if clocks = "auto" then "2000:3000:100" else clocks);
+                   flows;
+                   iis;
+                   recover;
+                   point_deadline;
+                 })
+          | None -> Error (Usage "explore requests need --design"))
+        | s ->
+          Error
+            (Usage
+               (Printf.sprintf
+                  "unknown request %S (try: ping, stats, shutdown, run, explore)"
+                  s))
+      in
+      Ok
+        (Obs.Json.to_string
+           (Protocol.request_to_json { Protocol.id; deadline_s = deadline; req }))
+  in
+  match payload with
+  | Error err ->
+    Printf.eprintf "hlsc: %s\n" (message_of err);
+    exit_code_of err
+  | Ok payload -> (
+    (* Give the server its own deadline plus slack before the client gives
+       up; with no deadline the client waits as long as the sweep takes. *)
+    let client_deadline = Option.map (fun s -> s +. 30.0) deadline in
+    match Client.one_shot ?deadline_s:client_deadline addr payload with
+    | Error m ->
+      Printf.eprintf "hlsc: %s\n" m;
+      1
+    | Ok body -> (
+      print_endline body;
+      match Protocol.response_status body with
+      | Ok (status, _) -> Protocol.exit_code_of_status status
+      | Error m ->
+        Printf.eprintf "hlsc: %s\n" m;
+        1))
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
@@ -1071,6 +1315,29 @@ let diff_events_t =
     Term.(const diff_events_cmd $ diff_a_arg $ diff_b_arg $ diff_context_arg
           $ stats_arg $ trace_arg $ events_arg $ force_arg)
 
+let serve_t =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Supervised synthesis daemon: concurrent requests over a socket, \
+             with admission control, load shedding and graceful drain")
+    Term.(const serve_cmd $ socket_arg $ port_arg $ lib_arg $ validate_arg
+          $ max_recoveries_arg $ serve_jobs_arg $ high_water_arg
+          $ drain_deadline_arg $ read_timeout_arg $ serve_deadline_arg
+          $ point_deadline_arg $ serve_retries_arg $ backoff_arg $ journal_arg
+          $ cache_arg $ once_arg $ request_script_arg $ drain_after_points_arg
+          $ stats_arg $ trace_arg $ events_arg $ force_arg)
+
+let request_t =
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:"Send one request to a running synthesis daemon and print the \
+             response")
+    Term.(const request_cmd $ socket_arg $ req_host_arg $ port_arg $ req_op_arg
+          $ req_json_arg $ req_id_arg $ req_design_arg $ clock_arg $ flow_arg
+          $ clocks_arg $ grid_flows_arg $ iis_arg $ recover_arg
+          $ serve_deadline_arg $ point_deadline_arg $ stats_arg $ trace_arg
+          $ events_arg $ force_arg)
+
 let () =
   let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in
   let man =
@@ -1097,7 +1364,9 @@ let () =
         ( "5",
           "interrupted sweep (SIGINT/SIGTERM or --deadline fired before every \
            point completed; the journal and partial renderings were flushed — \
-           re-run with --resume to finish)." );
+           re-run with --resume to finish).  For serve: the daemon drained \
+           with resumable work left in its journal.  For request: the daemon \
+           answered overloaded, draining or partial — retry or resume." );
     ]
   in
   let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc ~man in
@@ -1106,5 +1375,5 @@ let () =
        (Cmd.group info
           [
             run_t; compare_t; slack_t; emit_t; explore_t; explain_t;
-            diff_events_t; fuzz_t; dot_t;
+            diff_events_t; fuzz_t; dot_t; serve_t; request_t;
           ]))

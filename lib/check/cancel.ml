@@ -1,6 +1,7 @@
 type t =
   | Never
   | Tok of { deadline_ns : int64 option; flag : string option Atomic.t }
+  | Any of t list
 
 let never = Never
 
@@ -14,13 +15,23 @@ let after ~seconds =
 
 let manual () = Tok { deadline_ns = None; flag = Atomic.make None }
 
-let trigger ?(reason = "cancelled") = function
+(* Composite tokens collapse: [Never] children cannot fire, and a single
+   child needs no wrapper.  The serve daemon links every request's own
+   deadline token with the process-wide drain token this way. *)
+let any ts =
+  match List.filter (fun t -> t <> Never) ts with
+  | [] -> Never
+  | [ t ] -> t
+  | ts -> Any ts
+
+let rec trigger ?(reason = "cancelled") = function
   | Never -> ()
   | Tok t ->
     (* First reason wins; a lost race means another reason already won. *)
     ignore (Atomic.compare_and_set t.flag None (Some reason))
+  | Any ts -> List.iter (fun t -> trigger ~reason t) ts
 
-let reason = function
+let rec reason = function
   | Never -> None
   | Tok t -> (
     match Atomic.get t.flag with
@@ -29,5 +40,6 @@ let reason = function
       match t.deadline_ns with
       | Some d when Obs.now_ns () >= d -> Some "deadline"
       | Some _ | None -> None))
+  | Any ts -> List.find_map reason ts
 
 let cancelled t = reason t <> None

@@ -27,6 +27,13 @@ val manual : unit -> t
 (** A token with no deadline; fires only when {!trigger}ed (e.g. from a
     SIGINT/SIGTERM handler). *)
 
+val any : t list -> t
+(** A token that is cancelled as soon as any of its children is: the
+    reason is the first child's (in list order) that has fired.
+    {!trigger} on it triggers every child.  [Never] children are dropped;
+    [any []] is {!never}.  Used to link a request-level deadline with a
+    process-wide drain token. *)
+
 val trigger : ?reason:string -> t -> unit
 (** Cancel now.  The first reason wins ([reason] defaults to
     ["cancelled"]); on {!never} this is a no-op. *)

@@ -7,11 +7,13 @@ type corruption =
   | Stall_point
   | Crash_task
   | Truncate_journal
+  | Slow_client
+  | Overload_burst
 
 let all_corruptions =
   [
     Cycle_dfg; Drop_edge_latency; Budget_overshoot; Swap_placements; Orphan_port;
-    Stall_point; Crash_task; Truncate_journal;
+    Stall_point; Crash_task; Truncate_journal; Slow_client; Overload_burst;
   ]
 
 let corruption_name = function
@@ -23,6 +25,8 @@ let corruption_name = function
   | Stall_point -> "stall_point"
   | Crash_task -> "crash_task"
   | Truncate_journal -> "truncate_journal"
+  | Slow_client -> "slow_client"
+  | Overload_burst -> "overload_burst"
 
 let intended_check_prefix = function
   | Cycle_dfg -> "dfg."
@@ -33,6 +37,8 @@ let intended_check_prefix = function
   | Stall_point -> "cancel."
   | Crash_task -> "pool."
   | Truncate_journal -> "journal."
+  | Slow_client -> "serve.stall."
+  | Overload_burst -> "serve.shed."
 
 let cycle_dfg d =
   let dep =
@@ -125,3 +131,32 @@ let crash_task ~crash_on build =
 let truncate_journal ?(bytes = 7) path =
   let len = (Unix.stat path).Unix.st_size in
   Unix.truncate path (max 0 (len - bytes))
+
+(* Serving faults: these damage the daemon's ingress rather than the sweep
+   harness — a request that stops flowing mid-frame, and a synchronized
+   burst of requests above the admission high-water mark. *)
+
+let slow_client ~prefix_bytes frame =
+  let n = min (max 0 prefix_bytes) (String.length frame) in
+  String.sub frame 0 n
+
+let overload_burst ~clients submit =
+  let n = max 1 clients in
+  let results = Array.make n None in
+  let gate = Atomic.make 0 in
+  let threads =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () ->
+            (* Barrier: every client blocks here until all have arrived, so
+               the submissions land as one burst rather than a trickle the
+               daemon could absorb one at a time. *)
+            Atomic.incr gate;
+            while Atomic.get gate < n do
+              Thread.yield ()
+            done;
+            results.(i) <- Some (submit i))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Array.to_list results |> List.filter_map Fun.id

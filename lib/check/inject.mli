@@ -20,6 +20,8 @@ type corruption =
   | Stall_point        (** an evaluation that sleeps past its deadline *)
   | Crash_task         (** a task closure that raises mid-sweep *)
   | Truncate_journal   (** tear the final record off a checkpoint journal *)
+  | Slow_client        (** a request frame that stops flowing mid-frame *)
+  | Overload_burst     (** simultaneous requests above the high-water mark *)
 
 val all_corruptions : corruption list
 val corruption_name : corruption -> string
@@ -30,7 +32,8 @@ val intended_check_prefix : corruption -> string
     (violation [check]-name prefix); the supervision classes name the
     harness that must absorb them — ["cancel."] (deadline tokens),
     ["pool."] (worker quarantine), ["journal."] (load-time record
-    quarantine). *)
+    quarantine), ["serve.stall."] (the daemon's mid-frame stall budget)
+    and ["serve.shed."] (admission-control load shedding). *)
 
 val cycle_dfg : Dfg.t -> bool
 (** Add the reverse of an existing forward dependency, closing a 2-cycle.
@@ -81,3 +84,21 @@ val truncate_journal : ?bytes:int -> string -> unit
 (** Chop the last [bytes] (default 7) off a journal file — the torn final
     record a mid-append crash leaves behind.  Raises [Unix.Unix_error] if
     the file does not exist. *)
+
+(** {1 Serving faults}
+
+    Ingress damage for the synthesis daemon: the tests bind each to the
+    containment machinery that must absorb it (the per-connection stall
+    budget, admission-control shedding). *)
+
+val slow_client : prefix_bytes:int -> string -> string
+(** The stalled-request fault as data: the first [prefix_bytes] of an
+    encoded frame — what a client that dribbles a request and then hangs
+    leaves on the wire.  Feed it to a daemon connection and send nothing
+    further; the read-timeout must fire. *)
+
+val overload_burst : clients:int -> (int -> 'a) -> 'a list
+(** Run [clients] copies of [submit] on concurrent threads, released
+    through a barrier so the calls land simultaneously — above the
+    daemon's high-water mark, some must come back shed.  Returns the
+    results in client order. *)

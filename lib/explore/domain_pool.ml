@@ -39,81 +39,203 @@ let attempt_task ~retries f x =
 
 let no_stop () = false
 
-let run ?jobs ?(retries = 0) ?(should_stop = no_stop) f tasks =
-  let n = Array.length tasks in
-  let jobs = min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n in
-  Obs.add c_tasks n;
-  (* Worker provenance: one [Worker_sample] per completed task, carrying
-     the worker's index (stable across runs, unlike domain ids) and its
-     busy/elapsed utilization.  All timing reads are skipped when events
-     are off. *)
-  let ev_on = Obs.Events.enabled () in
-  let timed_task w ~t0 ~busy ~tasks_done x =
-    let s = Obs.now_ns () in
-    (* Gc counters are domain-local: the delta is this task's own churn. *)
-    let g0 = Obs.Prof.sample () in
-    let r = attempt_task ~retries f x in
-    let g = Obs.Prof.delta ~before:g0 ~after:(Obs.Prof.sample ()) in
-    busy := !busy +. Int64.to_float (Int64.sub (Obs.now_ns ()) s);
-    incr tasks_done;
-    let elapsed = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) in
-    let utilization =
-      if elapsed <= 0.0 then 1.0 else Float.min 1.0 (!busy /. elapsed)
-    in
-    Obs.Events.emit
-      (Obs.Events.Worker_sample
-         {
-           domain = w;
-           tasks_done = !tasks_done;
-           utilization;
-           minor_words = g.Obs.Prof.minor_words;
-           major_words = g.Obs.Prof.major_words;
-         });
-    r
+(* Per-worker provenance context: one [Worker_sample] per completed task,
+   carrying the worker's index (stable across runs, unlike domain ids) and
+   its busy/elapsed utilization.  A persistent pool's workers keep one
+   context across batches, so their utilization spans the pool's life. *)
+type wctx = { w : int; t0 : int64; busy : float ref; tasks_done : int ref }
+
+let new_wctx w = { w; t0 = Obs.now_ns (); busy = ref 0.0; tasks_done = ref 0 }
+
+let timed_task ctx ~retries f x =
+  let s = Obs.now_ns () in
+  (* Gc counters are domain-local: the delta is this task's own churn. *)
+  let g0 = Obs.Prof.sample () in
+  let r = attempt_task ~retries f x in
+  let g = Obs.Prof.delta ~before:g0 ~after:(Obs.Prof.sample ()) in
+  ctx.busy := !(ctx.busy) +. Int64.to_float (Int64.sub (Obs.now_ns ()) s);
+  incr ctx.tasks_done;
+  let elapsed = Int64.to_float (Int64.sub (Obs.now_ns ()) ctx.t0) in
+  let utilization =
+    if elapsed <= 0.0 then 1.0 else Float.min 1.0 (!(ctx.busy) /. elapsed)
   in
+  Obs.Events.emit
+    (Obs.Events.Worker_sample
+       {
+         domain = ctx.w;
+         tasks_done = !(ctx.tasks_done);
+         utilization;
+         minor_words = g.Obs.Prof.minor_words;
+         major_words = g.Obs.Prof.major_words;
+       });
+  r
+
+(* All timing reads are skipped when events are off. *)
+let exec_task ctx ~retries f x =
+  if Obs.Events.enabled () then timed_task ctx ~retries f x
+  else attempt_task ~retries f x
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pools
+
+   A fixed set of worker domains pulling jobs off one shared queue.  Batch
+   submitters ({!run} with [?pool]) enqueue their tasks and block until
+   every one has been executed; concurrent batches interleave in FIFO
+   order, which is what lets the serve daemon multiplex many requests onto
+   one set of domains instead of spawning per request. *)
+
+type job = wctx -> unit
+
+type pool = {
+  pool_jobs : int;
+  q : job Queue.t;
+  m : Mutex.t;
+  work_cv : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let pool_jobs p = p.pool_jobs
+
+let pending p =
+  Mutex.lock p.m;
+  let n = Queue.length p.q in
+  Mutex.unlock p.m;
+  n
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let p =
+    {
+      pool_jobs = jobs;
+      q = Queue.create ();
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      stopping = false;
+      domains = [||];
+    }
+  in
+  Obs.add c_spawns jobs;
+  let worker w () =
+    let ctx = new_wctx w in
+    let rec loop () =
+      Mutex.lock p.m;
+      while Queue.is_empty p.q && not p.stopping do
+        Condition.wait p.work_cv p.m
+      done;
+      (* Shutdown drains: a worker only exits once the queue is empty, so
+         no submitted batch can be left waiting forever. *)
+      if Queue.is_empty p.q then Mutex.unlock p.m
+      else begin
+        let job = Queue.pop p.q in
+        Mutex.unlock p.m;
+        job ctx;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  p.domains <- Array.init jobs (fun w -> Domain.spawn (worker w));
+  p
+
+let shutdown p =
+  Mutex.lock p.m;
+  if p.stopping then Mutex.unlock p.m
+  else begin
+    p.stopping <- true;
+    Condition.broadcast p.work_cv;
+    Mutex.unlock p.m;
+    Array.iter Domain.join p.domains;
+    p.domains <- [||]
+  end
+
+(* Submit a batch and wait for it.  [results] writes happen in worker
+   domains; the batch mutex/condvar pair orders them before the waiting
+   thread reads the array.  Jobs never raise: [attempt_task] catches
+   everything, so [remaining] always reaches zero. *)
+let run_on_pool p ~retries ~should_stop f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n Skipped in
+  if n > 0 then begin
+    let bm = Mutex.create () in
+    let bcv = Condition.create () in
+    let remaining = ref n in
+    let job i ctx =
+      (* The stop poll gates execution only: a stopped batch's queued jobs
+         drain as fast no-ops and report [Skipped]. *)
+      if not (should_stop ()) then
+        results.(i) <- exec_task ctx ~retries f tasks.(i);
+      Mutex.lock bm;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast bcv;
+      Mutex.unlock bm
+    in
+    Mutex.lock p.m;
+    if p.stopping then begin
+      Mutex.unlock p.m;
+      invalid_arg "Domain_pool.run: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (job i) p.q
+    done;
+    Condition.broadcast p.work_cv;
+    Mutex.unlock p.m;
+    Mutex.lock bm;
+    while !remaining > 0 do
+      Condition.wait bcv bm
+    done;
+    Mutex.unlock bm
+  end;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Batch runs *)
+
+let run ?jobs ?pool ?(retries = 0) ?(should_stop = no_stop) f tasks =
+  let n = Array.length tasks in
+  Obs.add c_tasks n;
   let results =
-    if jobs <= 1 || n <= 1 then begin
-      let t0 = Obs.now_ns () in
-      let busy = ref 0.0 in
-      let tasks_done = ref 0 in
-      Array.map
-        (fun x ->
-          if should_stop () then Skipped
-          else if ev_on then timed_task 0 ~t0 ~busy ~tasks_done x
-          else attempt_task ~retries f x)
-        tasks
-    end
-    else begin
-      let next = Atomic.make 0 in
-      let worker w () =
-        let t0 = Obs.now_ns () in
-        let busy = ref 0.0 in
-        let tasks_done = ref 0 in
-        let buf = ref [] in
-        let rec loop () =
-          (* The stop poll gates task claiming only: in-flight tasks drain
-             to completion (bounded by their own point deadlines), so a
-             cancelled sweep still journals everything it finished. *)
-          if not (should_stop ()) then begin
-            let i = Atomic.fetch_and_add next 1 in
-            if i < n then begin
-              (if ev_on then buf := (i, timed_task w ~t0 ~busy ~tasks_done tasks.(i)) :: !buf
-               else buf := (i, attempt_task ~retries f tasks.(i)) :: !buf);
-              loop ()
-            end
-          end
-        in
-        loop ();
-        !buf
+    match pool with
+    | Some p -> run_on_pool p ~retries ~should_stop f tasks
+    | None ->
+      let jobs =
+        min (match jobs with Some j -> max 1 j | None -> default_jobs ()) n
       in
-      Obs.add c_spawns jobs;
-      let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
-      let merged = Array.make n Skipped in
-      Array.iter
-        (fun d -> List.iter (fun (i, r) -> merged.(i) <- r) (Domain.join d))
-        domains;
-      merged
-    end
+      if jobs <= 1 || n <= 1 then begin
+        let ctx = new_wctx 0 in
+        Array.map
+          (fun x ->
+            if should_stop () then Skipped else exec_task ctx ~retries f x)
+          tasks
+      end
+      else begin
+        let next = Atomic.make 0 in
+        let worker w () =
+          let ctx = new_wctx w in
+          let buf = ref [] in
+          let rec loop () =
+            (* The stop poll gates task claiming only: in-flight tasks drain
+               to completion (bounded by their own point deadlines), so a
+               cancelled sweep still journals everything it finished. *)
+            if not (should_stop ()) then begin
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                buf := (i, exec_task ctx ~retries f tasks.(i)) :: !buf;
+                loop ()
+              end
+            end
+          in
+          loop ();
+          !buf
+        in
+        Obs.add c_spawns jobs;
+        let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
+        let merged = Array.make n Skipped in
+        Array.iter
+          (fun d -> List.iter (fun (i, r) -> merged.(i) <- r) (Domain.join d))
+          domains;
+        merged
+      end
   in
   Array.iter (function Skipped -> Obs.incr c_skipped | Done _ | Crashed _ -> ()) results;
   results

@@ -28,8 +28,33 @@ type 'b outcome =
   | Crashed of crash  (** every attempt raised; quarantined *)
   | Skipped  (** never claimed — [should_stop] fired first *)
 
+(** {1 Persistent pools}
+
+    A fixed set of worker domains pulling jobs off one shared FIFO queue.
+    Spawn-per-batch ({!run} without [?pool]) is right for a CLI sweep;
+    a long-running daemon instead creates one pool at startup and
+    multiplexes every request's batches onto it — concurrent batches
+    interleave in the queue, and no request ever spawns a domain. *)
+
+type pool
+
+val create : jobs:int -> pool
+(** Spawn [max 1 jobs] worker domains, idle until work arrives. *)
+
+val pool_jobs : pool -> int
+
+val pending : pool -> int
+(** Jobs currently queued (claimed-but-running jobs not included) — the
+    backlog gauge admission control reads. *)
+
+val shutdown : pool -> unit
+(** Stop the workers and join their domains.  Already-queued jobs drain
+    first (so no in-flight batch is left waiting), then the domains exit.
+    Idempotent; {!run} on a shut-down pool raises [Invalid_argument]. *)
+
 val run :
   ?jobs:int ->
+  ?pool:pool ->
   ?retries:int ->
   ?should_stop:(unit -> bool) ->
   ('a -> 'b) ->
@@ -38,7 +63,11 @@ val run :
 (** [run ~jobs ~retries ~should_stop f tasks] applies [f] to every task
     and returns outcomes in task order.  [jobs] defaults to
     {!default_jobs}; values [<= 1] (or a single task) run sequentially in
-    the calling domain with no spawns.
+    the calling domain with no spawns.  When [pool] is given, [jobs] is
+    ignored: the tasks are enqueued on the shared pool and the call blocks
+    until every one has executed (tasks of a stopped batch drain as
+    [Skipped] no-ops).  [run] with a pool may be called concurrently from
+    many threads.
 
     A task that raises is retried immediately, in the same worker, up to
     [retries] (default 0) more times; each retry bumps

@@ -26,8 +26,12 @@ type summary = {
 
 let ok s = s.status = Success
 
+(* The table is shared state: the CLI touches it from one thread, but the
+   serve daemon keeps one warm cache across concurrent connection threads,
+   so every entry access goes through [lock]. *)
 type t = {
   entries : (string, summary) Hashtbl.t;
+  lock : Mutex.t;
   mutable quarantined : int;
 }
 
@@ -39,15 +43,21 @@ let c_quarantined = Obs.counter "cache.quarantined"
    (ok|infeasible|timed_out|crashed) when sweeps grew supervision. *)
 let magic = "slackhls-explore-cache v2"
 
-let create () = { entries = Hashtbl.create 64; quarantined = 0 }
-let size t = Hashtbl.length t.entries
+let create () =
+  { entries = Hashtbl.create 64; lock = Mutex.create (); quarantined = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let size t = locked t (fun () -> Hashtbl.length t.entries)
 let quarantined t = t.quarantined
 
 let key ~digest ~lib ~config ~point_key =
   String.concat "|" [ digest; lib; config; point_key ]
 
 let find t k =
-  match Hashtbl.find_opt t.entries k with
+  match locked t (fun () -> Hashtbl.find_opt t.entries k) with
   | Some _ as hit ->
     Obs.incr c_hits;
     hit
@@ -55,7 +65,7 @@ let find t k =
     Obs.incr c_misses;
     None
 
-let add t k s = Hashtbl.replace t.entries k s
+let add t k s = locked t (fun () -> Hashtbl.replace t.entries k s)
 
 (* One entry per line:
      key \t status \t area \t steps \t delay \t relax \t regrades \t recov \t error
@@ -123,7 +133,7 @@ let load ~path =
 
 let save t ~path =
   let entries =
-    Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.entries []
+    locked t (fun () -> Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.entries [])
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let oc = open_out path in

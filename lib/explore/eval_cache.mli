@@ -12,7 +12,11 @@
     bit-exact: a cached sweep renders byte-identically to the sweep that
     populated it.  Individually corrupt records are {e quarantined} on
     load (skipped and counted on [cache.quarantined]) — only an unreadable
-    header condemns the file. *)
+    header condemns the file.
+
+    A cache is thread- and domain-safe: entry access is serialised on an
+    internal mutex, so the serve daemon can keep one warm cache shared by
+    every connection. *)
 
 (** How a point's evaluation ended.  Everything but [Success] is data in
     the infeasible region of the tradeoff space: [Infeasible] is a

@@ -105,9 +105,9 @@ let count_status st results =
   List.length
     (List.filter (fun r -> r.summary.Eval_cache.status = st) results)
 
-let run ?jobs ?(retries = 0) ?(strict = false) ?point_deadline
-    ?(cancel = Cancel.never) ?cache ?journal ?(resume = []) ~lib ~config
-    ~name ~build grid =
+let run ?jobs ?pool ?(retries = 0) ?(strict = false) ?(recheck_crashes = false)
+    ?point_deadline ?(cancel = Cancel.never) ?cache ?journal ?(resume = [])
+    ~lib ~config ~name ~build grid =
   Obs.span "explore.run" @@ fun () ->
   let digest = Dfg.digest (build ()) in
   let fingerprint = config_fingerprint config in
@@ -129,17 +129,26 @@ let run ?jobs ?(retries = 0) ?(strict = false) ?point_deadline
     match journal with Some w -> Journal.record w ~key:ck s | None -> ()
   in
   (* Three-way split: points the resume journal answers, points the cache
-     answers, and points that need a pipeline run. *)
+     answers, and points that need a pipeline run.  With [recheck_crashes]
+     a recorded [Crash] never answers a point — a crash may have been
+     transient (the serve daemon's request-level retry policy re-runs the
+     sweep with this set after a backoff), so the point is re-evaluated
+     and its fresh summary overwrites the quarantined one. *)
+  let usable (s : Eval_cache.summary) =
+    not (recheck_crashes && s.Eval_cache.status = Eval_cache.Crash)
+  in
   let prior, misses =
     List.partition_map
       (fun (pkey, p) ->
         let ck = cache_key pkey in
         match Hashtbl.find_opt journal_tbl ck with
-        | Some s -> Left { point = p; pkey; summary = s; origin = Resumed }
-        | None -> (
+        | Some s when usable s ->
+          Left { point = p; pkey; summary = s; origin = Resumed }
+        | Some _ | None -> (
           match Option.bind cache (fun c -> Eval_cache.find c ck) with
-          | Some s -> Left { point = p; pkey; summary = s; origin = Cached }
-          | None -> Right (pkey, p)))
+          | Some s when usable s ->
+            Left { point = p; pkey; summary = s; origin = Cached }
+          | Some _ | None -> Right (pkey, p)))
       keyed
   in
   let n_resumed =
@@ -156,7 +165,7 @@ let run ?jobs ?(retries = 0) ?(strict = false) ?point_deadline
   let miss_arr = Array.of_list misses in
   let outcomes =
     Obs.span "explore.evaluate" (fun () ->
-        Domain_pool.run ?jobs ~retries
+        Domain_pool.run ?jobs ?pool ~retries
           ~should_stop:(fun () -> Cancel.cancelled cancel)
           (fun (pkey, p) ->
             let summary = evaluate ?deadline:point_deadline ~lib ~config ~name ~build p in

@@ -52,8 +52,10 @@ val partial : outcome -> bool
 
 val run :
   ?jobs:int ->
+  ?pool:Domain_pool.pool ->
   ?retries:int ->
   ?strict:bool ->
+  ?recheck_crashes:bool ->
   ?point_deadline:float ->
   ?cancel:Cancel.t ->
   ?cache:Eval_cache.t ->
@@ -89,6 +91,14 @@ val run :
       hit — as an fsync'd {!Journal} entry keyed by the full cache key.
     - [resume] (the entries of {!Journal.load}) answers matching points
       without re-evaluating them; they return as origin [Resumed].
+    - [pool]: evaluate on a shared persistent {!Domain_pool.pool} instead
+      of spawning domains for this sweep.  [run] is re-entrant: many
+      threads may sweep concurrently against one pool and one (mutex-
+      guarded) cache — the serve daemon's warm-state path.
+    - [recheck_crashes]: a [Crash] recorded in the cache or resume journal
+      does not answer its point; the point is re-evaluated (transient
+      crashes get a second chance — the daemon's retry-with-backoff
+      policy re-enters [run] with this set).
 
     Telemetry: [explore.timeouts], [explore.crashes] and
     [explore.resumed], beyond the existing point/evaluation/failure

@@ -1,6 +1,15 @@
 let c_records = Obs.counter "explore.journal.records"
 let c_quarantined = Obs.counter "explore.journal.quarantined"
 
+(* Short alias kept in lockstep with the legacy counter: the serve daemon's
+   --stats reads [journal.quarantined]; the bench baseline gate pins the
+   long name, so both are bumped. *)
+let c_quarantined_short = Obs.counter "journal.quarantined"
+
+let quarantine_line () =
+  Obs.incr c_quarantined;
+  Obs.incr c_quarantined_short
+
 let magic = "slackhls-explore-journal v1"
 
 type writer = {
@@ -56,15 +65,32 @@ let load ~path =
   if not (Sys.file_exists path) then Ok ([], 0)
   else
     match open_in path with
-    | exception Sys_error m -> Error m
+    | exception Sys_error m -> Error (Printf.sprintf "%s: %s" path m)
     | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
+          (* [open_in] on e.g. a directory succeeds on Linux; the Sys_error
+             only surfaces at the first read.  Map it to the same
+             path-prefixed error as an open failure. *)
           match input_line ic with
-          | exception End_of_file -> Error (path ^ ": empty journal file")
+          | exception Sys_error m -> Error (Printf.sprintf "%s: %s" path m)
+          | exception End_of_file ->
+            (* A zero-byte journal is what a kill leaves when it lands
+               between openfile and the header fsync: nothing was recorded,
+               so there is nothing to resume — not an error. *)
+            Ok ([], 0)
           | first when first <> magic ->
-            Error (Printf.sprintf "%s: not a %S file" path magic)
+            (* Same race, one write later: a torn header (a strict prefix
+               of the magic) means the journal never recorded a point.
+               Anything else is a foreign file — refuse to resume from it. *)
+            if String.length first < String.length magic
+               && String.starts_with ~prefix:first magic
+            then begin
+              quarantine_line ();
+              Ok ([], 1)
+            end
+            else Error (Printf.sprintf "%s: not a %S file" path magic)
           | _ ->
             (* A torn final record (the process died mid-append, before the
                fsync) is expected after a crash: quarantine it, keep the
@@ -73,13 +99,15 @@ let load ~path =
             let rec go acc =
               match input_line ic with
               | exception End_of_file -> Ok (List.rev acc, !quarantined)
+              | exception Sys_error m ->
+                Error (Printf.sprintf "%s: %s" path m)
               | "" -> go acc
               | ln -> (
                 match Eval_cache.parse_line ln with
                 | Some entry -> go (entry :: acc)
                 | None ->
                   incr quarantined;
-                  Obs.incr c_quarantined;
+                  quarantine_line ();
                   go acc)
             in
             go [])

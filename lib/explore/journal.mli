@@ -13,7 +13,9 @@
     resume folds the records into a table.
 
     Telemetry: [explore.journal.records] per append,
-    [explore.journal.quarantined] per corrupt line skipped on load. *)
+    [explore.journal.quarantined] (and its short alias
+    [journal.quarantined], which the serve daemon's stats report) per
+    corrupt line skipped on load. *)
 
 type writer
 
@@ -32,5 +34,8 @@ val close : writer -> unit
 val load : path:string -> ((string * Eval_cache.summary) list * int, string) result
 (** All well-formed records in file order (last write wins on duplicate
     keys when folded into a table) and the number of quarantined (torn or
-    corrupt) lines.  A missing file is an empty journal; an unreadable
-    file or bad header is [Error]. *)
+    corrupt) lines.  A missing file, an empty file (killed before the
+    header fsync) and a torn header (a strict prefix of the magic) are all
+    an empty journal, the latter counting as one quarantined line.  An
+    unreadable file or a foreign header is [Error]; every error message
+    starts with [path]. *)

@@ -427,6 +427,12 @@ module Events = struct
         minor_words : float;  (* allocation delta of the sampled task *)
         major_words : float;
       }
+    | Serve_sample of {
+        queue_depth : int;  (* admitted requests currently in the system *)
+        inflight : int;  (* requests currently executing *)
+        admitted : int;  (* cumulative admission decisions *)
+        shed : int;  (* cumulative load-shed decisions *)
+      }
 
   type t = { seq : int; payload : payload }
 
@@ -541,6 +547,14 @@ module Events = struct
           ("minor_w", Float minor_words);
           ("major_w", Float major_words);
         ]
+    | Serve_sample { queue_depth; inflight; admitted; shed } ->
+      base "serve"
+        [
+          ("queue_depth", Int queue_depth);
+          ("inflight", Int inflight);
+          ("admitted", Int admitted);
+          ("shed", Int shed);
+        ]
 
   let of_json j =
     let fail msg = raise (Json.Parse_error msg) in
@@ -612,6 +626,14 @@ module Events = struct
               }
           | "recovery" ->
             Recovery_step { rung = str "rung"; outcome = str "outcome" }
+          | "serve" ->
+            Serve_sample
+              {
+                queue_depth = int "queue_depth";
+                inflight = int "inflight";
+                admitted = int "admitted";
+                shed = int "shed";
+              }
           | "worker" ->
             Worker_sample
               {

@@ -235,6 +235,13 @@ module Events : sig
         minor_words : float;  (** allocation delta of the sampled task *)
         major_words : float;
       }
+    | Serve_sample of {
+        queue_depth : int;
+            (** admitted requests currently in the system (queued + executing) *)
+        inflight : int;  (** requests currently executing *)
+        admitted : int;  (** cumulative admission decisions *)
+        shed : int;  (** cumulative load-shed decisions *)
+      }
 
   type t = { seq : int; payload : payload }
 

@@ -1,0 +1,63 @@
+type addr = Unix_path of string | Tcp of string * int
+
+type t = { conn : Protocol.conn }
+
+let addr_name = function
+  | Unix_path p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let connect addr =
+  match
+    match addr with
+    | Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path) with e -> Unix.close fd; raise e);
+      fd
+    | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ ->
+          (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (ip, port)) with e -> Unix.close fd; raise e);
+      fd
+  with
+  | fd -> Ok { conn = Protocol.make fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "%s: cannot connect: %s" (addr_name addr)
+         (Unix.error_message e))
+  | exception Not_found ->
+    Error (Printf.sprintf "%s: cannot resolve host" (addr_name addr))
+
+let close t = try Unix.close (Protocol.fd t.conn) with Unix.Unix_error _ -> ()
+
+let request ?deadline_s t payload =
+  match Protocol.write_frame (Protocol.fd t.conn) payload with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+  | () -> (
+    let should_stop =
+      match deadline_s with
+      | None -> fun () -> false
+      | Some s ->
+        let deadline = Unix.gettimeofday () +. s in
+        fun () -> Unix.gettimeofday () >= deadline
+    in
+    (* The response may legitimately take a whole sweep to arrive: that is
+       the idle wait, which [should_stop] bounds.  The stall budget only
+       covers a response torn mid-frame. *)
+    match Protocol.read_frame ~stall:30.0 ~should_stop t.conn with
+    | Protocol.Frame r -> Ok r
+    | Protocol.Eof -> Error "daemon closed the connection before responding"
+    | Protocol.Stalled -> Error "response stalled mid-frame"
+    | Protocol.Too_big n -> Error (Printf.sprintf "oversized response (%d bytes)" n)
+    | Protocol.Stopped -> Error "deadline expired waiting for response")
+
+let one_shot ?deadline_s addr payload =
+  match connect addr with
+  | Error _ as e -> e
+  | Ok t ->
+    Fun.protect ~finally:(fun () -> close t) (fun () ->
+        request ?deadline_s t payload)

@@ -1,0 +1,22 @@
+(** Minimal client for the synthesis daemon — what [hlsc request] and the
+    [--once] self-test speak.  One connection, sequential
+    request/response pairs; concurrency is many clients, not pipelining. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type t
+
+val connect : addr -> (t, string) result
+(** [Error] carries the address in the message. *)
+
+val close : t -> unit
+
+val request : ?deadline_s:float -> t -> string -> (string, string) result
+(** Send one request payload, block for the one response payload.
+    [deadline_s] bounds the whole wait (the server may legitimately take
+    a sweep's worth of time; default: wait forever).  Transport failures
+    — daemon gone, torn response frame, oversized response — are
+    [Error]. *)
+
+val one_shot : ?deadline_s:float -> addr -> string -> (string, string) result
+(** Connect, {!request}, close. *)

@@ -1,0 +1,528 @@
+module J = Obs.Json
+
+let c_connections = Obs.counter "serve.connections"
+let c_slow_clients = Obs.counter "serve.slow_clients"
+let c_oversized = Obs.counter "serve.oversized"
+let c_retried = Obs.counter "serve.request_retries"
+let c_interrupted = Obs.counter "serve.interrupted"
+
+type address = Unix_sock of string | Tcp of int
+
+type config = {
+  address : address;
+  jobs : int;
+  high_water : int;
+  drain_deadline : float;
+  read_timeout : float;
+  default_deadline : float option;
+  point_deadline : float option;
+  request_retries : int;
+  backoff : float;
+  max_frame_bytes : int;
+  lib : Library.t;
+  flow_config : Flows.config;
+  designs : (string * (unit -> Dfg.t * float)) list;
+  journal_path : string option;
+  cache_path : string option;
+  drain_after_points : int option;
+}
+
+let default_config =
+  {
+    address = Unix_sock "hlsc.sock";
+    jobs = 2;
+    high_water = 4;
+    drain_deadline = 30.0;
+    read_timeout = 5.0;
+    default_deadline = None;
+    point_deadline = None;
+    request_retries = 1;
+    backoff = 0.05;
+    max_frame_bytes = Protocol.default_max_frame;
+    lib = Library.default;
+    flow_config = Flows.default_config;
+    designs = [];
+    journal_path = None;
+    cache_path = None;
+    drain_after_points = None;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pool : Domain_pool.pool;
+  cache : Eval_cache.t;
+  journal : Journal.writer option;
+  admission : Admission.t;
+  drain_tok : Cancel.t;
+  interrupted : bool Atomic.t;
+}
+
+let drain ~reason t = Cancel.trigger ~reason t.drain_tok
+let draining t = Cancel.reason t.drain_tok <> None
+
+(* ------------------------------------------------------------------ *)
+(* Startup *)
+
+let bind_listener = function
+  | Unix_sock path ->
+    (* A stale socket file from a killed daemon would make bind fail;
+       removing it is safe because a live daemon holds the fd, not the
+       name. *)
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    fd
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+
+let ( let* ) = Result.bind
+
+let start cfg =
+  let* cache =
+    match cfg.cache_path with
+    | None -> Ok (Eval_cache.create ())
+    | Some path -> Eval_cache.load ~path
+  in
+  let* journal =
+    match cfg.journal_path with
+    | None -> Ok None
+    | Some path -> (
+      match Journal.start ~path ~fresh:false with
+      | w -> Ok (Some w)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  in
+  let* listen_fd =
+    match bind_listener cfg.address with
+    | fd -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("cannot bind socket: " ^ Unix.error_message e)
+    | exception Sys_error m -> Error m
+  in
+  Unix.listen listen_fd 64;
+  (* A client that dies mid-response must cost one EPIPE, not the whole
+     daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let pool = Domain_pool.create ~jobs:(max 1 cfg.jobs) in
+  let drain_tok = Cancel.manual () in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      pool;
+      cache;
+      journal;
+      admission =
+        Admission.create ~high_water:cfg.high_water
+          ~queue_depth:(fun () -> Domain_pool.pending pool);
+      drain_tok;
+      interrupted = Atomic.make false;
+    }
+  in
+  (match cfg.drain_after_points with
+  | None -> ()
+  | Some k ->
+    (* Deterministic mid-sweep drain for tests: the pool emits one
+       Worker_sample per completed point, so counting samples in the
+       event hook fires the drain token after exactly [k] evaluations,
+       independent of timing. *)
+    let count = ref 0 in
+    if not (Obs.Events.enabled ()) then Obs.Events.enable ();
+    Obs.Events.set_hook
+      (Some
+         (fun ev ->
+           match ev.Obs.Events.payload with
+           | Obs.Events.Worker_sample _ ->
+             incr count;
+             if !count = k then
+               Cancel.trigger ~reason:"drain-after-points" drain_tok
+           | _ -> ())));
+  Ok t
+
+(* ------------------------------------------------------------------ *)
+(* Request execution *)
+
+let flow_of_name = function
+  | "conventional" | "conv" -> Ok Flows.Conventional
+  | "slowest" | "slowest-first" -> Ok Flows.Slowest_first
+  | "slack" | "slack-based" -> Ok Flows.Slack_based
+  | s ->
+    Error (Printf.sprintf "unknown flow %S (try: conventional, slowest, slack)" s)
+
+let lookup_design t name =
+  match List.assoc_opt name t.cfg.designs with
+  | Some mk ->
+    let _, default_clock = mk () in
+    Ok (default_clock, fun () -> fst (mk ()))
+  | None ->
+    Error
+      (Printf.sprintf "unknown design %S (try: %s)" name
+         (String.concat ", " (List.map fst t.cfg.designs)))
+
+(* Run the sweep under the request's cancel token, re-running crashed
+   points with exponential backoff: a crash may be transient, and
+   [recheck_crashes] makes the re-run treat recorded crashes as misses
+   while every completed point still comes from the warm cache. *)
+let sweep_with_retries t ~cancel ~point_deadline ~name ~build grid =
+  let rec attempt n recheck =
+    let outcome =
+      Explore.run ~pool:t.pool ~recheck_crashes:recheck ?point_deadline
+        ~cancel ~cache:t.cache ?journal:t.journal ~lib:t.cfg.lib
+        ~config:t.cfg.flow_config ~name ~build grid
+    in
+    if
+      outcome.Explore.crashed > 0
+      && n < t.cfg.request_retries
+      && Cancel.reason cancel = None
+    then begin
+      Obs.incr c_retried;
+      Thread.delay (t.cfg.backoff *. (2.0 ** float_of_int n));
+      attempt (n + 1) true
+    end
+    else outcome
+  in
+  attempt 0 false
+
+let request_cancel t deadline_s =
+  let deadline =
+    match (deadline_s, t.cfg.default_deadline) with
+    | Some s, _ | None, Some s -> Cancel.after ~seconds:s
+    | None, None -> Cancel.never
+  in
+  (* Drain first: when both fire, the drain reason wins and the response
+     is [partial] (resumable), not [timed_out]. *)
+  Cancel.any [ t.drain_tok; deadline ]
+
+(* A response must expose only what is deterministic across cache state:
+   statuses, areas and delays are; evaluated/hit/resumed counts are not.
+   The concurrent-vs-sequential byte-identity test depends on this. *)
+let summary_fields (s : Eval_cache.summary) =
+  [
+    ("area", J.Float s.Eval_cache.area);
+    ("steps", J.Int s.Eval_cache.steps);
+    ("delay_ps", J.Float s.Eval_cache.delay_ps);
+    ("recoveries", J.Int s.Eval_cache.recoveries);
+  ]
+  @
+  if s.Eval_cache.error = "" then []
+  else [ ("point_error", J.String s.Eval_cache.error) ]
+
+let frontier_json (outcome : Explore.outcome) =
+  J.List
+    (List.map
+       (fun (e : Explore.point_result Pareto.entry) ->
+         let r = e.Pareto.tag in
+         J.Obj
+           (("key", J.String r.Explore.pkey)
+           :: summary_fields r.Explore.summary))
+       outcome.Explore.frontier)
+
+let note_interrupted t ~cancel (outcome : Explore.outcome) =
+  if outcome.Explore.pending > 0 && Cancel.reason cancel <> Some "deadline"
+  then begin
+    (* Drained mid-sweep: the journal holds the completed prefix, so the
+       daemon owes its caller an exit 5. *)
+    Atomic.set t.interrupted true;
+    Obs.incr c_interrupted
+  end
+
+let explore_status ~cancel (outcome : Explore.outcome) =
+  if outcome.Explore.pending > 0 then
+    if Cancel.reason cancel = Some "deadline" then "timed_out" else "partial"
+  else if outcome.Explore.total > 0 && outcome.Explore.frontier = [] then
+    "failed"
+  else "ok"
+
+let counts_fields (outcome : Explore.outcome) =
+  [
+    ("total", J.Int outcome.Explore.total);
+    ("failed", J.Int outcome.Explore.failed);
+    ("timed_out_points", J.Int outcome.Explore.timed_out);
+    ("crashed", J.Int outcome.Explore.crashed);
+    ("pending", J.Int outcome.Explore.pending);
+  ]
+
+let execute_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis ~recover
+    ~point_deadline =
+  match lookup_design t design with
+  | Error m -> Protocol.error_response ~id m
+  | Ok (_, build) -> (
+    match Explore_grid.of_specs ~clocks ~flows ~iis ~recover () with
+    | Error m -> Protocol.error_response ~id m
+    | Ok grid ->
+      let cancel = request_cancel t deadline_s in
+      let point_deadline =
+        match point_deadline with Some s -> Some s | None -> t.cfg.point_deadline
+      in
+      let outcome =
+        sweep_with_retries t ~cancel ~point_deadline ~name:design ~build grid
+      in
+      note_interrupted t ~cancel outcome;
+      Protocol.response ~id ~status:(explore_status ~cancel outcome)
+        (("design", J.String design)
+        :: (counts_fields outcome @ [ ("frontier", frontier_json outcome) ])))
+
+let execute_run t ~id ~deadline_s ~design ~clock ~flow =
+  match lookup_design t design with
+  | Error m -> Protocol.error_response ~id m
+  | Ok (default_clock, build) -> (
+    match flow_of_name flow with
+    | Error m -> Protocol.error_response ~id m
+    | Ok flow -> (
+      let clock = Option.value ~default:default_clock clock in
+      match Explore_grid.make ~clocks:[ clock ] ~flows:[ flow ] () with
+      | Error m -> Protocol.error_response ~id m
+      | Ok grid -> (
+        let cancel = request_cancel t deadline_s in
+        let outcome =
+          sweep_with_retries t ~cancel ~point_deadline:t.cfg.point_deadline
+            ~name:design ~build grid
+        in
+        note_interrupted t ~cancel outcome;
+        match outcome.Explore.results with
+        | [ r ] ->
+          let s = r.Explore.summary in
+          let status =
+            match s.Eval_cache.status with
+            | Eval_cache.Success -> "ok"
+            | Eval_cache.Infeasible -> "failed"
+            | Eval_cache.Timeout -> "timed_out"
+            | Eval_cache.Crash -> "crashed"
+          in
+          Protocol.response ~id ~status
+            (("design", J.String design) :: ("key", J.String r.Explore.pkey)
+            :: summary_fields s)
+        | _ ->
+          (* Never claimed: the drain (or deadline) won the race. *)
+          Protocol.response
+            ~id
+            ~status:
+              (if Cancel.reason cancel = Some "deadline" then "timed_out"
+               else "partial")
+            [ ("design", J.String design) ])))
+
+let stats_response t ~id =
+  let v name = J.Int (Obs.value (Obs.counter name)) in
+  Protocol.response ~id ~status:"ok"
+    [
+      ("inflight", J.Int (Admission.inflight t.admission));
+      ("high_water", J.Int (Admission.high_water t.admission));
+      ("queue_depth", J.Int (Domain_pool.pending t.pool));
+      ("pool_jobs", J.Int (Domain_pool.pool_jobs t.pool));
+      ("requests", v "serve.requests");
+      ("admitted", v "serve.admitted");
+      ("shed", v "serve.shed");
+      ("completed", v "serve.completed");
+      ("connections", v "serve.connections");
+      ("slow_clients", v "serve.slow_clients");
+      ("malformed", v "serve.malformed");
+      ("request_retries", v "serve.request_retries");
+      ("cache_entries", J.Int (Eval_cache.size t.cache));
+      ("journal_records", v "explore.journal.records");
+      ("journal_quarantined", v "journal.quarantined");
+      ("draining", J.Bool (draining t));
+    ]
+
+let control t (env : Protocol.envelope) =
+  let id = env.Protocol.id in
+  match env.Protocol.req with
+  | Protocol.Ping ->
+    Protocol.response ~id ~status:"ok" [ ("pong", J.Bool true) ]
+  | Protocol.Stats -> stats_response t ~id
+  | Protocol.Shutdown ->
+    drain ~reason:"shutdown request" t;
+    Protocol.response ~id ~status:"ok" [ ("draining", J.Bool true) ]
+  | Protocol.Run _ | Protocol.Explore _ -> assert false (* dispatched below *)
+
+let execute t (env : Protocol.envelope) =
+  let id = env.Protocol.id in
+  let deadline_s = env.Protocol.deadline_s in
+  match env.Protocol.req with
+  | Protocol.Run { design; clock; flow } ->
+    execute_run t ~id ~deadline_s ~design ~clock ~flow
+  | Protocol.Explore { design; clocks; flows; iis; recover; point_deadline } ->
+    execute_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis ~recover
+      ~point_deadline
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+let handle_conn t fd =
+  Obs.incr c_connections;
+  let conn = Protocol.make fd in
+  let alive = ref true in
+  let send payload =
+    try Protocol.write_frame fd payload
+    with Unix.Unix_error _ -> alive := false
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rec loop () =
+    if !alive then
+      match
+        Protocol.read_frame ~max_bytes:t.cfg.max_frame_bytes
+          ~stall:t.cfg.read_timeout
+          ~should_stop:(fun () -> draining t)
+          conn
+      with
+      | Protocol.Eof | Protocol.Stopped -> ()
+      | Protocol.Stalled ->
+        (* A request that started and stopped flowing: the stalled-client
+           containment path.  One error frame (best effort), then close —
+           the reader thread must not stay pinned to a dead peer. *)
+        Obs.incr c_slow_clients;
+        send
+          (Protocol.error_response ~id:""
+             (Printf.sprintf "request stalled mid-frame for %.1fs; closing"
+                t.cfg.read_timeout))
+      | Protocol.Too_big n ->
+        Obs.incr c_oversized;
+        send
+          (Protocol.error_response ~id:""
+             (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+                t.cfg.max_frame_bytes))
+      | Protocol.Frame payload ->
+        (match Protocol.parse_request payload with
+        | Error m -> send (Protocol.error_response ~id:"" m)
+        | Ok env -> (
+          match env.Protocol.req with
+          | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+            send (control t env)
+          | Protocol.Run _ | Protocol.Explore _ -> (
+            match Admission.try_admit t.admission with
+            | Admission.Shed ->
+              send
+                (Protocol.response ~id:env.Protocol.id ~status:"overloaded"
+                   [
+                     ("retry_after_s", J.Float t.cfg.backoff);
+                     ("inflight", J.Int (Admission.inflight t.admission));
+                   ])
+            | Admission.Draining ->
+              send
+                (Protocol.response ~id:env.Protocol.id ~status:"draining" [])
+            | Admission.Admitted ->
+              (* finish only after the response bytes are out: the drain
+                 sequence waits on inflight reaching zero, so responses to
+                 in-flight requests cannot race process exit. *)
+              Fun.protect
+                ~finally:(fun () -> Admission.finish t.admission)
+                (fun () -> send (execute t env)))));
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and drain sequence *)
+
+let accept_loop t =
+  let rec go () =
+    if not (draining t) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error (_, _, _) -> ()
+        | fd, _ -> ignore (Thread.create (handle_conn t) fd)));
+      go ()
+    end
+  in
+  go ()
+
+let serve t =
+  accept_loop t;
+  Admission.start_drain t.admission;
+  let reason = Option.value ~default:"drain" (Cancel.reason t.drain_tok) in
+  Printf.eprintf "hlsc serve: draining (%s), %d request(s) in flight\n%!"
+    reason
+    (Admission.inflight t.admission);
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.address with
+  | Unix_sock p -> ( try Sys.remove p with Sys_error _ -> ())
+  | Tcp _ -> ());
+  let drained =
+    Admission.wait_idle t.admission ~deadline_s:t.cfg.drain_deadline
+  in
+  (* Only a clean drain joins the worker domains: past the deadline a
+     wedged evaluation must not also wedge the exit path — the fsync'd
+     journal already holds every completed point. *)
+  if drained then Domain_pool.shutdown t.pool
+  else
+    Printf.eprintf
+      "hlsc serve: drain deadline (%.1fs) expired with %d request(s) in \
+       flight\n\
+       %!"
+      t.cfg.drain_deadline
+      (Admission.inflight t.admission);
+  Option.iter Journal.close t.journal;
+  (match t.cfg.cache_path with
+  | None -> ()
+  | Some path -> (
+    try Eval_cache.save t.cache ~path
+    with Sys_error m ->
+      Printf.eprintf "hlsc serve: cache save failed: %s\n%!" m));
+  let interrupted = Atomic.get t.interrupted || not drained in
+  if interrupted then begin
+    (match t.cfg.journal_path with
+    | Some p ->
+      Printf.eprintf
+        "hlsc serve: interrupted sweeps journaled; resume with hlsc explore \
+         --resume %s\n\
+         %!"
+        p
+    | None -> ());
+    5
+  end
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* --once self-test *)
+
+let once cfg ~request_json =
+  let dir = Filename.temp_file "hlsc-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "once.sock" in
+  let cfg = { cfg with address = Unix_sock sock } in
+  match start cfg with
+  | Error m -> Error m
+  | Ok t ->
+    let requests =
+      String.split_on_char '\n' request_json
+      |> List.filter (fun s -> String.trim s <> "")
+    in
+    let results = ref [] in
+    let client () =
+      let rs =
+        match Client.connect (Client.Unix_path sock) with
+        | Error m -> [ (Protocol.error_response ~id:"" m, 1) ]
+        | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          List.map
+            (fun r ->
+              match Client.request c r with
+              | Error m -> (Protocol.error_response ~id:"" m, 1)
+              | Ok body ->
+                let code =
+                  match Protocol.response_status body with
+                  | Ok (status, _) -> Protocol.exit_code_of_status status
+                  | Error _ -> 1
+                in
+                (body, code))
+            requests
+      in
+      results := rs;
+      drain ~reason:"once" t
+    in
+    let th = Thread.create client () in
+    let daemon_code = serve t in
+    Thread.join th;
+    (try Sys.remove sock with Sys_error _ -> ());
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    Ok (!results, daemon_code)

@@ -100,9 +100,9 @@ let test_matrix_is_total () =
   (* Every enumerated corruption class has a test above (artifact classes)
      or below (supervision classes); a new class must extend this list (and
      the matrix) or this count trips. *)
-  Alcotest.(check int) "corruption classes" 8 (List.length Inject.all_corruptions);
+  Alcotest.(check int) "corruption classes" 10 (List.length Inject.all_corruptions);
   let prefixes = List.map Inject.intended_check_prefix Inject.all_corruptions in
-  Alcotest.(check int) "distinct validator families" 8
+  Alcotest.(check int) "distinct validator families" 10
     (List.length (List.sort_uniq compare prefixes))
 
 (* Supervision faults: each class bound to the machinery that must absorb
