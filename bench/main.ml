@@ -271,6 +271,7 @@ let () =
     sec "table4" Tables.table4;
     sec "customer" (Tables.customer ~count:(if quick then 20 else 100));
     sec "explore" (Explore_bench.run ~quick);
+    sec "corpus" (Corpus_bench.run ~quick);
     sec "attribution" Attribution.run;
     if not quick then sec "table5" Tables.table5
     else print_endline "\n(table 5 timing skipped in --quick mode)";

@@ -12,7 +12,18 @@
      explore  parallel design-space exploration: sweep a configuration grid
               (clocks x flows x initiation intervals x recovery policy) on
               a domain pool, fold the results into an area/delay Pareto
-              frontier, optionally memoized in an on-disk evaluation cache
+              frontier, optionally memoized in an on-disk evaluation cache;
+              --shard i/N evaluates one key-range shard for multi-process
+              or multi-machine sweeps
+     corpus   generate or verify the seeded ~100-design validation corpus
+              manifest (corpus/manifest.tsv); --verify exits non-zero on
+              any digest drift
+     sweep    sharded exploration driver: spawn N shard processes over one
+              design or a whole corpus, merge their journals and fold the
+              frontier a single process would have produced
+     merge-journals  validate disjoint shard journals (config-fingerprint
+              agreement, no cross-journal key overlap), collapse resume
+              duplicates, and write one key-sorted merged journal
      fuzz     seeded random designs through every flow under validation
      dot      dump Graphviz renderings
      serve    supervised synthesis daemon: concurrent run/explore requests
@@ -424,6 +435,30 @@ let load_builder ~source ~builtin ~clock =
 
 let grid_axis label parse spec = Result.map_error (fun m -> Usage (label ^ ": " ^ m)) (parse spec)
 
+(* --shard i/N: 1-based rank over N disjoint key-range shards. *)
+let parse_shard = function
+  | None -> Ok None
+  | Some spec -> (
+    match String.split_on_char '/' spec with
+    | [ i; n ] -> (
+      match (int_of_string_opt i, int_of_string_opt n) with
+      | Some i, Some n when n >= 1 && i >= 1 && i <= n -> Ok (Some (i, n))
+      | _ ->
+        Error
+          (Usage
+             (Printf.sprintf "--shard: %S is not i/N with 1 <= i <= N" spec)))
+    | _ -> Error (Usage (Printf.sprintf "--shard: %S is not of the form i/N" spec)))
+
+(* The membership predicate of shard [rank] (1-based) of the grid's
+   canonically-sorted key ranges — every process computes the same plan
+   from the same grid, so the N predicates partition it exactly. *)
+let shard_select ~rank ~shards grid =
+  let keys = List.map Explore_grid.point_key (Explore_grid.points grid) in
+  let mine = (Shard.plan ~shards keys).(rank - 1) in
+  let tbl = Hashtbl.create (List.length mine) in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) mine;
+  (List.length mine, fun k -> Hashtbl.mem tbl k)
+
 let write_rendering ~what path content =
   match path with
   | "-" ->
@@ -441,7 +476,7 @@ let write_rendering ~what path content =
 
 let explore_cmd source builtin clock lib validate max_recoveries clocks flows iis
     recover jobs cache_file point_deadline deadline retries strict journal_file
-    resume_file csv json stats trace events force progress =
+    resume_file shard csv json stats trace events force progress =
   with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib in
@@ -463,6 +498,14 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
      let* jobs =
        if jobs < 0 then Error (Usage "--jobs must be non-negative")
        else Ok (if jobs = 0 then None else Some jobs)
+     in
+     let* shard = parse_shard shard in
+     let shard_total, select =
+       match shard with
+       | None -> (Explore_grid.size grid, None)
+       | Some (rank, shards) ->
+         let count, pred = shard_select ~rank ~shards grid in
+         (count, Some pred)
      in
      let* () =
        if retries < 0 then Error (Usage "--retries must be non-negative") else Ok ()
@@ -530,7 +573,8 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
         under the obs mutex inside worker domains, so it only formats to
         stderr — no Obs calls.  Throttled to one line per second. *)
      (if progress then begin
-        let total = Explore_grid.size grid in
+        let total = shard_total in
+        let grid_total = Explore_grid.size grid in
         let t_start = Obs.now_ns () in
         let last_line = ref Int64.min_int in
         let points_done = ref 0 in
@@ -554,10 +598,27 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
                    let eta =
                      float_of_int (max 0 (total - !points_done)) /. Float.max 1e-9 rate
                    in
-                   Printf.eprintf
-                     "hlsc: explore: %d/%d points done (worker %d: %d done, %.0f%% \
-                      busy), ETA %.1fs\n%!"
-                     !points_done total domain tasks_done (100.0 *. utilization) eta
+                   match shard with
+                   | None ->
+                     Printf.eprintf
+                       "hlsc: explore: %d/%d points done (worker %d: %d done, %.0f%% \
+                        busy), ETA %.1fs\n%!"
+                       !points_done total domain tasks_done (100.0 *. utilization) eta
+                   | Some (rank, shards) ->
+                     (* Merged ETA: extrapolate the whole grid finishing at
+                        [shards] processes running at this shard's rate —
+                        the multi-process sweep's best local estimate. *)
+                     let merged_done = !points_done * shards in
+                     let merged_eta =
+                       float_of_int (max 0 (grid_total - merged_done))
+                       /. Float.max 1e-9 (rate *. float_of_int shards)
+                     in
+                     Printf.eprintf
+                       "hlsc: explore shard %d/%d: %d/%d points done (worker %d: \
+                        %d done, %.0f%% busy), ETA %.1fs; merged %d points ETA \
+                        ~%.1fs\n%!"
+                       rank shards !points_done total domain tasks_done
+                       (100.0 *. utilization) eta grid_total merged_eta
                  end
                | _ -> ()))
       end);
@@ -571,7 +632,7 @@ let explore_cmd source builtin clock lib validate max_recoveries clocks flows ii
              Option.iter Journal.close journal)
            (fun () ->
              Explore.run ?jobs ~retries ~strict ?point_deadline ~cancel ?cache
-               ?journal ~resume ~lib ~config ~name ~build grid)
+               ?journal ~resume ?select ~lib ~config ~name ~build grid)
        with
        | outcome -> Ok outcome
        | exception e ->
@@ -1084,7 +1145,7 @@ let req_design_arg =
          ~doc:"Built-in design name for run/explore requests.")
 
 let request_cmd socket host port op json id design clock flow clocks flows iis
-    recover deadline point_deadline stats trace events force =
+    recover deadline point_deadline retry stats trace events force =
   with_obs ~stats ~trace ~events ~force @@ fun () ->
   let addr =
     match port with
@@ -1133,11 +1194,22 @@ let request_cmd socket host port op json id design clock flow clocks flows iis
   | Error err ->
     Printf.eprintf "hlsc: %s\n" (message_of err);
     exit_code_of err
+  | Ok _ when retry < 0 ->
+    Printf.eprintf "hlsc: --retry must be non-negative\n";
+    2
   | Ok payload -> (
     (* Give the server its own deadline plus slack before the client gives
        up; with no deadline the client waits as long as the sweep takes. *)
     let client_deadline = Option.map (fun s -> s +. 30.0) deadline in
-    match Client.one_shot ?deadline_s:client_deadline addr payload with
+    let on_retry ~attempt ~wait =
+      Printf.eprintf
+        "hlsc: daemon overloaded; retrying in %.2fs (attempt %d of %d)\n%!" wait
+        attempt retry
+    in
+    match
+      Client.one_shot_retry ?deadline_s:client_deadline ~retries:retry ~on_retry
+        addr payload
+    with
     | Error m ->
       Printf.eprintf "hlsc: %s\n" m;
       1
@@ -1148,6 +1220,473 @@ let request_cmd socket host port op json id design clock flow clocks flows iis
       | Error m ->
         Printf.eprintf "hlsc: %s\n" m;
         1))
+
+(* ------------------------------------------------------------------ *)
+(* corpus / sweep / merge-journals: the 100-design corpus and sharded
+   exploration *)
+
+let corpus_cmd out seed count verify stats trace events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
+  finish
+    (if verify then
+       match Corpus.verify ~path:out with
+       | Ok n ->
+         Printf.printf "corpus %s: OK, %d designs reproduce bit-exactly\n" out n;
+         Ok ()
+       | Error m ->
+         (* A manifest that fails to parse/load is a usage problem; a
+            manifest whose digests no longer reproduce is drift — the
+            validation exit, so CI distinguishes the two. *)
+         if Sys.file_exists out then Error (Validation (out ^ ": " ^ m))
+         else Error (Usage (out ^ ": " ^ m))
+     else if count <= 0 then Error (Usage "--count must be positive")
+     else
+       let entries = Corpus.plan ~count ~seed () in
+       match Corpus.save ~path:out ~seed entries with
+       | exception Sys_error m -> Error (Internal m)
+       | () ->
+         Printf.printf "wrote %s: %d designs (seed %d)\n" out count seed;
+         let t =
+           Text_table.create ~headers:[ "class"; "designs"; "ops (min-max)"; "shapes" ]
+         in
+         List.iter
+           (fun k ->
+             let of_k =
+               List.filter (fun (e : Corpus.entry) -> e.Corpus.klass = k) entries
+             in
+             if of_k <> [] then begin
+               let ops = List.map (fun (e : Corpus.entry) -> e.Corpus.ops) of_k in
+               let shapes =
+                 List.filter_map
+                   (fun s ->
+                     let n =
+                       List.length
+                         (List.filter
+                            (fun (e : Corpus.entry) -> e.Corpus.shape = s)
+                            of_k)
+                     in
+                     if n > 0 then
+                       Some (Printf.sprintf "%s:%d" (Random_design.shape_name s) n)
+                     else None)
+                   Random_design.all_shapes
+               in
+               Text_table.add_row t
+                 [
+                   Corpus.klass_name k;
+                   string_of_int (List.length of_k);
+                   Printf.sprintf "%d-%d"
+                     (List.fold_left min max_int ops)
+                     (List.fold_left max 0 ops);
+                   String.concat " " shapes;
+                 ]
+             end)
+           Corpus.all_klasses;
+         print_string (Text_table.render t);
+         Ok ())
+
+let merge_journals_cmd inputs output stats trace events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
+  finish
+    (let* output =
+       match output with
+       | Some o -> Ok o
+       | None -> Error (Usage "pass -o OUTPUT for the merged journal")
+     in
+     let* () =
+       if inputs = [] then Error (Usage "pass at least one shard journal") else Ok ()
+     in
+     match Shard.merge_journals ~inputs ~output with
+     | Ok s ->
+       Printf.printf
+         "merged %d journal%s -> %s: %d entries, %d duplicate%s collapsed%s\n"
+         s.Shard.journals
+         (if s.Shard.journals = 1 then "" else "s")
+         output s.Shard.entries s.Shard.duplicates
+         (if s.Shard.duplicates = 1 then "" else "s")
+         (if s.Shard.quarantined > 0 then
+            Printf.sprintf ", %d corrupt lines quarantined" s.Shard.quarantined
+          else "");
+       Ok ()
+     | Error m -> Error (Usage m))
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let spawn_child ~log argv =
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin fd fd)
+
+let wait_child pid =
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED c -> c
+  | _, Unix.WSIGNALED s | _, Unix.WSTOPPED s -> 128 + s
+
+(* Children must see the exact float values the parent planned with, so
+   clock axes are serialized as hex floats (%h round-trips bit-exactly
+   through the grid parser's [float_of_string]). *)
+let clocks_spec_of clocks = String.concat "," (List.map (Printf.sprintf "%h") clocks)
+
+(* Run the shard children, tolerate the explore exit contract (0 ok, 4 all
+   points infeasible — data, the merge decides), propagate interrupts. *)
+let run_children children =
+  let results =
+    List.map (fun (i, log, argv) -> (i, log, wait_child (spawn_child ~log argv))) children
+  in
+  List.fold_left
+    (fun acc (i, log, code) ->
+      let* () = acc in
+      match code with
+      | 0 | 4 -> Ok ()
+      | 5 ->
+        Error
+          (Interrupted
+             (Printf.sprintf "shard %d was interrupted; its journal is resumable (log: %s)"
+                i log))
+      | c ->
+        Error
+          (Internal (Printf.sprintf "shard %d exited %d (log: %s)" i c log)))
+    (Ok ()) results
+
+(* The per-design grid of a corpus sweep: 'auto' clocks span the design's
+   own suggested period, and a manifest II constraint pins the II axis. *)
+let corpus_grid ~clocks_spec ~flows ~iis ~recover (e : Corpus.entry) =
+  let* clocks =
+    if clocks_spec = "auto" then
+      Ok (List.init 8 (fun k -> e.Corpus.clock_ps *. (0.8 +. (0.1 *. float_of_int k))))
+    else grid_axis "--clocks" Explore_grid.parse_clocks clocks_spec
+  in
+  let iis = if e.Corpus.ii > 0 then [ Some e.Corpus.ii ] else iis in
+  Result.map_error (fun m -> Usage m) (Explore_grid.make ~clocks ~flows ~iis ~recover ())
+
+let rec take_n n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take_n (n - 1) tl
+
+let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows iis
+    recover corpus take shards shard journal_file dir jobs csv json stats trace
+    events force =
+  with_obs ~stats ~trace ~events ~force @@ fun () ->
+  finish
+    (let* lib = lib_of lib_s in
+     let* config = config_of validate max_recoveries in
+     let* flows_l = grid_axis "--flows" Explore_grid.parse_flows flows in
+     let* iis_l = grid_axis "--ii" Explore_grid.parse_iis iis in
+     let* recover_l = grid_axis "--recover" Explore_grid.parse_recover recover in
+     let* () =
+       if shards < 1 then Error (Usage "--shards must be at least 1") else Ok ()
+     in
+     let* () =
+       if jobs < 0 then Error (Usage "--jobs must be non-negative") else Ok ()
+     in
+     let* shard = parse_shard shard in
+     let fingerprint = Explore.config_fingerprint config in
+     let lib_name = Library.name lib in
+     let full_key digest pkey =
+       Eval_cache.key ~digest ~lib:lib_name ~config:fingerprint ~point_key:pkey
+     in
+     let jnl i = Filename.concat dir (Printf.sprintf "shard-%d.jnl" i) in
+     let merged_path = Filename.concat dir "merged.jnl" in
+     let merge () =
+       Result.map_error
+         (fun m -> Usage m)
+         (Shard.merge_journals
+            ~inputs:(List.init shards (fun k -> jnl (k + 1)))
+            ~output:merged_path)
+     in
+     let load_merged () =
+       Result.fold
+         ~ok:(fun (entries, _) -> Ok entries)
+         ~error:(fun m -> Error (Internal m))
+         (Journal.load ~path:merged_path)
+     in
+     match corpus with
+     | None -> (
+       (* Single-design mode: shard-run the explore grid of one design via
+          N [hlsc explore --shard i/N] processes, merge, fold. *)
+       let* () =
+         match shard with
+         | None -> Ok ()
+         | Some _ ->
+           Error (Usage "--shard without --corpus: run hlsc explore --shard instead")
+       in
+       let* name, base_clock, build = load_builder ~source ~builtin ~clock in
+       let* clocks_l =
+         if clocks = "auto" then
+           Ok (List.init 8 (fun k -> base_clock *. (0.8 +. (0.1 *. float_of_int k))))
+         else grid_axis "--clocks" Explore_grid.parse_clocks clocks
+       in
+       let* grid =
+         Result.map_error (fun m -> Usage m)
+           (Explore_grid.make ~clocks:clocks_l ~flows:flows_l ~iis:iis_l
+              ~recover:recover_l ())
+       in
+       mkdir_p dir;
+       let children =
+         List.init shards (fun k ->
+             let i = k + 1 in
+             let argv =
+               [ Sys.executable_name; "explore" ]
+               @ (match source with Some s -> [ s ] | None -> [])
+               @ (match builtin with Some b -> [ "--design"; b ] | None -> [])
+               @ (match clock with
+                 | Some c -> [ "--clock"; Printf.sprintf "%h" c ]
+                 | None -> [])
+               @ [
+                   "--library"; lib_s; "--validate"; validate; "--max-recoveries";
+                   string_of_int max_recoveries; "--clocks"; clocks_spec_of clocks_l;
+                   "--flows"; flows; "--ii"; iis; "--recover"; recover; "--jobs";
+                   string_of_int jobs; "--shard";
+                   Printf.sprintf "%d/%d" i shards; "--journal"; jnl i;
+                 ]
+             in
+             (i, Filename.concat dir (Printf.sprintf "shard-%d.log" i), argv))
+       in
+       let* () = run_children children in
+       let* stats_m = merge () in
+       Printf.printf "sweep: %d shards -> %s: %d entries (%d duplicates)\n"
+         stats_m.Shard.journals merged_path stats_m.Shard.entries
+         stats_m.Shard.duplicates;
+       let* resume = load_merged () in
+       (* The fold: every point is answered by the merged journal, so this
+          renders — byte-identically — what one process would have. *)
+       let* outcome =
+         match Explore.run ~jobs:1 ~resume ~lib ~config ~name ~build grid with
+         | o -> Ok o
+         | exception e ->
+           Error (Internal (Printf.sprintf "fold crashed: %s" (Printexc.to_string e)))
+       in
+       let* () =
+         match csv with
+         | Some path -> write_rendering ~what:"CSV" path (Explore.to_csv outcome)
+         | None -> Ok ()
+       in
+       let* () =
+         match json with
+         | Some path -> write_rendering ~what:"JSON" path (Explore.to_json outcome)
+         | None -> Ok ()
+       in
+       print_string (Explore.render_summary outcome);
+       if outcome.Explore.total > 0 && outcome.Explore.frontier = [] then
+         Error
+           (Flow_failed
+              (Printf.sprintf "all %d grid points failed; frontier is empty"
+                 outcome.Explore.total))
+       else Ok ())
+     | Some manifest -> (
+       let* _mseed, entries =
+         Result.map_error (fun m -> Usage (manifest ^ ": " ^ m))
+           (Corpus.load ~path:manifest)
+       in
+       let entries =
+         match take with None -> entries | Some k -> take_n k entries
+       in
+       let* () =
+         if entries = [] then Error (Usage "corpus selection is empty") else Ok ()
+       in
+       (* Resolve every design once: grid, digest and builder.  Key order
+          is what the shard plan ranges over, identically in parent and
+          children. *)
+       let* specs =
+         List.fold_left
+           (fun acc (e : Corpus.entry) ->
+             let* acc = acc in
+             let* grid =
+               corpus_grid ~clocks_spec:clocks ~flows:flows_l ~iis:iis_l
+                 ~recover:recover_l e
+             in
+             let build () = (Corpus.design e).Random_design.dfg in
+             let digest = Dfg.digest (build ()) in
+             Ok ((e, grid, digest, build) :: acc))
+           (Ok []) entries
+       in
+       let specs = List.rev specs in
+       let all_keys =
+         List.concat_map
+           (fun (_, grid, digest, _) ->
+             List.map
+               (fun p -> full_key digest (Explore_grid.point_key p))
+               (Explore_grid.points grid))
+           specs
+       in
+       match shard with
+       | Some (rank, n) ->
+         (* Child mode: evaluate this shard's key range across every design
+            it touches, all into one journal. *)
+         let* jpath =
+           match journal_file with
+           | Some p -> Ok p
+           | None -> Error (Usage "--shard needs --journal FILE")
+         in
+         let plan = Shard.plan ~shards:n all_keys in
+         let mine = Hashtbl.create 256 in
+         List.iter (fun k -> Hashtbl.replace mine k ()) plan.(rank - 1);
+         let* w =
+           match Journal.start ~path:jpath ~fresh:true with
+           | w -> Ok w
+           | exception Unix.Unix_error (e, _, _) ->
+             Error (Internal (jpath ^ ": " ^ Unix.error_message e))
+         in
+         Fun.protect
+           ~finally:(fun () -> Journal.close w)
+           (fun () ->
+             List.iter
+               (fun ((e : Corpus.entry), grid, digest, build) ->
+                 let select pkey = Hashtbl.mem mine (full_key digest pkey) in
+                 let owned =
+                   List.exists
+                     (fun p -> select (Explore_grid.point_key p))
+                     (Explore_grid.points grid)
+                 in
+                 if owned then begin
+                   let o =
+                     Explore.run
+                       ?jobs:(if jobs = 0 then None else Some jobs)
+                       ~select ~journal:w ~lib ~config ~name:e.Corpus.name ~build
+                       grid
+                   in
+                   Printf.printf "shard %d/%d %s: %d points, %d ok\n" rank n
+                     e.Corpus.name o.Explore.total
+                     (o.Explore.total - o.Explore.failed - o.Explore.timed_out
+                    - o.Explore.crashed)
+                 end)
+               specs;
+             Ok ())
+       | None ->
+         (* Parent: spawn one child per shard, merge, fold the corpus. *)
+         mkdir_p dir;
+         let children =
+           List.init shards (fun k ->
+               let i = k + 1 in
+               let argv =
+                 [
+                   Sys.executable_name; "sweep"; "--corpus"; manifest; "--library";
+                   lib_s; "--validate"; validate; "--max-recoveries";
+                   string_of_int max_recoveries; "--clocks"; clocks; "--flows";
+                   flows; "--ii"; iis; "--recover"; recover; "--jobs";
+                   string_of_int jobs; "--shards"; string_of_int shards; "--shard";
+                   Printf.sprintf "%d/%d" i shards; "--journal"; jnl i;
+                 ]
+                 @ (match take with
+                   | Some t -> [ "--take"; string_of_int t ]
+                   | None -> [])
+               in
+               (i, Filename.concat dir (Printf.sprintf "shard-%d.log" i), argv))
+         in
+         let* () = run_children children in
+         let* stats_m = merge () in
+         Printf.printf "sweep: %d shards -> %s: %d entries (%d duplicates)\n"
+           stats_m.Shard.journals merged_path stats_m.Shard.entries
+           stats_m.Shard.duplicates;
+         let* resume = load_merged () in
+         let* outcomes =
+           List.fold_left
+             (fun acc ((e : Corpus.entry), grid, _digest, build) ->
+               let* acc = acc in
+               match
+                 Explore.run ~jobs:1 ~resume ~lib ~config ~name:e.Corpus.name
+                   ~build grid
+               with
+               | o -> Ok ((e, o) :: acc)
+               | exception exn ->
+                 Error
+                   (Internal
+                      (Printf.sprintf "fold of %s crashed: %s" e.Corpus.name
+                         (Printexc.to_string exn))))
+             (Ok []) specs
+         in
+         let outcomes = List.rev outcomes in
+         (* The corpus summary: frontier size and feasibility rate by design
+            class — EXPERIMENTS.md's table. *)
+         let row k =
+           let of_k =
+             List.filter (fun ((e : Corpus.entry), _) -> e.Corpus.klass = k) outcomes
+           in
+           if of_k = [] then None
+           else
+             let designs = List.length of_k in
+             let points =
+               List.fold_left (fun a (_, o) -> a + o.Explore.total) 0 of_k
+             in
+             let ok =
+               List.fold_left
+                 (fun a (_, o) ->
+                   a + o.Explore.total - o.Explore.failed - o.Explore.timed_out
+                   - o.Explore.crashed)
+                 0 of_k
+             in
+             let frontier =
+               List.fold_left
+                 (fun a (_, o) -> a + List.length o.Explore.frontier)
+                 0 of_k
+             in
+             Some (designs, points, ok, frontier)
+         in
+         let t =
+           Text_table.create
+             ~headers:
+               [ "class"; "designs"; "points"; "feasible %"; "frontier"; "mean" ]
+         in
+         let csv_buf = Buffer.create 256 in
+         Buffer.add_string csv_buf "class,designs,points,ok,feasible_pct,frontier,frontier_mean\n";
+         List.iter
+           (fun k ->
+             match row k with
+             | None -> ()
+             | Some (designs, points, ok, frontier) ->
+               let pct =
+                 if points = 0 then 0.0
+                 else 100.0 *. float_of_int ok /. float_of_int points
+               in
+               let mean = float_of_int frontier /. float_of_int designs in
+               Text_table.add_row t
+                 [
+                   Corpus.klass_name k; string_of_int designs; string_of_int points;
+                   Printf.sprintf "%.1f" pct; string_of_int frontier;
+                   Printf.sprintf "%.1f" mean;
+                 ];
+               Buffer.add_string csv_buf
+                 (Printf.sprintf "%s,%d,%d,%d,%.1f,%d,%.1f\n" (Corpus.klass_name k)
+                    designs points ok pct frontier mean))
+           Corpus.all_klasses;
+         Printf.printf "corpus sweep: %d designs, %d points\n" (List.length outcomes)
+           (List.length all_keys);
+         print_string (Text_table.render t);
+         let* () =
+           match csv with
+           | Some path ->
+             write_rendering ~what:"corpus summary CSV" path (Buffer.contents csv_buf)
+           | None -> Ok ()
+         in
+         let* () =
+           match json with
+           | Some path ->
+             let open Obs.Json in
+             let body =
+               to_string
+                 (Obj
+                    [
+                      ("designs", Int (List.length outcomes));
+                      ("points", Int (List.length all_keys));
+                      ( "frontier_total",
+                        Int
+                          (List.fold_left
+                             (fun a (_, o) -> a + List.length o.Explore.frontier)
+                             0 outcomes) );
+                    ])
+             in
+             write_rendering ~what:"JSON" path body
+           | None -> Ok ()
+         in
+         Ok ()))
 
 let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
@@ -1255,7 +1794,17 @@ let progress_arg =
   Arg.(value & flag & info [ "progress" ]
          ~doc:"Print periodic progress lines (completed/total points, per-worker \
                utilization, ETA) to stderr while the sweep runs, fed by \
-               Worker_sample provenance events.")
+               Worker_sample provenance events.  With --shard the lines carry \
+               the shard identity and a merged-sweep ETA estimate.")
+
+let shard_arg =
+  Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"I/N"
+         ~doc:"Evaluate only shard I of N (1-based): the grid's canonically \
+               sorted point keys are split into N contiguous disjoint ranges, \
+               and this process takes range I.  Run all N shards (any mix of \
+               machines), each with its own --journal, then reassemble with \
+               $(b,hlsc merge-journals) — the merged frontier is byte-identical \
+               to a single-process sweep.")
 
 let explore_t =
   Cmd.v
@@ -1265,8 +1814,91 @@ let explore_t =
           $ validate_arg $ max_recoveries_arg $ clocks_arg $ grid_flows_arg
           $ iis_arg $ recover_arg $ jobs_arg $ cache_arg $ point_deadline_arg
           $ deadline_arg $ retries_arg $ strict_arg $ journal_arg $ resume_arg
-          $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg $ force_arg
-          $ progress_arg)
+          $ shard_arg $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg
+          $ force_arg $ progress_arg)
+
+let corpus_out_arg =
+  Arg.(value & opt string "corpus/manifest.tsv" & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Manifest path (default corpus/manifest.tsv).")
+
+let corpus_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Master seed the whole population derives from (default 42).")
+
+let corpus_count_arg =
+  Arg.(value & opt int Corpus.default_count & info [ "count"; "n" ] ~docv:"N"
+         ~doc:"Number of designs (default 100, the paper's corpus size).")
+
+let corpus_verify_arg =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"Regenerate the population from the manifest's own header and \
+               check every recorded digest reproduces bit-exactly; exit 3 on \
+               any drift.  CI runs this so generator changes cannot silently \
+               invalidate committed results.")
+
+let corpus_t =
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"Generate or verify the seeded 100-design validation corpus manifest")
+    Term.(const corpus_cmd $ corpus_out_arg $ corpus_seed_arg $ corpus_count_arg
+          $ corpus_verify_arg $ stats_arg $ trace_arg $ events_arg $ force_arg)
+
+let merge_inputs_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"JOURNAL"
+         ~doc:"Shard journals to merge (shard-1.jnl shard-2.jnl ...).")
+
+let merge_output_arg =
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
+         ~doc:"Merged journal path.")
+
+let merge_journals_t =
+  Cmd.v
+    (Cmd.info "merge-journals"
+       ~doc:"Validate and merge disjoint shard journals into one resumable journal")
+    Term.(const merge_journals_cmd $ merge_inputs_arg $ merge_output_arg
+          $ stats_arg $ trace_arg $ events_arg $ force_arg)
+
+let sweep_corpus_arg =
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"MANIFEST"
+         ~doc:"Sweep every design of a corpus manifest (written by \
+               $(b,hlsc corpus)) instead of a single design.")
+
+let sweep_take_arg =
+  Arg.(value & opt (some int) None & info [ "take" ] ~docv:"K"
+         ~doc:"Only sweep the first K corpus designs (smoke tests).")
+
+let shards_arg =
+  Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N"
+         ~doc:"Number of shard processes to spawn (default 3).")
+
+let sweep_dir_arg =
+  Arg.(value & opt string "sweep-out" & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Directory for shard journals, logs and the merged journal \
+               (default sweep-out).")
+
+let sweep_t =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sharded exploration driver: spawn N shard processes, merge their \
+             journals, fold the frontier"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Partitions the explore grid (single design) or grid x corpus \
+              (--corpus) by canonical key range into N disjoint shards, runs \
+              each shard as an independent process journaling to \
+              DIR/shard-i.jnl, merges with the merge-journals semantics, and \
+              folds the merged journal into the frontier a single process \
+              would have produced — byte-identically.  The same partition can \
+              be run across machines instead: hlsc explore --shard i/N \
+              --journal shard-i.jnl on each, then hlsc merge-journals.";
+         ])
+    Term.(const sweep_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
+          $ validate_arg $ max_recoveries_arg $ clocks_arg $ grid_flows_arg
+          $ iis_arg $ recover_arg $ sweep_corpus_arg $ sweep_take_arg
+          $ shards_arg $ shard_arg $ journal_arg $ sweep_dir_arg $ jobs_arg
+          $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg $ force_arg)
 
 let count_arg =
   Arg.(value & opt int 25 & info [ "count"; "n" ] ~docv:"N"
@@ -1327,6 +1959,12 @@ let serve_t =
           $ cache_arg $ once_arg $ request_script_arg $ drain_after_points_arg
           $ stats_arg $ trace_arg $ events_arg $ force_arg)
 
+let req_retry_arg =
+  Arg.(value & opt int 0 & info [ "retry" ] ~docv:"N"
+         ~doc:"When the daemon sheds the request with an 'overloaded' \
+               response, honor its retry_after_s hint: sleep that long and \
+               resend, up to N times, before giving up with exit 5.")
+
 let request_t =
   Cmd.v
     (Cmd.info "request"
@@ -1335,8 +1973,8 @@ let request_t =
     Term.(const request_cmd $ socket_arg $ req_host_arg $ port_arg $ req_op_arg
           $ req_json_arg $ req_id_arg $ req_design_arg $ clock_arg $ flow_arg
           $ clocks_arg $ grid_flows_arg $ iis_arg $ recover_arg
-          $ serve_deadline_arg $ point_deadline_arg $ stats_arg $ trace_arg
-          $ events_arg $ force_arg)
+          $ serve_deadline_arg $ point_deadline_arg $ req_retry_arg $ stats_arg
+          $ trace_arg $ events_arg $ force_arg)
 
 let () =
   let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in
@@ -1374,6 +2012,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            run_t; compare_t; slack_t; emit_t; explore_t; explain_t;
-            diff_events_t; fuzz_t; dot_t; serve_t; request_t;
+            run_t; compare_t; slack_t; emit_t; explore_t; corpus_t; sweep_t;
+            merge_journals_t; explain_t; diff_events_t; fuzz_t; dot_t; serve_t;
+            request_t;
           ]))

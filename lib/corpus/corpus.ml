@@ -1,0 +1,182 @@
+let c_generated = Obs.counter "corpus.generated"
+
+type klass = Tiny | Medium | Large | Mulheavy
+
+let klass_name = function
+  | Tiny -> "tiny"
+  | Medium -> "medium"
+  | Large -> "large"
+  | Mulheavy -> "mulheavy"
+
+let klass_of_name = function
+  | "tiny" -> Some Tiny
+  | "medium" -> Some Medium
+  | "large" -> Some Large
+  | "mulheavy" -> Some Mulheavy
+  | _ -> None
+
+let all_klasses = [ Tiny; Medium; Large; Mulheavy ]
+
+let profile_of_klass : klass -> Random_design.profile = function
+  | Tiny ->
+    { min_ops = 8; max_ops = 24; min_states = 3; max_states = 6; mul_bias = 0.25 }
+  | Medium -> Random_design.default_profile
+  | Large ->
+    { min_ops = 80; max_ops = 160; min_states = 8; max_states = 16; mul_bias = 0.30 }
+  | Mulheavy ->
+    { min_ops = 24; max_ops = 64; min_states = 4; max_states = 10; mul_bias = 0.65 }
+
+type entry = {
+  name : string;
+  seed : int;
+  shape : Random_design.shape;
+  klass : klass;
+  ii : int;
+  clock_ps : float;
+  ops : int;
+  digest : string;
+}
+
+let default_count = 100
+
+let design e =
+  Random_design.generate
+    ~profile:(profile_of_klass e.klass)
+    ~shape:e.shape ~seed:e.seed ()
+
+(* Class weights: the paper's population skews toward mid-size designs;
+   Large stays rare so corpus-wide sweeps remain tractable. *)
+let draw_klass rng =
+  match Splitmix.int rng 10 with
+  | 0 | 1 | 2 -> Tiny
+  | 3 | 4 | 5 | 6 -> Medium
+  | 7 -> Large
+  | _ -> Mulheavy
+
+(* II constraints: most designs unconstrained, the rest pinned to a
+   realistic throughput target. *)
+let draw_ii rng = [| 0; 0; 0; 2; 4; 8 |].(Splitmix.int rng 6)
+
+let plan ?(count = default_count) ~seed () =
+  let master = Splitmix.create seed in
+  List.init count (fun i ->
+      (* Shapes cycle so every class×shape cell is populated even for
+         small counts; everything else is drawn from the master stream. *)
+      let shape = List.nth Random_design.all_shapes (i mod 4) in
+      let dseed = Int64.to_int (Splitmix.next_int64 master) land 0xFFFFFF in
+      let klass = draw_klass master in
+      let ii = draw_ii master in
+      let d = Random_design.generate ~profile:(profile_of_klass klass) ~shape ~seed:dseed () in
+      Obs.incr c_generated;
+      {
+        name = Printf.sprintf "c%03d-%s-%s" i (Random_design.shape_name shape) (klass_name klass);
+        seed = dseed;
+        shape;
+        klass;
+        ii;
+        clock_ps = d.Random_design.suggested_clock;
+        ops = Dfg.op_count d.Random_design.dfg;
+        digest = Random_design.digest d;
+      })
+
+let magic = "slackhls-corpus v1"
+
+let entry_line e =
+  (* %h floats round-trip bit-exactly through parse_line below. *)
+  Printf.sprintf "%s\t%d\t%s\t%s\t%d\t%h\t%d\t%s" e.name e.seed
+    (Random_design.shape_name e.shape)
+    (klass_name e.klass) e.ii e.clock_ps e.ops e.digest
+
+let parse_entry line =
+  match String.split_on_char '\t' line with
+  | [ name; seed; shape; klass; ii; clock_ps; ops; digest ] -> (
+    try
+      match (Random_design.shape_of_name shape, klass_of_name klass) with
+      | Some shape, Some klass ->
+        Ok
+          {
+            name;
+            seed = int_of_string seed;
+            shape;
+            klass;
+            ii = int_of_string ii;
+            clock_ps = float_of_string clock_ps;
+            ops = int_of_string ops;
+            digest;
+          }
+      | None, _ -> Error (Printf.sprintf "unknown shape %S" shape)
+      | _, None -> Error (Printf.sprintf "unknown class %S" klass)
+    with Failure _ -> Error "malformed numeric field")
+  | _ -> Error "wrong column count"
+
+let save ~path ~seed entries =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# %s\tseed=%d\tcount=%d\n" magic seed (List.length entries);
+      output_string oc "name\tseed\tshape\tclass\tii\tclock_ps\tops\tdigest\n";
+      List.iter (fun e -> output_string oc (entry_line e ^ "\n")) entries)
+
+let parse_header line =
+  match String.split_on_char '\t' line with
+  | [ m; s; c ]
+    when m = "# " ^ magic
+         && String.length s > 5
+         && String.sub s 0 5 = "seed="
+         && String.length c > 6
+         && String.sub c 0 6 = "count=" -> (
+    try
+      Ok
+        ( int_of_string (String.sub s 5 (String.length s - 5)),
+          int_of_string (String.sub c 6 (String.length c - 6)) )
+    with Failure _ -> Error "malformed header numerals")
+  | _ -> Error (Printf.sprintf "bad manifest header (want %S)" magic)
+
+let load ~path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error e -> Error e
+  | [] -> Error "empty manifest"
+  | header :: rest -> (
+    match parse_header header with
+    | Error e -> Error e
+    | Ok (seed, count) ->
+      let rows = List.filter (fun l -> l <> "" && l.[0] <> '#') rest in
+      let rows =
+        match rows with
+        | first :: tl when String.length first >= 4 && String.sub first 0 4 = "name" -> tl
+        | rows -> rows
+      in
+      let rec go acc i = function
+        | [] ->
+          let entries = List.rev acc in
+          if List.length entries <> count then
+            Error
+              (Printf.sprintf "manifest declares %d entries but carries %d" count
+                 (List.length entries))
+          else Ok (seed, entries)
+        | line :: tl -> (
+          match parse_entry line with
+          | Ok e -> go (e :: acc) (i + 1) tl
+          | Error e -> Error (Printf.sprintf "entry %d: %s" i e))
+      in
+      go [] 0 rows)
+
+let verify ~path =
+  match load ~path with
+  | Error e -> Error e
+  | Ok (seed, recorded) -> (
+    let fresh = plan ~count:(List.length recorded) ~seed () in
+    let mismatch =
+      List.find_opt
+        (fun (a, b) -> entry_line a <> entry_line b)
+        (List.combine recorded fresh)
+    in
+    match mismatch with
+    | None -> Ok (List.length recorded)
+    | Some (a, b) ->
+      Error
+        (Printf.sprintf "digest drift at %s:\n  manifest: %s\n  regenerated: %s" a.name
+           (entry_line a) (entry_line b)))

@@ -107,7 +107,7 @@ let count_status st results =
 
 let run ?jobs ?pool ?(retries = 0) ?(strict = false) ?(recheck_crashes = false)
     ?point_deadline ?(cancel = Cancel.never) ?cache ?journal ?(resume = [])
-    ~lib ~config ~name ~build grid =
+    ?select ~lib ~config ~name ~build grid =
   Obs.span "explore.run" @@ fun () ->
   let digest = Dfg.digest (build ()) in
   let fingerprint = config_fingerprint config in
@@ -115,6 +115,13 @@ let run ?jobs ?pool ?(retries = 0) ?(strict = false) ?(recheck_crashes = false)
     Explore_grid.points grid
     |> List.map (fun p -> (Explore_grid.point_key p, p))
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  (* Shard filter: applied to the canonically sorted key list, so the
+     same predicate partitions identically in every process. *)
+  let keyed =
+    match select with
+    | None -> keyed
+    | Some f -> List.filter (fun (pkey, _) -> f pkey) keyed
   in
   let total = List.length keyed in
   Obs.add c_points total;

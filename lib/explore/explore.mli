@@ -50,6 +50,12 @@ type outcome = {
 val partial : outcome -> bool
 (** [pending > 0]: the sweep was interrupted and can be resumed. *)
 
+val config_fingerprint : Flows.config -> string
+(** The sweep-constant configuration fingerprint — the [config] component
+    of every cache/journal key this sweep writes.  Exposed so sharding
+    drivers can reconstruct full keys ({!Eval_cache.key}) for a
+    grid-x-corpus partition without running anything. *)
+
 val run :
   ?jobs:int ->
   ?pool:Domain_pool.pool ->
@@ -61,6 +67,7 @@ val run :
   ?cache:Eval_cache.t ->
   ?journal:Journal.writer ->
   ?resume:(string * Eval_cache.summary) list ->
+  ?select:(string -> bool) ->
   lib:Library.t ->
   config:Flows.config ->
   name:string ->
@@ -99,6 +106,12 @@ val run :
       does not answer its point; the point is re-evaluated (transient
       crashes get a second chance — the daemon's retry-with-backoff
       policy re-enters [run] with this set).
+    - [select] filters the canonically-sorted point keys before anything
+      else happens; [total] counts only selected points.  This is the
+      sharding hook: [hlsc explore --shard i/N] passes the membership
+      predicate of shard [i] of a {!Shard.plan}-style range partition, so
+      N processes cover the grid disjointly and their journals merge back
+      into the single-process result.
 
     Telemetry: [explore.timeouts], [explore.crashes] and
     [explore.resumed], beyond the existing point/evaluation/failure

@@ -61,3 +61,35 @@ let one_shot ?deadline_s addr payload =
   | Ok t ->
     Fun.protect ~finally:(fun () -> close t) (fun () ->
         request ?deadline_s t payload)
+
+let retry_after_of body =
+  match Protocol.response_status body with
+  | Error _ -> None
+  | Ok (status, json) -> (
+    if status <> "overloaded" then None
+    else
+      match json with
+      | Obs.Json.Obj fields -> (
+        match List.assoc_opt "retry_after_s" fields with
+        | Some (Obs.Json.Float s) -> Some s
+        | Some (Obs.Json.Int s) -> Some (float_of_int s)
+        | _ -> Some 0.05)
+      | _ -> Some 0.05)
+
+let one_shot_retry ?deadline_s ?(retries = 0) ?on_retry addr payload =
+  let rec go attempt =
+    match one_shot ?deadline_s addr payload with
+    | Error _ as e -> e
+    | Ok body -> (
+      match retry_after_of body with
+      | Some wait when attempt < retries ->
+        (* The server told us when it expects headroom; honoring the hint
+           beats a client-side guess. *)
+        (match on_retry with
+        | Some f -> f ~attempt:(attempt + 1) ~wait
+        | None -> ());
+        if wait > 0.0 then Unix.sleepf wait;
+        go (attempt + 1)
+      | Some _ | None -> Ok body)
+  in
+  go 0

@@ -20,3 +20,18 @@ val request : ?deadline_s:float -> t -> string -> (string, string) result
 
 val one_shot : ?deadline_s:float -> addr -> string -> (string, string) result
 (** Connect, {!request}, close. *)
+
+val one_shot_retry :
+  ?deadline_s:float ->
+  ?retries:int ->
+  ?on_retry:(attempt:int -> wait:float -> unit) ->
+  addr ->
+  string ->
+  (string, string) result
+(** {!one_shot}, but when the daemon sheds the request with an
+    [overloaded] response, sleep for its [retry_after_s] hint and retry,
+    up to [retries] extra attempts (default 0 = behave like {!one_shot}).
+    Each fresh attempt is a fresh connection.  [on_retry] fires before
+    each backoff sleep — the CLI logs it.  Only [overloaded] is retried:
+    [draining] means the daemon is going away and [partial] work needs
+    [explore --resume], not a resend. *)

@@ -17,6 +17,106 @@ type profile = {
 let default_profile =
   { min_ops = 24; max_ops = 80; min_states = 4; max_states = 12; mul_bias = 0.35 }
 
+type shape = Line | Diamond | Loop | Nest
+
+let shape_name = function
+  | Line -> "line"
+  | Diamond -> "diamond"
+  | Loop -> "loop"
+  | Nest -> "nest"
+
+let shape_of_name = function
+  | "line" -> Some Line
+  | "diamond" -> Some Diamond
+  | "loop" -> Some Loop
+  | "nest" -> Some Nest
+  | _ -> None
+
+let all_shapes = [ Line; Diamond; Loop; Nest ]
+
+(* Append [k] state nodes after node [from]; returns the entry edge of each
+   state (the edges operations are born on) and the last state node. *)
+let state_chain cfg from k =
+  let edges = Array.make k (Cfg.Edge_id.of_int 0) in
+  let prev = ref from in
+  for s = 0 to k - 1 do
+    let st = Cfg.add_node cfg Cfg.State in
+    edges.(s) <- Cfg.add_edge cfg !prev st;
+    prev := st
+  done;
+  (edges, !prev)
+
+(* Build the control skeleton for [shape] around [n] state nodes; returns
+   the CFG, the edge sources and ops are born on (entering the first
+   state), the edge sinks are born on (entering the final state — forward-
+   reachable from the first on every shape), and the path latency in
+   states.  Construction draws nothing from the RNG, so adding shapes
+   cannot perturb the seeded op stream of any other shape. *)
+let build_cfg shape n =
+  let cfg = Cfg.create () in
+  match shape with
+  | Loop ->
+    (* The original generator: a linear multi-state loop body. *)
+    let top = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg (Cfg.start cfg) top);
+    let edges, last_st = state_chain cfg top n in
+    let bottom = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg last_st bottom);
+    ignore (Cfg.add_edge cfg bottom top);
+    Cfg.seal cfg;
+    (cfg, edges.(0), edges.(n - 1), n)
+  | Line ->
+    (* Straight-line dataflow: the same chain, no loop back. *)
+    let pre = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg (Cfg.start cfg) pre);
+    let edges, last_st = state_chain cfg pre n in
+    let post = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg last_st post);
+    Cfg.seal cfg;
+    (cfg, edges.(0), edges.(n - 1), n)
+  | Diamond ->
+    (* Fork/join: a state chain, a two-arm conditional (one state per
+       arm), and a merged tail — ops can speculate into arms only as far
+       as spans allow (never past the join). *)
+    let a = max 1 ((n - 1) / 2) in
+    let b = max 1 (n - 1 - a) in
+    let pre = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg (Cfg.start cfg) pre);
+    let pre_edges, last_pre = state_chain cfg pre a in
+    let fork = Cfg.add_node cfg Cfg.Fork in
+    ignore (Cfg.add_edge cfg last_pre fork);
+    let join = Cfg.add_node cfg Cfg.Join in
+    List.iter
+      (fun () ->
+        let arm = Cfg.add_node cfg Cfg.State in
+        ignore (Cfg.add_edge cfg fork arm);
+        ignore (Cfg.add_edge cfg arm join))
+      [ (); () ];
+    let post_edges, _last_post = state_chain cfg join b in
+    Cfg.seal cfg;
+    (cfg, pre_edges.(0), post_edges.(b - 1), a + 1 + b)
+  | Nest ->
+    (* Two nested loops: outer prologue, an inner loop body, outer
+       epilogue — the loop-nest skeleton of the paper's DSP kernels. *)
+    let a = max 1 (n / 3) in
+    let i = max 1 (n / 3) in
+    let b = max 1 (n - a - i) in
+    let outer_top = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg (Cfg.start cfg) outer_top);
+    let pre_edges, last_pre = state_chain cfg outer_top a in
+    let inner_top = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg last_pre inner_top);
+    let _inner_edges, last_inner = state_chain cfg inner_top i in
+    let inner_bottom = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg last_inner inner_bottom);
+    ignore (Cfg.add_edge cfg inner_bottom inner_top);
+    let post_edges, last_post = state_chain cfg inner_bottom b in
+    let outer_bottom = Cfg.add_node cfg Cfg.Plain in
+    ignore (Cfg.add_edge cfg last_post outer_bottom);
+    ignore (Cfg.add_edge cfg outer_bottom outer_top);
+    Cfg.seal cfg;
+    (cfg, pre_edges.(0), post_edges.(b - 1), a + i + b)
+
 let pick_kind rng bias : Dfg.op_kind =
   let r = Splitmix.float rng 1.0 in
   if r < bias then Dfg.Mul
@@ -26,29 +126,15 @@ let pick_kind rng bias : Dfg.op_kind =
   else if r < bias +. 0.75 then Dfg.Shl
   else Dfg.Lxor
 
-let generate ?(profile = default_profile) ~seed () =
+let generate ?(profile = default_profile) ?(shape = Loop) ~seed () =
   let rng = Splitmix.create seed in
   let n_ops = profile.min_ops + Splitmix.int rng (profile.max_ops - profile.min_ops + 1) in
   let n_states =
     profile.min_states + Splitmix.int rng (profile.max_states - profile.min_states + 1)
   in
   let width = [| 8; 12; 16; 24; 32 |].(Splitmix.int rng 5) in
-  let cfg = Cfg.create () in
-  let loop_top = Cfg.add_node cfg Cfg.Plain in
-  ignore (Cfg.add_edge cfg (Cfg.start cfg) loop_top);
-  let step_edges = Array.make n_states (Cfg.Edge_id.of_int 0) in
-  let prev = ref loop_top in
-  for s = 0 to n_states - 1 do
-    let st = Cfg.add_node cfg Cfg.State in
-    step_edges.(s) <- Cfg.add_edge cfg !prev st;
-    prev := st
-  done;
-  let loop_bottom = Cfg.add_node cfg Cfg.Plain in
-  ignore (Cfg.add_edge cfg !prev loop_bottom);
-  ignore (Cfg.add_edge cfg loop_bottom loop_top);
-  Cfg.seal cfg;
+  let cfg, first, last, latency = build_cfg shape n_states in
   let dfg = Dfg.create cfg in
-  let first = step_edges.(0) and last = step_edges.(n_states - 1) in
   (* Sources: a handful of port reads. *)
   let n_reads = 2 + Splitmix.int rng 4 in
   let values = ref [] in
@@ -103,13 +189,13 @@ let generate ?(profile = default_profile) ~seed () =
   (* Clock: a mid-grade multiplier plus margin, so designs have real
      tradeoff room without being trivially loose. *)
   let suggested_clock = 1500.0 +. (float_of_int width *. 40.0) in
-  {
-    cfg;
-    dfg;
-    name = Printf.sprintf "rand-%d" seed;
-    latency = n_states;
-    suggested_clock;
-  }
+  let name =
+    (* Loop keeps the historical name so existing seeds stay stable. *)
+    match shape with
+    | Loop -> Printf.sprintf "rand-%d" seed
+    | s -> Printf.sprintf "rand-%s-%d" (shape_name s) seed
+  in
+  { cfg; dfg; name; latency; suggested_clock }
 
 (* Stable content digest: everything the HLS result can depend on.  The
    generator draws every structural choice from the seeded Splitmix stream

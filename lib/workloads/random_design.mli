@@ -2,10 +2,11 @@
     100 customer designs" (confidential, so unavailable; §VII).
 
     Each design is a layered random DAG of arithmetic/logic operations over
-    a linear multi-state loop body, with reads feeding the first layer and
-    writes consuming final values, optionally with one fork/join diamond.
-    Sizes, widths, operation mix and latency are drawn from the given seed,
-    so the whole suite is reproducible. *)
+    a control skeleton chosen from four shapes (straight-line, fork/join
+    diamond, single loop, two-level loop nest), with reads feeding the
+    first layer and writes consuming final values.  Sizes, widths,
+    operation mix and latency are drawn from the given seed, so the whole
+    suite is reproducible. *)
 
 type t = {
   cfg : Cfg.t;
@@ -25,7 +26,23 @@ type profile = {
 
 val default_profile : profile
 
-val generate : ?profile:profile -> seed:int -> unit -> t
+type shape =
+  | Line  (** straight-line: one pass through a state chain, no loop *)
+  | Diamond  (** fork/join conditional between a prologue and an epilogue *)
+  | Loop  (** a single multi-state loop body (the historical default) *)
+  | Nest  (** an inner loop nested inside an outer loop *)
+
+val shape_name : shape -> string
+(** Lowercase stable name ("line", "diamond", "loop", "nest"). *)
+
+val shape_of_name : string -> shape option
+
+val all_shapes : shape list
+
+val generate : ?profile:profile -> ?shape:shape -> seed:int -> unit -> t
+(** Defaults to [Loop]; a given [(profile, seed)] pair draws the same
+    operation stream for every shape (the CFG skeleton consumes no RNG
+    draws), so shape only changes the control structure. *)
 
 val suite : ?profile:profile -> count:int -> seed:int -> unit -> t list
 (** [count] independent designs derived from one master seed. *)

@@ -1,0 +1,160 @@
+(* The corpus generator: deterministic planning, shaped designs, manifest
+   round-trip, and drift detection — the contract `hlsc corpus --verify`
+   enforces in CI. *)
+
+let entry_eq (a : Corpus.entry) (b : Corpus.entry) =
+  a.Corpus.name = b.Corpus.name
+  && a.Corpus.seed = b.Corpus.seed
+  && a.Corpus.shape = b.Corpus.shape
+  && a.Corpus.klass = b.Corpus.klass
+  && a.Corpus.ii = b.Corpus.ii
+  && a.Corpus.clock_ps = b.Corpus.clock_ps
+  && a.Corpus.ops = b.Corpus.ops
+  && a.Corpus.digest = b.Corpus.digest
+
+let test_plan_deterministic () =
+  let a = Corpus.plan ~count:20 ~seed:42 () in
+  let b = Corpus.plan ~count:20 ~seed:42 () in
+  Alcotest.(check int) "count" 20 (List.length a);
+  Alcotest.(check bool) "identical plans" true (List.for_all2 entry_eq a b);
+  let c = Corpus.plan ~count:20 ~seed:43 () in
+  Alcotest.(check bool) "different seed differs" false (List.for_all2 entry_eq a c)
+
+let test_plan_covers_shapes_and_classes () =
+  let entries = Corpus.plan ~count:40 ~seed:42 () in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shape %s present" (Random_design.shape_name s))
+        true
+        (List.exists (fun (e : Corpus.entry) -> e.Corpus.shape = s) entries))
+    Random_design.all_shapes;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class %s present" (Corpus.klass_name k))
+        true
+        (List.exists (fun (e : Corpus.entry) -> e.Corpus.klass = k) entries))
+    Corpus.all_klasses;
+  Alcotest.(check bool) "some designs carry an II constraint" true
+    (List.exists (fun (e : Corpus.entry) -> e.Corpus.ii > 0) entries);
+  let names = List.map (fun (e : Corpus.entry) -> e.Corpus.name) entries in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_shapes_change_digest_only_structurally () =
+  (* Same (profile, seed) under different shapes draws the same op stream
+     but different CFGs: distinct digests, and the default is Loop. *)
+  let seed = 12345 in
+  let digests =
+    List.map
+      (fun s -> Random_design.digest (Random_design.generate ~shape:s ~seed ()))
+      Random_design.all_shapes
+  in
+  Alcotest.(check int) "four distinct digests" 4
+    (List.length (List.sort_uniq String.compare digests));
+  let default_d = Random_design.digest (Random_design.generate ~seed ()) in
+  let loop_d =
+    Random_design.digest (Random_design.generate ~shape:Random_design.Loop ~seed ())
+  in
+  Alcotest.(check string) "default shape is Loop, byte-identical" loop_d default_d
+
+let test_shaped_designs_schedule () =
+  (* Every shape must survive the full flow: sealed CFG, valid DFG, and a
+     feasible schedule at its own suggested clock. *)
+  List.iter
+    (fun shape ->
+      let d = Random_design.generate ~shape ~seed:777 () in
+      let design =
+        Hls.design ~name:d.Random_design.name ~clock:d.Random_design.suggested_clock
+          d.Random_design.dfg
+      in
+      match Hls.run ~lib:Library.default ~config:Flows.default_config
+              Flows.Slack_based design
+      with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "shape %s failed: %s" (Random_design.shape_name shape)
+          (Flows.error_message e))
+    Random_design.all_shapes
+
+let with_temp_manifest f =
+  let path = Filename.temp_file "corpus" ".tsv" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_manifest_roundtrip () =
+  with_temp_manifest @@ fun path ->
+  let entries = Corpus.plan ~count:15 ~seed:9 () in
+  Corpus.save ~path ~seed:9 entries;
+  match Corpus.load ~path with
+  | Error m -> Alcotest.fail m
+  | Ok (seed, loaded) ->
+    Alcotest.(check int) "seed" 9 seed;
+    Alcotest.(check int) "count" 15 (List.length loaded);
+    Alcotest.(check bool) "entries round-trip" true
+      (List.for_all2 entry_eq entries loaded)
+
+let test_verify_ok_and_drift () =
+  with_temp_manifest @@ fun path ->
+  let entries = Corpus.plan ~count:10 ~seed:5 () in
+  Corpus.save ~path ~seed:5 entries;
+  (match Corpus.verify ~path with
+  | Ok n -> Alcotest.(check int) "verified count" 10 n
+  | Error m -> Alcotest.fail m);
+  (* Flip one digest: verify must localize the drift. *)
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  let tampered =
+    List.map
+      (fun l ->
+        match String.index_opt l '\t' with
+        | Some _ when String.length l > 32 && l.[0] = 'c' ->
+          String.sub l 0 (String.length l - 32) ^ String.make 32 '0'
+        | _ -> l)
+      lines
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) tampered);
+  match Corpus.verify ~path with
+  | Ok _ -> Alcotest.fail "tampered manifest verified"
+  | Error m ->
+    Alcotest.(check bool) "names the drifting design" true
+      (String.length m > 0
+      && String.sub m 0 12 = "digest drift")
+
+let test_load_rejects_garbage () =
+  with_temp_manifest @@ fun path ->
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "not a manifest\n");
+  (match Corpus.load ~path with
+  | Ok _ -> Alcotest.fail "foreign header accepted"
+  | Error _ -> ());
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc "# slackhls-corpus v1\tseed=1\tcount=2\nname\tseed\tshape\tclass\tii\tclock_ps\tops\tdigest\nonly-one-column\n");
+  match Corpus.load ~path with
+  | Ok _ -> Alcotest.fail "malformed row accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick test_plan_deterministic;
+          Alcotest.test_case "covers shapes, classes, IIs" `Quick
+            test_plan_covers_shapes_and_classes;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "distinct digests, Loop default" `Quick
+            test_shapes_change_digest_only_structurally;
+          Alcotest.test_case "every shape schedules" `Quick
+            test_shaped_designs_schedule;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick test_manifest_roundtrip;
+          Alcotest.test_case "verify ok + digest drift" `Quick
+            test_verify_ok_and_drift;
+          Alcotest.test_case "garbage rejected" `Quick test_load_rejects_garbage;
+        ] );
+    ]
