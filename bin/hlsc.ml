@@ -827,7 +827,7 @@ let explain_cmd file op_name stats trace events force =
            ->
            note op
          | E.Budget_round _ | E.Edge_scheduled _ | E.Recovery_step _
-         | E.Worker_sample _ | E.Serve_sample _ ->
+         | E.Worker_sample _ | E.Serve_sample _ | E.Dispatch_sample _ ->
            ())
        evs;
      if not (Hashtbl.mem seen op) then begin
@@ -1041,18 +1041,43 @@ let drain_after_points_arg =
          ~doc:"Testing hook: trigger a drain after exactly K completed point \
                evaluations — a deterministic mid-sweep SIGTERM.")
 
+let serve_corpus_arg =
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"MANIFEST"
+         ~doc:"Also resolve every design of a corpus manifest by name, so \
+               this daemon can act as a worker for distributed corpus \
+               sweeps (hlsc sweep --corpus ... --workers ...).")
+
 let address_name = function
   | Server.Unix_sock p -> p
   | Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
 
 let serve_cmd socket port lib validate max_recoveries jobs high_water
     drain_deadline read_timeout deadline point_deadline retries backoff
-    journal_file cache_file once request_script drain_after_points stats trace
-    events force =
+    journal_file cache_file corpus once request_script drain_after_points stats
+    trace events force =
   with_obs ~stats ~trace ~events ~force @@ fun () ->
   let cfg =
     let* lib = lib_of lib in
     let* config = config_of validate max_recoveries in
+    (* --corpus: make every manifest design resolvable by name, so this
+       daemon can serve shard_explore leases of a distributed corpus
+       sweep without pre-registration.  Resolution is lazy — the design
+       is only (re)generated when a lease actually names it. *)
+    let* resolver =
+      match corpus with
+      | None -> Ok None
+      | Some path ->
+        let* _seed, entries =
+          Result.map_error (fun m -> Usage (path ^ ": " ^ m)) (Corpus.load ~path)
+        in
+        let tbl = Hashtbl.create (List.length entries) in
+        List.iter
+          (fun (e : Corpus.entry) ->
+            Hashtbl.replace tbl e.Corpus.name (fun () ->
+                ((Corpus.design e).Random_design.dfg, e.Corpus.clock_ps)))
+          entries;
+        Ok (Some (fun name -> Hashtbl.find_opt tbl name))
+    in
     let* () = if jobs < 1 then Error (Usage "--jobs must be at least 1") else Ok () in
     let* () =
       if high_water < 1 then Error (Usage "--high-water must be at least 1")
@@ -1079,6 +1104,7 @@ let serve_cmd socket port lib validate max_recoveries jobs high_water
         lib;
         flow_config = config;
         designs = List.map (fun (n, mk) -> (n, mk)) builtin_designs;
+        resolver;
         journal_path = journal_file;
         cache_path = cache_file;
         drain_after_points;
@@ -1371,9 +1397,36 @@ let rec take_n n = function
   | _ when n <= 0 -> []
   | x :: tl -> x :: take_n (n - 1) tl
 
+(* --workers: "HOST:PORT,unix:PATH,..." — the remote hlsc serve daemons a
+   distributed sweep leases shard ranges to. *)
+let parse_workers spec =
+  let parse_one s =
+    if String.length s > 5 && String.sub s 0 5 = "unix:" then
+      Ok (s, Client.Unix_path (String.sub s 5 (String.length s - 5)))
+    else
+      match String.rindex_opt s ':' with
+      | Some i -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some port when host <> "" -> Ok (s, Client.Tcp (host, port))
+        | _ -> Error (Usage (Printf.sprintf "--workers: bad port in %S" s)))
+      | None ->
+        Error
+          (Usage (Printf.sprintf "--workers: %S is neither HOST:PORT nor unix:PATH" s))
+  in
+  let rec go acc = function
+    | [] ->
+      if acc = [] then Error (Usage "--workers: empty worker list")
+      else Ok (List.rev acc)
+    | s :: tl ->
+      let* w = parse_one s in
+      go (w :: acc) tl
+  in
+  go [] (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+
 let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows iis
-    recover corpus take shards shard journal_file dir jobs csv json stats trace
-    events force =
+    recover corpus take shards shard journal_file dir jobs workers lease_points
+    lease_deadline heartbeat steal progress csv json stats trace events force =
   with_obs ~stats ~trace ~events ~force @@ fun () ->
   finish
     (let* lib = lib_of lib_s in
@@ -1408,6 +1461,135 @@ let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows ii
          ~error:(fun m -> Error (Internal m))
          (Journal.load ~path:merged_path)
      in
+     let* workers_l =
+       match workers with
+       | None -> Ok None
+       | Some spec ->
+         let* () =
+           if shard <> None then
+             Error (Usage "--workers drives remote daemons; drop --shard")
+           else Ok ()
+         in
+         let* l = parse_workers spec in
+         Ok (Some l)
+     in
+     (* Distributed mode: lease the key ranges to remote workers, then
+        journal and merge the returned records exactly as the local path
+        does — the frontier fold below cannot tell who evaluated what.
+        [Ok None] means no worker was reachable and the caller should
+        degrade to local shard children. *)
+     let dispatch_merged wl jobs_l =
+       mkdir_p dir;
+       let dcfg =
+         {
+           Dispatch.default_config with
+           Dispatch.workers = wl;
+           lease_points;
+           lease_deadline;
+           heartbeat;
+           steal;
+         }
+       in
+       let total_points =
+         List.fold_left
+           (fun a (j : Dispatch.job) -> a + List.length j.Dispatch.keys)
+           0 jobs_l
+       in
+       (if progress then begin
+          Obs.Events.enable ();
+          let last = ref Int64.min_int in
+          Obs.Events.set_hook
+            (Some
+               (fun ev ->
+                 match ev.Obs.Events.payload with
+                 | Obs.Events.Dispatch_sample
+                     {
+                       workers;
+                       leases;
+                       done_points;
+                       total_points;
+                       reassigned;
+                       stolen;
+                       salvaged;
+                     } ->
+                   let now = Obs.now_ns () in
+                   if
+                     Int64.sub now !last >= 1_000_000_000L
+                     || done_points >= total_points
+                   then begin
+                     last := now;
+                     Printf.eprintf
+                       "hlsc: sweep: %d/%d points done on %d worker%s (%d lease%s \
+                        active, %d reassigned, %d stolen, %d salvaged)\n%!"
+                       done_points total_points workers
+                       (if workers = 1 then "" else "s")
+                       leases
+                       (if leases = 1 then "" else "s")
+                       reassigned stolen salvaged
+                   end
+                 | _ -> ()))
+        end);
+       let result =
+         Fun.protect
+           ~finally:(fun () -> if progress then Obs.Events.set_hook None)
+           (fun () -> Dispatch.run dcfg jobs_l)
+       in
+       match result with
+       | Error m ->
+         Printf.eprintf "hlsc: sweep: %s; falling back to local shard processes\n%!" m;
+         Dispatch.note_fallback_local ();
+         Ok None
+       | Ok o ->
+         Printf.printf
+           "sweep: dispatched %d points to %d worker%s: %d leases, %d reassigned, \
+            %d stolen, %d salvaged, %d lost worker%s\n"
+           total_points (List.length wl)
+           (if List.length wl = 1 then "" else "s")
+           o.Dispatch.leases o.Dispatch.reassigned o.Dispatch.stolen
+           o.Dispatch.salvaged_points o.Dispatch.workers_lost
+           (if o.Dispatch.workers_lost = 1 then "" else "s");
+         let tbl = Hashtbl.create 256 in
+         List.iter (fun (k, s) -> Hashtbl.replace tbl k s) o.Dispatch.records;
+         let keys = List.map fst o.Dispatch.records in
+         let n = max 1 (min (List.length wl) (List.length keys)) in
+         let* () =
+           try
+             Array.iteri
+               (fun k range ->
+                 let w = Journal.start ~path:(jnl (k + 1)) ~fresh:true in
+                 Fun.protect
+                   ~finally:(fun () -> Journal.close w)
+                   (fun () ->
+                     List.iter
+                       (fun ck -> Journal.record w ~key:ck (Hashtbl.find tbl ck))
+                       range))
+               (Shard.plan ~shards:n keys);
+             Ok ()
+           with Unix.Unix_error (e, _, p) ->
+             Error (Internal (p ^ ": " ^ Unix.error_message e))
+         in
+         let* stats_m =
+           Result.map_error (fun m -> Usage m)
+             (Shard.merge_journals
+                ~inputs:(List.init n (fun k -> jnl (k + 1)))
+                ~output:merged_path)
+         in
+         Printf.printf "sweep: %d worker journal%s -> %s: %d entries (%d duplicates)\n"
+           stats_m.Shard.journals
+           (if stats_m.Shard.journals = 1 then "" else "s")
+           merged_path stats_m.Shard.entries stats_m.Shard.duplicates;
+         if not o.Dispatch.complete then
+           Error
+             (Interrupted
+                (Printf.sprintf
+                   "distributed sweep stopped (%s): %d of %d points are merged \
+                    into %s; finish with hlsc explore ... --resume %s"
+                   (Option.value ~default:"interrupted" o.Dispatch.abort)
+                   (List.length keys) total_points merged_path merged_path))
+         else
+           let* entries = load_merged () in
+           Ok (Some entries)
+     in
      match corpus with
      | None -> (
        (* Single-design mode: shard-run the explore grid of one design via
@@ -1429,33 +1611,67 @@ let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows ii
            (Explore_grid.make ~clocks:clocks_l ~flows:flows_l ~iis:iis_l
               ~recover:recover_l ())
        in
-       mkdir_p dir;
-       let children =
-         List.init shards (fun k ->
-             let i = k + 1 in
-             let argv =
-               [ Sys.executable_name; "explore" ]
-               @ (match source with Some s -> [ s ] | None -> [])
-               @ (match builtin with Some b -> [ "--design"; b ] | None -> [])
-               @ (match clock with
-                 | Some c -> [ "--clock"; Printf.sprintf "%h" c ]
-                 | None -> [])
-               @ [
-                   "--library"; lib_s; "--validate"; validate; "--max-recoveries";
-                   string_of_int max_recoveries; "--clocks"; clocks_spec_of clocks_l;
-                   "--flows"; flows; "--ii"; iis; "--recover"; recover; "--jobs";
-                   string_of_int jobs; "--shard";
-                   Printf.sprintf "%d/%d" i shards; "--journal"; jnl i;
-                 ]
-             in
-             (i, Filename.concat dir (Printf.sprintf "shard-%d.log" i), argv))
+       let local () =
+         mkdir_p dir;
+         let children =
+           List.init shards (fun k ->
+               let i = k + 1 in
+               let argv =
+                 [ Sys.executable_name; "explore" ]
+                 @ (match source with Some s -> [ s ] | None -> [])
+                 @ (match builtin with Some b -> [ "--design"; b ] | None -> [])
+                 @ (match clock with
+                   | Some c -> [ "--clock"; Printf.sprintf "%h" c ]
+                   | None -> [])
+                 @ [
+                     "--library"; lib_s; "--validate"; validate; "--max-recoveries";
+                     string_of_int max_recoveries; "--clocks"; clocks_spec_of clocks_l;
+                     "--flows"; flows; "--ii"; iis; "--recover"; recover; "--jobs";
+                     string_of_int jobs; "--shard";
+                     Printf.sprintf "%d/%d" i shards; "--journal"; jnl i;
+                   ]
+               in
+               (i, Filename.concat dir (Printf.sprintf "shard-%d.log" i), argv))
+         in
+         let* () = run_children children in
+         let* stats_m = merge () in
+         Printf.printf "sweep: %d shards -> %s: %d entries (%d duplicates)\n"
+           stats_m.Shard.journals merged_path stats_m.Shard.entries
+           stats_m.Shard.duplicates;
+         load_merged ()
        in
-       let* () = run_children children in
-       let* stats_m = merge () in
-       Printf.printf "sweep: %d shards -> %s: %d entries (%d duplicates)\n"
-         stats_m.Shard.journals merged_path stats_m.Shard.entries
-         stats_m.Shard.duplicates;
-       let* resume = load_merged () in
+       let* resume =
+         match workers_l with
+         | None -> local ()
+         | Some wl -> (
+           let* () =
+             match source with
+             | Some _ ->
+               Error
+                 (Usage
+                    "--workers needs a --design name the remote daemons can \
+                     resolve, not a source file")
+             | None -> Ok ()
+           in
+           let digest = Dfg.digest (build ()) in
+           let job =
+             {
+               Dispatch.design = name;
+               clocks = clocks_spec_of clocks_l;
+               flows;
+               iis;
+               recover;
+               point_deadline = None;
+               keys =
+                 List.map Explore_grid.point_key (Explore_grid.points grid);
+               key_of = (fun pk -> full_key digest pk);
+             }
+           in
+           let* dispatched = dispatch_merged wl [ job ] in
+           match dispatched with
+           | Some entries -> Ok entries
+           | None -> local ())
+       in
        (* The fold: every point is answered by the merged journal, so this
           renders — byte-identically — what one process would have. *)
        let* outcome =
@@ -1562,31 +1778,73 @@ let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows ii
              Ok ())
        | None ->
          (* Parent: spawn one child per shard, merge, fold the corpus. *)
-         mkdir_p dir;
-         let children =
-           List.init shards (fun k ->
-               let i = k + 1 in
-               let argv =
-                 [
-                   Sys.executable_name; "sweep"; "--corpus"; manifest; "--library";
-                   lib_s; "--validate"; validate; "--max-recoveries";
-                   string_of_int max_recoveries; "--clocks"; clocks; "--flows";
-                   flows; "--ii"; iis; "--recover"; recover; "--jobs";
-                   string_of_int jobs; "--shards"; string_of_int shards; "--shard";
-                   Printf.sprintf "%d/%d" i shards; "--journal"; jnl i;
-                 ]
-                 @ (match take with
-                   | Some t -> [ "--take"; string_of_int t ]
-                   | None -> [])
-               in
-               (i, Filename.concat dir (Printf.sprintf "shard-%d.log" i), argv))
+         let local () =
+           mkdir_p dir;
+           let children =
+             List.init shards (fun k ->
+                 let i = k + 1 in
+                 let argv =
+                   [
+                     Sys.executable_name; "sweep"; "--corpus"; manifest; "--library";
+                     lib_s; "--validate"; validate; "--max-recoveries";
+                     string_of_int max_recoveries; "--clocks"; clocks; "--flows";
+                     flows; "--ii"; iis; "--recover"; recover; "--jobs";
+                     string_of_int jobs; "--shards"; string_of_int shards; "--shard";
+                     Printf.sprintf "%d/%d" i shards; "--journal"; jnl i;
+                   ]
+                   @ (match take with
+                     | Some t -> [ "--take"; string_of_int t ]
+                     | None -> [])
+                 in
+                 (i, Filename.concat dir (Printf.sprintf "shard-%d.log" i), argv))
+           in
+           let* () = run_children children in
+           let* stats_m = merge () in
+           Printf.printf "sweep: %d shards -> %s: %d entries (%d duplicates)\n"
+             stats_m.Shard.journals merged_path stats_m.Shard.entries
+             stats_m.Shard.duplicates;
+           load_merged ()
          in
-         let* () = run_children children in
-         let* stats_m = merge () in
-         Printf.printf "sweep: %d shards -> %s: %d entries (%d duplicates)\n"
-           stats_m.Shard.journals merged_path stats_m.Shard.entries
-           stats_m.Shard.duplicates;
-         let* resume = load_merged () in
+         let* resume =
+           match workers_l with
+           | None -> local ()
+           | Some wl -> (
+             (* One job per corpus design: the remote daemons resolve the
+                design names through their own --corpus manifest. *)
+             let* jobs_l =
+               List.fold_left
+                 (fun acc ((e : Corpus.entry), grid, digest, _build) ->
+                   let* acc = acc in
+                   let* clocks_le =
+                     if clocks = "auto" then
+                       Ok
+                         (List.init 8 (fun k ->
+                              e.Corpus.clock_ps *. (0.8 +. (0.1 *. float_of_int k))))
+                     else grid_axis "--clocks" Explore_grid.parse_clocks clocks
+                   in
+                   let iis_s =
+                     if e.Corpus.ii > 0 then string_of_int e.Corpus.ii else iis
+                   in
+                   Ok
+                     ({
+                        Dispatch.design = e.Corpus.name;
+                        clocks = clocks_spec_of clocks_le;
+                        flows;
+                        iis = iis_s;
+                        recover;
+                        point_deadline = None;
+                        keys =
+                          List.map Explore_grid.point_key (Explore_grid.points grid);
+                        key_of = (fun pk -> full_key digest pk);
+                      }
+                     :: acc))
+                 (Ok []) specs
+             in
+             let* dispatched = dispatch_merged wl (List.rev jobs_l) in
+             match dispatched with
+             | Some entries -> Ok entries
+             | None -> local ())
+         in
          let* outcomes =
            List.fold_left
              (fun acc ((e : Corpus.entry), grid, _digest, build) ->
@@ -1876,6 +2134,45 @@ let sweep_dir_arg =
          ~doc:"Directory for shard journals, logs and the merged journal \
                (default sweep-out).")
 
+let workers_arg =
+  Arg.(value & opt (some string) None & info [ "workers" ] ~docv:"LIST"
+         ~doc:"Comma-separated hlsc serve daemons (HOST:PORT or unix:PATH) to \
+               lease shard key-ranges to instead of spawning local shard \
+               processes.  Dead, partitioned or stalled workers are detected, \
+               their durable progress salvaged, and their leases reassigned; \
+               if no worker is reachable at all the sweep degrades to local \
+               shard processes.")
+
+let lease_points_arg =
+  Arg.(value & opt int 8 & info [ "lease-points" ] ~docv:"N"
+         ~doc:"Maximum grid points per lease (default 8): smaller leases \
+               lose less work per worker failure and balance better, at more \
+               round trips.")
+
+let lease_deadline_arg =
+  Arg.(value & opt float 60.0 & info [ "lease-deadline" ] ~docv:"SECONDS"
+         ~doc:"Deadline per lease (default 60): the worker cancels and \
+               reports partial results at the deadline, and the supervisor \
+               reassigns a lease it has heard nothing about for this long.")
+
+let heartbeat_arg =
+  Arg.(value & opt float 1.0 & info [ "heartbeat" ] ~docv:"SECONDS"
+         ~doc:"Health-probe period (default 1.0; 0 disables).  Probes carry \
+               each lease's durably recorded lines — the salvage source when \
+               a worker dies mid-lease.  Three consecutive misses declare \
+               the worker stalled.")
+
+let steal_arg =
+  Arg.(value & flag & info [ "steal" ]
+         ~doc:"Let idle workers split the unfinished tail off straggler \
+               leases.  Duplicated evaluations are byte-identical by the \
+               determinism contract, so stealing never changes the result.")
+
+let sweep_progress_arg =
+  Arg.(value & flag & info [ "progress" ]
+         ~doc:"With --workers: print live dispatch progress (points done, \
+               live workers, active leases, reassignments) to stderr.")
+
 let sweep_t =
   Cmd.v
     (Cmd.info "sweep"
@@ -1898,7 +2195,9 @@ let sweep_t =
           $ validate_arg $ max_recoveries_arg $ clocks_arg $ grid_flows_arg
           $ iis_arg $ recover_arg $ sweep_corpus_arg $ sweep_take_arg
           $ shards_arg $ shard_arg $ journal_arg $ sweep_dir_arg $ jobs_arg
-          $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg $ force_arg)
+          $ workers_arg $ lease_points_arg $ lease_deadline_arg $ heartbeat_arg
+          $ steal_arg $ sweep_progress_arg $ csv_arg $ json_arg $ stats_arg
+          $ trace_arg $ events_arg $ force_arg)
 
 let count_arg =
   Arg.(value & opt int 25 & info [ "count"; "n" ] ~docv:"N"
@@ -1956,8 +2255,9 @@ let serve_t =
           $ max_recoveries_arg $ serve_jobs_arg $ high_water_arg
           $ drain_deadline_arg $ read_timeout_arg $ serve_deadline_arg
           $ point_deadline_arg $ serve_retries_arg $ backoff_arg $ journal_arg
-          $ cache_arg $ once_arg $ request_script_arg $ drain_after_points_arg
-          $ stats_arg $ trace_arg $ events_arg $ force_arg)
+          $ cache_arg $ serve_corpus_arg $ once_arg $ request_script_arg
+          $ drain_after_points_arg $ stats_arg $ trace_arg $ events_arg
+          $ force_arg)
 
 let req_retry_arg =
   Arg.(value & opt int 0 & info [ "retry" ] ~docv:"N"

@@ -9,11 +9,18 @@ type corruption =
   | Truncate_journal
   | Slow_client
   | Overload_burst
+  | Dead_worker
+  | Partitioned_worker
+  | Stalled_heartbeat
+  | Torn_response
+  | Duplicate_lease_reply
 
 let all_corruptions =
   [
     Cycle_dfg; Drop_edge_latency; Budget_overshoot; Swap_placements; Orphan_port;
     Stall_point; Crash_task; Truncate_journal; Slow_client; Overload_burst;
+    Dead_worker; Partitioned_worker; Stalled_heartbeat; Torn_response;
+    Duplicate_lease_reply;
   ]
 
 let corruption_name = function
@@ -27,6 +34,11 @@ let corruption_name = function
   | Truncate_journal -> "truncate_journal"
   | Slow_client -> "slow_client"
   | Overload_burst -> "overload_burst"
+  | Dead_worker -> "dead_worker"
+  | Partitioned_worker -> "partitioned_worker"
+  | Stalled_heartbeat -> "stalled_heartbeat"
+  | Torn_response -> "torn_response"
+  | Duplicate_lease_reply -> "duplicate_lease_reply"
 
 let intended_check_prefix = function
   | Cycle_dfg -> "dfg."
@@ -39,6 +51,24 @@ let intended_check_prefix = function
   | Truncate_journal -> "journal."
   | Slow_client -> "serve.stall."
   | Overload_burst -> "serve.shed."
+  | Dead_worker | Partitioned_worker | Stalled_heartbeat | Torn_response
+  | Duplicate_lease_reply ->
+    "dispatch."
+
+(* The supervisor's containment matrix: (detector, response) the dispatch
+   stats must record for each injected distributed fault.  [None] for the
+   in-process classes, which are bound to validator/harness families via
+   {!intended_check_prefix} instead. *)
+let intended_dispatch_response = function
+  | Dead_worker -> Some ("connect_failed", "reassign")
+  | Partitioned_worker -> Some ("lease_expired", "salvage_reassign")
+  | Stalled_heartbeat -> Some ("missed_heartbeats", "salvage_reassign")
+  | Torn_response -> Some ("torn_response", "salvage_reassign")
+  | Duplicate_lease_reply -> Some ("duplicate_reply", "drop")
+  | Cycle_dfg | Drop_edge_latency | Budget_overshoot | Swap_placements
+  | Orphan_port | Stall_point | Crash_task | Truncate_journal | Slow_client
+  | Overload_burst ->
+    None
 
 let cycle_dfg d =
   let dep =
@@ -139,6 +169,157 @@ let truncate_journal ?(bytes = 7) path =
 let slow_client ~prefix_bytes frame =
   let n = min (max 0 prefix_bytes) (String.length frame) in
   String.sub frame 0 n
+
+(* Distributed faults: fake workers that present one failure mode each on
+   a real Unix socket, so the dispatch supervisor's detectors can be
+   tested without killing processes.  Each returns the socket path plus a
+   stop function (idempotent) that tears the listener down. *)
+
+(* Hand-rolled framing (4-byte big-endian length + payload): the injector
+   crafts wire bytes below the protocol layer on purpose — it must be able
+   to produce frames a correct implementation never would. *)
+let frame_bytes payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+let fake_socket_path () =
+  let dir = Filename.temp_file "fake-worker" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Filename.concat dir "worker.sock"
+
+let bind_listener path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  fd
+
+let cleanup_path path =
+  (try Sys.remove path with Sys_error _ -> ());
+  try Unix.rmdir (Filename.dirname path) with Unix.Unix_error _ -> ()
+
+(* Accept loop on a thread; [on_conn] runs inline per connection (the
+   fakes are sequential on purpose — determinism beats throughput). *)
+let fake_server path on_conn =
+  let fd = bind_listener path in
+  let stopped = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stopped) do
+          match Unix.select [ fd ] [] [] 0.05 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept fd with
+            | exception Unix.Unix_error _ -> ()
+            | c, _ ->
+              (try on_conn stopped c with Unix.Unix_error _ -> ());
+              (try Unix.close c with Unix.Unix_error _ -> ()))
+        done)
+      ()
+  in
+  fun () ->
+    if not (Atomic.get stopped) then begin
+      Atomic.set stopped true;
+      Thread.join th;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      cleanup_path path
+    end
+
+(* Wait for at least one byte of a request (bounded by [stopped]), then
+   drain whatever arrived in one read.  Returns [true] when bytes came. *)
+let await_request stopped c =
+  let buf = Bytes.create 65536 in
+  let rec wait () =
+    if Atomic.get stopped then false
+    else
+      match Unix.select [ c ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | [], _, _ -> wait ()
+      | _ -> ( match Unix.read c buf 0 (Bytes.length buf) with
+        | 0 -> false
+        | _ -> true
+        | exception Unix.Unix_error _ -> false)
+  in
+  wait ()
+
+let write_all c s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring c s off (n - off))
+  in
+  go 0
+
+let fake_worker = function
+  | Dead_worker ->
+    (* Bind, listen, close — the stale socket file a kill -9 leaves: every
+       connect comes back ECONNREFUSED. *)
+    let path = fake_socket_path () in
+    let fd = bind_listener path in
+    Unix.close fd;
+    let stopped = Atomic.make false in
+    ( path,
+      fun () ->
+        if not (Atomic.get stopped) then begin
+          Atomic.set stopped true;
+          cleanup_path path
+        end )
+  | Partitioned_worker | Stalled_heartbeat ->
+    (* Accepts and reads but never writes a byte — the wire signature of a
+       network partition and of a wedged daemon are identical; which
+       detector fires first (lease deadline vs missed heartbeats) is the
+       supervisor's timing configuration, so one behavior serves both
+       classes. *)
+    let path = fake_socket_path () in
+    let stop =
+      fake_server path (fun stopped c ->
+          while await_request stopped c do
+            ()
+          done)
+    in
+    (path, stop)
+  | Torn_response ->
+    (* Answers each request with the first 10 bytes of a valid frame, then
+       dies mid-frame — the reader must classify this as a stall/tear, not
+       wait forever. *)
+    let path = fake_socket_path () in
+    let full =
+      frame_bytes
+        "{\"id\":\"\",\"status\":\"ok\",\"lease\":\"torn\",\"records\":[]}"
+    in
+    let stop =
+      fake_server path (fun stopped c ->
+          if await_request stopped c then write_all c (String.sub full 0 10))
+    in
+    (path, stop)
+  | Duplicate_lease_reply ->
+    (* Answers each request twice with a completion for a lease this
+       supervisor never granted — a delayed/replayed reply from an earlier
+       epoch.  Both frames must be dropped by lease-id match. *)
+    let path = fake_socket_path () in
+    let reply =
+      frame_bytes
+        "{\"id\":\"\",\"status\":\"ok\",\"lease\":\"stale-dup\",\"total\":0,\
+         \"done\":0,\"pending\":0,\"records\":[]}"
+    in
+    let stop =
+      fake_server path (fun stopped c ->
+          while await_request stopped c do
+            write_all c reply;
+            write_all c reply
+          done)
+    in
+    (path, stop)
+  | ( Cycle_dfg | Drop_edge_latency | Budget_overshoot | Swap_placements
+    | Orphan_port | Stall_point | Crash_task | Truncate_journal | Slow_client
+    | Overload_burst ) as c ->
+    invalid_arg
+      (Printf.sprintf "Inject.fake_worker: %s is not a distributed fault"
+         (corruption_name c))
 
 let overload_burst ~clients submit =
   let n = max 1 clients in

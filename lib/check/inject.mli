@@ -22,6 +22,12 @@ type corruption =
   | Truncate_journal   (** tear the final record off a checkpoint journal *)
   | Slow_client        (** a request frame that stops flowing mid-frame *)
   | Overload_burst     (** simultaneous requests above the high-water mark *)
+  | Dead_worker        (** a worker whose socket refuses every connect *)
+  | Partitioned_worker (** reachable but silent — no reply ever arrives *)
+  | Stalled_heartbeat  (** alive on the wire but health probes go unanswered *)
+  | Torn_response      (** a lease reply that dies mid-frame *)
+  | Duplicate_lease_reply
+      (** a replayed completion for a lease this supervisor never granted *)
 
 val all_corruptions : corruption list
 val corruption_name : corruption -> string
@@ -32,8 +38,17 @@ val intended_check_prefix : corruption -> string
     (violation [check]-name prefix); the supervision classes name the
     harness that must absorb them — ["cancel."] (deadline tokens),
     ["pool."] (worker quarantine), ["journal."] (load-time record
-    quarantine), ["serve.stall."] (the daemon's mid-frame stall budget)
-    and ["serve.shed."] (admission-control load shedding). *)
+    quarantine/salvage), ["serve.stall."] (the daemon's mid-frame stall
+    budget), ["serve.shed."] (admission-control load shedding) and
+    ["dispatch."] (the distributed-sweep supervisor) for the five worker
+    fault classes. *)
+
+val intended_dispatch_response : corruption -> (string * string) option
+(** The [(detector, response)] pair the dispatch supervisor's containment
+    log must record for a distributed fault class — e.g.
+    [("connect_failed", "reassign")] for {!Dead_worker} — and [None] for
+    every in-process class.  [test/test_dispatch.ml] injects each class
+    and asserts exactly this pair appears in the sweep's dispatch stats. *)
 
 val cycle_dfg : Dfg.t -> bool
 (** Add the reverse of an existing forward dependency, closing a 2-cycle.
@@ -102,3 +117,21 @@ val overload_burst : clients:int -> (int -> 'a) -> 'a list
     through a barrier so the calls land simultaneously — above the
     daemon's high-water mark, some must come back shed.  Returns the
     results in client order. *)
+
+(** {1 Distributed faults}
+
+    Fake workers: each presents one worker failure mode on a real Unix
+    socket, so the dispatch supervisor's detectors (connect failures,
+    lease deadlines, missed heartbeats, torn frames, lease-id mismatches)
+    can be exercised without killing processes. *)
+
+val fake_worker : corruption -> string * (unit -> unit)
+(** [fake_worker class] is [(socket_path, stop)] for a distributed fault
+    class; [stop] is idempotent and tears the listener down.
+    {!Dead_worker} leaves a bound-then-closed socket (every connect is
+    refused); {!Partitioned_worker}/{!Stalled_heartbeat} accept and read
+    but never write (wire-indistinguishable — which detector fires first
+    is the supervisor's timing configuration); {!Torn_response} answers
+    with a 10-byte prefix of a valid frame; {!Duplicate_lease_reply}
+    answers every request twice with a completion for lease
+    ["stale-dup"].  Raises [Invalid_argument] for in-process classes. *)

@@ -107,7 +107,7 @@ let count_status st results =
 
 let run ?jobs ?pool ?(retries = 0) ?(strict = false) ?(recheck_crashes = false)
     ?point_deadline ?(cancel = Cancel.never) ?cache ?journal ?(resume = [])
-    ?select ~lib ~config ~name ~build grid =
+    ?select ?on_point ~lib ~config ~name ~build grid =
   Obs.span "explore.run" @@ fun () ->
   let digest = Dfg.digest (build ()) in
   let fingerprint = config_fingerprint config in
@@ -133,7 +133,12 @@ let run ?jobs ?pool ?(retries = 0) ?(strict = false) ?(recheck_crashes = false)
   let journal_tbl = Hashtbl.create 64 in
   List.iter (fun (k, s) -> Hashtbl.replace journal_tbl k s) resume;
   let record_journal ck s =
-    match journal with Some w -> Journal.record w ~key:ck s | None -> ()
+    (match journal with Some w -> Journal.record w ~key:ck s | None -> ());
+    (* Completion hook, fired with the full cache key at every site that
+       durably records a point (cache hits, fresh results, crash
+       summaries) — the dispatch lease registry feeds heartbeat salvage
+       from it.  Runs in worker domains: must be thread-safe. *)
+    match on_point with Some f -> f ck s | None -> ()
   in
   (* Three-way split: points the resume journal answers, points the cache
      answers, and points that need a pipeline run.  With [recheck_crashes]

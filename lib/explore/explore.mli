@@ -68,6 +68,7 @@ val run :
   ?journal:Journal.writer ->
   ?resume:(string * Eval_cache.summary) list ->
   ?select:(string -> bool) ->
+  ?on_point:(string -> Eval_cache.summary -> unit) ->
   lib:Library.t ->
   config:Flows.config ->
   name:string ->
@@ -112,6 +113,12 @@ val run :
       predicate of shard [i] of a {!Shard.plan}-style range partition, so
       N processes cover the grid disjointly and their journals merge back
       into the single-process result.
+    - [on_point] is called with the full cache key and summary at every
+      site that durably records a point (cache hits at partition time,
+      fresh results inside workers, crash summaries) — the serve daemon's
+      shard handler feeds its lease-progress registry from it so
+      heartbeats can report durable work.  Called from worker domains:
+      must be thread-safe and fast.
 
     Telemetry: [explore.timeouts], [explore.crashes] and
     [explore.resumed], beyond the existing point/evaluation/failure

@@ -15,15 +15,26 @@
     Telemetry: [explore.journal.records] per append,
     [explore.journal.quarantined] (and its short alias
     [journal.quarantined], which the serve daemon's stats report) per
-    corrupt line skipped on load. *)
+    corrupt mid-file line skipped on load, [journal.salvaged] per torn
+    final record truncated or dropped (the mid-append crash signature —
+    salvaged, not quarantined, so resume re-evaluates only the lost tail
+    point). *)
 
 type writer
 
 val start : path:string -> fresh:bool -> writer
 (** Open [path] for appending ([fresh] truncates first — a new sweep;
-    resume passes [fresh:false] to keep the interrupted run's records).
-    Writes and fsyncs the header when the file is empty.  Raises
-    [Unix.Unix_error] on I/O failure. *)
+    resume passes [fresh:false] to keep the interrupted run's records,
+    after {!salvage} has dropped any torn final record so the next append
+    cannot splice onto it).  Writes and fsyncs the header when the file is
+    empty.  Raises [Unix.Unix_error] on I/O failure. *)
+
+val salvage : path:string -> int
+(** Truncate a torn final record (no terminating newline — the signature
+    of a crash mid-append) back to the last record boundary.  Returns the
+    number of bytes dropped (0 when the file is missing, empty, unreadable
+    or cleanly terminated) and bumps [journal.salvaged] when it
+    truncates. *)
 
 val record : writer -> key:string -> Eval_cache.summary -> unit
 (** Append one completed point and fsync.  Thread/domain-safe; a no-op
@@ -33,9 +44,11 @@ val close : writer -> unit
 
 val load : path:string -> ((string * Eval_cache.summary) list * int, string) result
 (** All well-formed records in file order (last write wins on duplicate
-    keys when folded into a table) and the number of quarantined (torn or
-    corrupt) lines.  A missing file, an empty file (killed before the
-    header fsync) and a torn header (a strict prefix of the magic) are all
-    an empty journal, the latter counting as one quarantined line.  An
-    unreadable file or a foreign header is [Error]; every error message
-    starts with [path]. *)
+    keys when folded into a table) and the number of quarantined (corrupt
+    mid-file) lines.  A torn {e final} record — an unterminated last line —
+    is salvaged, not quarantined: the valid prefix is returned and
+    [journal.salvaged] is bumped.  A missing file, an empty file (killed
+    before the header fsync) and a torn header (a strict prefix of the
+    magic) are all an empty journal, the latter counting as one
+    quarantined line.  An unreadable file or a foreign header is [Error];
+    every error message starts with [path]. *)

@@ -433,6 +433,15 @@ module Events = struct
         admitted : int;  (* cumulative admission decisions *)
         shed : int;  (* cumulative load-shed decisions *)
       }
+    | Dispatch_sample of {
+        workers : int;  (* workers currently believed alive *)
+        leases : int;  (* leases currently outstanding *)
+        done_points : int;  (* points durably recorded so far *)
+        total_points : int;
+        reassigned : int;  (* cumulative lease reassignments *)
+        stolen : int;  (* cumulative tail-steal splits *)
+        salvaged : int;  (* cumulative points salvaged from failed workers *)
+      }
 
   type t = { seq : int; payload : payload }
 
@@ -555,6 +564,18 @@ module Events = struct
           ("admitted", Int admitted);
           ("shed", Int shed);
         ]
+    | Dispatch_sample { workers; leases; done_points; total_points; reassigned; stolen; salvaged }
+      ->
+      base "dispatch"
+        [
+          ("workers", Int workers);
+          ("leases", Int leases);
+          ("done", Int done_points);
+          ("total", Int total_points);
+          ("reassigned", Int reassigned);
+          ("stolen", Int stolen);
+          ("salvaged", Int salvaged);
+        ]
 
   let of_json j =
     let fail msg = raise (Json.Parse_error msg) in
@@ -633,6 +654,17 @@ module Events = struct
                 inflight = int "inflight";
                 admitted = int "admitted";
                 shed = int "shed";
+              }
+          | "dispatch" ->
+            Dispatch_sample
+              {
+                workers = int "workers";
+                leases = int "leases";
+                done_points = int "done";
+                total_points = int "total";
+                reassigned = int "reassigned";
+                stolen = int "stolen";
+                salvaged = int "salvaged";
               }
           | "worker" ->
             Worker_sample

@@ -242,6 +242,15 @@ module Events : sig
         admitted : int;  (** cumulative admission decisions *)
         shed : int;  (** cumulative load-shed decisions *)
       }
+    | Dispatch_sample of {
+        workers : int;  (** workers currently believed alive *)
+        leases : int;  (** leases currently outstanding *)
+        done_points : int;  (** points durably recorded so far *)
+        total_points : int;
+        reassigned : int;  (** cumulative lease reassignments *)
+        stolen : int;  (** cumulative tail-steal splits *)
+        salvaged : int;  (** cumulative points salvaged from failed workers *)
+      }
 
   type t = { seq : int; payload : payload }
 

@@ -2,11 +2,22 @@ type addr = Unix_path of string | Tcp of string * int
 
 type t = { conn : Protocol.conn }
 
+(* Every transparent retry (shed/draining response or a refused/reset
+   connect), across all clients in the process. *)
+let c_retries = Obs.counter "serve.client.retries"
+
 let addr_name = function
   | Unix_path p -> p
   | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
 
-let connect addr =
+(* A refused or reset connect is the signature of a daemon mid-restart —
+   transient, worth the same bounded backoff as a shed request.  Anything
+   else (bad path, unroutable host, permissions) is config, not timing. *)
+let transient_connect_error = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT -> true
+  | _ -> false
+
+let connect_classified addr =
   match
     match addr with
     | Unix_path path ->
@@ -26,10 +37,15 @@ let connect addr =
   | fd -> Ok { conn = Protocol.make fd }
   | exception Unix.Unix_error (e, _, _) ->
     Error
-      (Printf.sprintf "%s: cannot connect: %s" (addr_name addr)
-         (Unix.error_message e))
+      ( transient_connect_error e,
+        Printf.sprintf "%s: cannot connect: %s" (addr_name addr)
+          (Unix.error_message e) )
   | exception Not_found ->
-    Error (Printf.sprintf "%s: cannot resolve host" (addr_name addr))
+    Error (false, Printf.sprintf "%s: cannot resolve host" (addr_name addr))
+
+let connect addr = Result.map_error snd (connect_classified addr)
+
+let conn t = t.conn
 
 let close t = try Unix.close (Protocol.fd t.conn) with Unix.Unix_error _ -> ()
 
@@ -55,18 +71,27 @@ let request ?deadline_s t payload =
     | Protocol.Too_big n -> Error (Printf.sprintf "oversized response (%d bytes)" n)
     | Protocol.Stopped -> Error "deadline expired waiting for response")
 
-let one_shot ?deadline_s addr payload =
-  match connect addr with
+let one_shot_classified ?deadline_s addr payload =
+  match connect_classified addr with
   | Error _ as e -> e
   | Ok t ->
     Fun.protect ~finally:(fun () -> close t) (fun () ->
-        request ?deadline_s t payload)
+        (* Failures past the connect are fail-fast: a torn or oversized
+           response on an established connection is not a restart. *)
+        Result.map_error (fun m -> (false, m)) (request ?deadline_s t payload))
+
+let one_shot ?deadline_s addr payload =
+  Result.map_error snd (one_shot_classified ?deadline_s addr payload)
 
 let retry_after_of body =
   match Protocol.response_status body with
   | Error _ -> None
   | Ok (status, json) -> (
-    if status <> "overloaded" then None
+    (* [overloaded] is a shed with a headroom hint; [draining] means this
+       daemon instance is going away, but under a supervisor it restarts —
+       both are worth the same bounded retry.  Everything else ([partial]
+       needs --resume, [error] needs a fixed request) is final. *)
+    if status <> "overloaded" && status <> "draining" then None
     else
       match json with
       | Obs.Json.Obj fields -> (
@@ -78,18 +103,25 @@ let retry_after_of body =
 
 let one_shot_retry ?deadline_s ?(retries = 0) ?on_retry addr payload =
   let rec go attempt =
-    match one_shot ?deadline_s addr payload with
-    | Error _ as e -> e
+    let retry wait =
+      (match on_retry with
+      | Some f -> f ~attempt:(attempt + 1) ~wait
+      | None -> ());
+      Obs.incr c_retries;
+      if wait > 0.0 then Unix.sleepf wait;
+      go (attempt + 1)
+    in
+    match one_shot_classified ?deadline_s addr payload with
+    | Error (true, _) when attempt < retries ->
+      (* No server to supply a hint: exponential client-side backoff. *)
+      retry (0.05 *. (2.0 ** float_of_int attempt))
+    | Error (_, m) -> Error m
     | Ok body -> (
       match retry_after_of body with
       | Some wait when attempt < retries ->
         (* The server told us when it expects headroom; honoring the hint
            beats a client-side guess. *)
-        (match on_retry with
-        | Some f -> f ~attempt:(attempt + 1) ~wait
-        | None -> ());
-        if wait > 0.0 then Unix.sleepf wait;
-        go (attempt + 1)
+        retry wait
       | Some _ | None -> Ok body)
   in
   go 0

@@ -9,6 +9,11 @@ type t
 val connect : addr -> (t, string) result
 (** [Error] carries the address in the message. *)
 
+val conn : t -> Protocol.conn
+(** The underlying framed connection, for callers that need to drive
+    {!Protocol.read_frame} with their own stall/stop policy (the dispatch
+    supervisor's lease reader). *)
+
 val close : t -> unit
 
 val request : ?deadline_s:float -> t -> string -> (string, string) result
@@ -28,10 +33,14 @@ val one_shot_retry :
   addr ->
   string ->
   (string, string) result
-(** {!one_shot}, but when the daemon sheds the request with an
-    [overloaded] response, sleep for its [retry_after_s] hint and retry,
-    up to [retries] extra attempts (default 0 = behave like {!one_shot}).
-    Each fresh attempt is a fresh connection.  [on_retry] fires before
-    each backoff sleep — the CLI logs it.  Only [overloaded] is retried:
-    [draining] means the daemon is going away and [partial] work needs
-    [explore --resume], not a resend. *)
+(** {!one_shot}, but transient conditions are retried with bounded
+    backoff, up to [retries] extra attempts (default 0 = behave like
+    {!one_shot}).  Transient means: an [overloaded] response (shed — sleep
+    for its [retry_after_s] hint), a [draining] response, or a
+    refused/reset connect ([ECONNREFUSED]/[ECONNRESET]/[ENOENT] — a
+    daemon mid-restart; exponential client-side backoff, no server hint
+    available).  Each fresh attempt is a fresh connection, counted on
+    [serve.client.retries]; [on_retry] fires before each backoff sleep —
+    the CLI logs it.  Everything else stays fail-fast: [partial] work
+    needs [explore --resume] and a torn or oversized response on an
+    established connection is not a restart. *)

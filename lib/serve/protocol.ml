@@ -103,6 +103,17 @@ type request =
       recover : string;
       point_deadline : float option;
     }
+  | Shard_explore of {
+      design : string;
+      clocks : string;
+      flows : string;
+      iis : string;
+      recover : string;
+      point_deadline : float option;
+      lease : string;
+      keys : string list;
+    }
+  | Health
 
 type envelope = {
   id : string;
@@ -130,6 +141,21 @@ let float_field_opt fields name =
   | Some (J.Int i) -> Ok (Some (float_of_int i))
   | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
 
+let str_list_field fields name =
+  match List.assoc_opt name fields with
+  | Some (J.List items) ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | J.String s -> Ok (s :: acc)
+        | _ ->
+          Error (Printf.sprintf "field %S must be a list of strings" name))
+      (Ok []) items
+    |> Result.map List.rev
+  | Some _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
 let parse_request payload =
   match J.parse payload with
   | Error m ->
@@ -146,6 +172,7 @@ let parse_request payload =
         | "ping" -> Ok Ping
         | "stats" -> Ok Stats
         | "shutdown" -> Ok Shutdown
+        | "health" -> Ok Health
         | "run" ->
           let* design = str_field fields "design" in
           let* clock = float_field_opt fields "clock" in
@@ -159,10 +186,23 @@ let parse_request payload =
           let* recover = str_field ~default:"on" fields "recover" in
           let* point_deadline = float_field_opt fields "point_deadline_s" in
           Ok (Explore { design; clocks; flows; iis; recover; point_deadline })
+        | "shard_explore" ->
+          let* design = str_field fields "design" in
+          let* clocks = str_field fields "clocks" in
+          let* flows = str_field ~default:"slack" fields "flows" in
+          let* iis = str_field ~default:"none" fields "iis" in
+          let* recover = str_field ~default:"on" fields "recover" in
+          let* point_deadline = float_field_opt fields "point_deadline_s" in
+          let* lease = str_field fields "lease" in
+          let* keys = str_list_field fields "keys" in
+          Ok
+            (Shard_explore
+               { design; clocks; flows; iis; recover; point_deadline; lease; keys })
         | op ->
           Error
             (Printf.sprintf
-               "unknown op %S (try: ping, stats, shutdown, run, explore)" op)
+               "unknown op %S (try: ping, stats, shutdown, health, run, explore, \
+                shard_explore)" op)
       in
       Ok { id; deadline_s; req }
     in
@@ -179,6 +219,7 @@ let request_to_json { id; deadline_s; req } =
     | Ping -> [ ("op", J.String "ping") ]
     | Stats -> [ ("op", J.String "stats") ]
     | Shutdown -> [ ("op", J.String "shutdown") ]
+    | Health -> [ ("op", J.String "health") ]
     | Run { design; clock; flow } ->
       [ ("op", J.String "run"); ("design", J.String design);
         ("flow", J.String flow) ]
@@ -190,6 +231,16 @@ let request_to_json { id; deadline_s; req } =
       @ (match point_deadline with
         | Some s -> [ ("point_deadline_s", J.Float s) ]
         | None -> [])
+    | Shard_explore { design; clocks; flows; iis; recover; point_deadline; lease; keys }
+      ->
+      [ ("op", J.String "shard_explore"); ("design", J.String design);
+        ("clocks", J.String clocks); ("flows", J.String flows);
+        ("iis", J.String iis); ("recover", J.String recover) ]
+      @ (match point_deadline with
+        | Some s -> [ ("point_deadline_s", J.Float s) ]
+        | None -> [])
+      @ [ ("lease", J.String lease);
+          ("keys", J.List (List.map (fun k -> J.String k) keys)) ]
   in
   J.Obj (common @ deadline @ op_fields)
 

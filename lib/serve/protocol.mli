@@ -87,6 +87,25 @@ type request =
       recover : string;
       point_deadline : float option;
     }
+  | Shard_explore of {
+      design : string;
+      clocks : string;  (** full grid axes — must cover every leased key *)
+      flows : string;
+      iis : string;
+      recover : string;
+      point_deadline : float option;
+      lease : string;  (** lease id, echoed in the response *)
+      keys : string list;
+          (** the leased point keys; the worker evaluates exactly these *)
+    }
+      (** one lease of a distributed sweep: evaluate the named key-range
+          subset of the grid and answer with the completed records framed
+          as a journal payload *)
+  | Health
+      (** liveness/progress probe — a control request that bypasses
+          admission, answered even while draining or saturated; carries
+          per-lease inflight progress and the durably recorded lines so a
+          supervisor can salvage a worker that dies mid-lease *)
 
 type envelope = {
   id : string;  (** echoed verbatim in the response *)
@@ -101,6 +120,20 @@ val parse_request : string -> (envelope, string) result
 
 val request_to_json : envelope -> Obs.Json.t
 (** Inverse of {!parse_request} (for clients and tests). *)
+
+(** {2 Field helpers}
+
+    Exposed for response decoding on the dispatch side: responses are
+    plain JSON objects, and the supervisor needs the same tolerant field
+    accessors the request parser uses. *)
+
+val obj_fields : Obs.Json.t -> ((string * Obs.Json.t) list, string) result
+
+val str_field :
+  ?default:string -> (string * Obs.Json.t) list -> string -> (string, string) result
+
+val str_list_field :
+  (string * Obs.Json.t) list -> string -> (string list, string) result
 
 (** {1 Responses} *)
 

@@ -22,6 +22,7 @@ type config = {
   lib : Library.t;
   flow_config : Flows.config;
   designs : (string * (unit -> Dfg.t * float)) list;
+  resolver : (string -> (unit -> Dfg.t * float) option) option;
   journal_path : string option;
   cache_path : string option;
   drain_after_points : int option;
@@ -42,10 +43,21 @@ let default_config =
     lib = Library.default;
     flow_config = Flows.default_config;
     designs = [];
+    resolver = None;
     journal_path = None;
     cache_path = None;
     drain_after_points = None;
   }
+
+(* Inflight progress of one shard lease, updated from worker domains via
+   [Explore.run ~on_point] and snapshotted by the Health probe: the lines
+   here are already fsync'd in the daemon's journal, so a supervisor that
+   saw them in a heartbeat may salvage them when this daemon dies. *)
+type lease_progress = {
+  l_total : int;
+  l_mu : Mutex.t;
+  l_records : (string, string) Hashtbl.t;  (* cache key -> entry line *)
+}
 
 type t = {
   cfg : config;
@@ -56,6 +68,9 @@ type t = {
   admission : Admission.t;
   drain_tok : Cancel.t;
   interrupted : bool Atomic.t;
+  leases : (string, lease_progress) Hashtbl.t;
+  leases_mu : Mutex.t;
+  note_point : unit -> unit;  (* drain-after-points bookkeeping *)
 }
 
 let drain ~reason t = Cancel.trigger ~reason t.drain_tok
@@ -109,6 +124,20 @@ let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let pool = Domain_pool.create ~jobs:(max 1 cfg.jobs) in
   let drain_tok = Cancel.manual () in
+  (* Deterministic mid-sweep drain for tests: every completed point in
+     this daemon funnels through [sweep_with_retries]'s on_point, so the
+     counter fires the drain token after exactly [k] evaluations — and
+     only this daemon's, which matters when several servers share a
+     process (in-process tests). *)
+  let note_point =
+    match cfg.drain_after_points with
+    | None -> fun () -> ()
+    | Some k ->
+      let count = Atomic.make 0 in
+      fun () ->
+        if Atomic.fetch_and_add count 1 + 1 = k then
+          Cancel.trigger ~reason:"drain-after-points" drain_tok
+  in
   let t =
     {
       cfg;
@@ -121,26 +150,11 @@ let start cfg =
           ~queue_depth:(fun () -> Domain_pool.pending pool);
       drain_tok;
       interrupted = Atomic.make false;
+      leases = Hashtbl.create 8;
+      leases_mu = Mutex.create ();
+      note_point;
     }
   in
-  (match cfg.drain_after_points with
-  | None -> ()
-  | Some k ->
-    (* Deterministic mid-sweep drain for tests: the pool emits one
-       Worker_sample per completed point, so counting samples in the
-       event hook fires the drain token after exactly [k] evaluations,
-       independent of timing. *)
-    let count = ref 0 in
-    if not (Obs.Events.enabled ()) then Obs.Events.enable ();
-    Obs.Events.set_hook
-      (Some
-         (fun ev ->
-           match ev.Obs.Events.payload with
-           | Obs.Events.Worker_sample _ ->
-             incr count;
-             if !count = k then
-               Cancel.trigger ~reason:"drain-after-points" drain_tok
-           | _ -> ())));
   Ok t
 
 (* ------------------------------------------------------------------ *)
@@ -154,7 +168,16 @@ let flow_of_name = function
     Error (Printf.sprintf "unknown flow %S (try: conventional, slowest, slack)" s)
 
 let lookup_design t name =
-  match List.assoc_opt name t.cfg.designs with
+  let found =
+    match List.assoc_opt name t.cfg.designs with
+    | Some _ as mk -> mk
+    | None ->
+      (* The resolver hook lets the embedding CLI answer self-describing
+         design names (e.g. corpus entries) without this library knowing
+         how to parse them. *)
+      Option.bind t.cfg.resolver (fun f -> f name)
+  in
+  match found with
   | Some mk ->
     let _, default_clock = mk () in
     Ok (default_clock, fun () -> fst (mk ()))
@@ -167,12 +190,17 @@ let lookup_design t name =
    points with exponential backoff: a crash may be transient, and
    [recheck_crashes] makes the re-run treat recorded crashes as misses
    while every completed point still comes from the warm cache. *)
-let sweep_with_retries t ~cancel ~point_deadline ~name ~build grid =
+let sweep_with_retries ?select ?on_point t ~cancel ~point_deadline ~name ~build
+    grid =
+  let on_point ck summary =
+    t.note_point ();
+    Option.iter (fun f -> f ck summary) on_point
+  in
   let rec attempt n recheck =
     let outcome =
       Explore.run ~pool:t.pool ~recheck_crashes:recheck ?point_deadline
-        ~cancel ~cache:t.cache ?journal:t.journal ~lib:t.cfg.lib
-        ~config:t.cfg.flow_config ~name ~build grid
+        ~cancel ~cache:t.cache ?journal:t.journal ?select ~on_point
+        ~lib:t.cfg.lib ~config:t.cfg.flow_config ~name ~build grid
     in
     if
       outcome.Explore.crashed > 0
@@ -266,6 +294,115 @@ let execute_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis ~recover
         (("design", J.String design)
         :: (counts_fields outcome @ [ ("frontier", frontier_json outcome) ])))
 
+(* One lease of a distributed sweep: evaluate exactly the leased point
+   keys, report per-point progress into the lease registry (where the
+   Health probe can see it), and answer with every completed record framed
+   as a journal payload — full cache keys, so the supervisor can validate
+   the configuration fingerprint and merge without re-deriving anything. *)
+let execute_shard_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis
+    ~recover ~point_deadline ~lease ~keys =
+  match lookup_design t design with
+  | Error m -> Protocol.error_response ~id m
+  | Ok (_, build) -> (
+    match Explore_grid.of_specs ~clocks ~flows ~iis ~recover () with
+    | Error m -> Protocol.error_response ~id m
+    | Ok grid ->
+      let mine = Hashtbl.create (List.length keys) in
+      List.iter (fun k -> Hashtbl.replace mine k ()) keys;
+      let progress =
+        {
+          l_total = List.length keys;
+          l_mu = Mutex.create ();
+          l_records = Hashtbl.create 64;
+        }
+      in
+      Mutex.lock t.leases_mu;
+      Hashtbl.replace t.leases lease progress;
+      Mutex.unlock t.leases_mu;
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.leases_mu;
+          Hashtbl.remove t.leases lease;
+          Mutex.unlock t.leases_mu)
+      @@ fun () ->
+      let cancel = request_cancel t deadline_s in
+      let point_deadline =
+        match point_deadline with Some s -> Some s | None -> t.cfg.point_deadline
+      in
+      let on_point ck summary =
+        Mutex.lock progress.l_mu;
+        Hashtbl.replace progress.l_records ck (Eval_cache.entry_line ck summary);
+        Mutex.unlock progress.l_mu
+      in
+      let outcome =
+        sweep_with_retries t
+          ~select:(fun pkey -> Hashtbl.mem mine pkey)
+          ~on_point ~cancel ~point_deadline ~name:design ~build grid
+      in
+      note_interrupted t ~cancel outcome;
+      let digest = outcome.Explore.digest in
+      let fingerprint = Explore.config_fingerprint t.cfg.flow_config in
+      let records =
+        List.map
+          (fun (r : Explore.point_result) ->
+            let ck =
+              Eval_cache.key ~digest ~lib:(Library.name t.cfg.lib)
+                ~config:fingerprint ~point_key:r.Explore.pkey
+            in
+            J.String (Eval_cache.entry_line ck r.Explore.summary))
+          outcome.Explore.results
+      in
+      let status =
+        if outcome.Explore.pending > 0 then
+          if Cancel.reason cancel = Some "deadline" then "timed_out"
+          else "partial"
+        else "ok"
+      in
+      Protocol.response ~id ~status
+        [
+          ("design", J.String design);
+          ("lease", J.String lease);
+          ("total", J.Int outcome.Explore.total);
+          ("done", J.Int (List.length outcome.Explore.results));
+          ("pending", J.Int outcome.Explore.pending);
+          ("records", J.List records);
+        ])
+
+(* Liveness probe: answered even while draining or saturated (it bypasses
+   admission), carrying per-lease progress plus the already-durable record
+   lines so a supervisor can salvage a worker that dies mid-lease. *)
+let health_response t ~id =
+  Mutex.lock t.leases_mu;
+  let snapshot =
+    Hashtbl.fold
+      (fun lease p acc ->
+        Mutex.lock p.l_mu;
+        let lines = Hashtbl.fold (fun _ line acc -> line :: acc) p.l_records [] in
+        Mutex.unlock p.l_mu;
+        (lease, p.l_total, List.sort String.compare lines) :: acc)
+      t.leases []
+  in
+  Mutex.unlock t.leases_mu;
+  let leases_json =
+    J.List
+      (List.map
+         (fun (lease, total, lines) ->
+           J.Obj
+             [
+               ("lease", J.String lease);
+               ("total", J.Int total);
+               ("done", J.Int (List.length lines));
+               ("records", J.List (List.map (fun l -> J.String l) lines));
+             ])
+         (List.sort compare snapshot))
+  in
+  Protocol.response ~id ~status:"ok"
+    [
+      ("draining", J.Bool (draining t));
+      ("inflight", J.Int (Admission.inflight t.admission));
+      ("leases", leases_json);
+    ]
+
 let execute_run t ~id ~deadline_s ~design ~clock ~flow =
   match lookup_design t design with
   | Error m -> Protocol.error_response ~id m
@@ -324,6 +461,8 @@ let stats_response t ~id =
       ("cache_entries", J.Int (Eval_cache.size t.cache));
       ("journal_records", v "explore.journal.records");
       ("journal_quarantined", v "journal.quarantined");
+      ("journal_salvaged", v "journal.salvaged");
+      ("active_leases", J.Int (Hashtbl.length t.leases));
       ("draining", J.Bool (draining t));
     ]
 
@@ -336,7 +475,9 @@ let control t (env : Protocol.envelope) =
   | Protocol.Shutdown ->
     drain ~reason:"shutdown request" t;
     Protocol.response ~id ~status:"ok" [ ("draining", J.Bool true) ]
-  | Protocol.Run _ | Protocol.Explore _ -> assert false (* dispatched below *)
+  | Protocol.Health -> health_response t ~id
+  | Protocol.Run _ | Protocol.Explore _ | Protocol.Shard_explore _ ->
+    assert false (* dispatched below *)
 
 let execute t (env : Protocol.envelope) =
   let id = env.Protocol.id in
@@ -347,7 +488,12 @@ let execute t (env : Protocol.envelope) =
   | Protocol.Explore { design; clocks; flows; iis; recover; point_deadline } ->
     execute_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis ~recover
       ~point_deadline
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> assert false
+  | Protocol.Shard_explore
+      { design; clocks; flows; iis; recover; point_deadline; lease; keys } ->
+    execute_shard_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis
+      ~recover ~point_deadline ~lease ~keys
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Health ->
+    assert false
 
 (* ------------------------------------------------------------------ *)
 (* Connections *)
@@ -392,9 +538,10 @@ let handle_conn t fd =
         | Error m -> send (Protocol.error_response ~id:"" m)
         | Ok env -> (
           match env.Protocol.req with
-          | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+          | Protocol.Ping | Protocol.Stats | Protocol.Shutdown
+          | Protocol.Health ->
             send (control t env)
-          | Protocol.Run _ | Protocol.Explore _ -> (
+          | Protocol.Run _ | Protocol.Explore _ | Protocol.Shard_explore _ -> (
             match Admission.try_admit t.admission with
             | Admission.Shed ->
               send

@@ -24,7 +24,15 @@
       accepting, lets in-flight requests finish under [drain_deadline],
       journals completed points, saves the cache, and exits 5 if any
       sweep was left resumable — the same exit-5/[--resume] contract as
-      [hlsc explore]. *)
+      [hlsc explore].
+
+    As a {e distributed-sweep worker} the daemon additionally executes
+    [shard_explore] leases (evaluate exactly the leased point keys, answer
+    with the completed records framed as a journal payload) and answers
+    [health] probes — control requests that bypass admission and carry
+    per-lease progress plus the already-durable record lines, which is
+    what lets a dispatch supervisor salvage a worker that dies
+    mid-lease. *)
 
 type address = Unix_sock of string | Tcp of int  (** loopback only *)
 
@@ -44,6 +52,10 @@ type config = {
   designs : (string * (unit -> Dfg.t * float)) list;
       (** name -> (pure builder, default clock); the CLI passes its
           builtin designs *)
+  resolver : (string -> (unit -> Dfg.t * float) option) option;
+      (** fallback lookup for design names not in [designs] — the CLI
+          injects a parser for self-describing names (corpus entries) so
+          distributed corpus sweeps need no pre-registration *)
   journal_path : string option;
   cache_path : string option;  (** loaded at start, saved on drain *)
   drain_after_points : int option;

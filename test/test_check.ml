@@ -100,9 +100,9 @@ let test_matrix_is_total () =
   (* Every enumerated corruption class has a test above (artifact classes)
      or below (supervision classes); a new class must extend this list (and
      the matrix) or this count trips. *)
-  Alcotest.(check int) "corruption classes" 10 (List.length Inject.all_corruptions);
+  Alcotest.(check int) "corruption classes" 15 (List.length Inject.all_corruptions);
   let prefixes = List.map Inject.intended_check_prefix Inject.all_corruptions in
-  Alcotest.(check int) "distinct validator families" 10
+  Alcotest.(check int) "distinct validator families" 11
     (List.length (List.sort_uniq compare prefixes))
 
 (* Supervision faults: each class bound to the machinery that must absorb
@@ -165,8 +165,9 @@ let test_inject_crash_task () =
   | _ -> Alcotest.fail "retry did not recover the flaky task"
 
 let test_inject_truncate_journal () =
-  (* A mid-append crash tears the final record: load must quarantine that
-     one line and keep the valid prefix. *)
+  (* A mid-append crash tears the final record: load must salvage the
+     valid prefix (counted on journal.salvaged, not quarantined) so resume
+     re-evaluates only the lost tail point. *)
   let s area =
     {
       Eval_cache.status = Eval_cache.Success; area; steps = 3; delay_ps = area;
@@ -182,12 +183,27 @@ let test_inject_truncate_journal () =
       Journal.record w ~key:"k2" (s 20.0);
       Journal.close w;
       Inject.truncate_journal ~bytes:5 path;
-      match Journal.load ~path with
+      let c_salvaged = Obs.counter "journal.salvaged" in
+      let salvaged_before = Obs.value c_salvaged in
+      (match Journal.load ~path with
       | Error m -> Alcotest.failf "torn journal rejected wholesale: %s" m
       | Ok (entries, quarantined) ->
         Alcotest.(check int) "valid prefix kept" 1 (List.length entries);
-        Alcotest.(check int) "torn record quarantined" 1 quarantined;
-        Alcotest.(check string) "surviving key" "k1" (fst (List.hd entries)))
+        Alcotest.(check int) "torn tail salvaged, not quarantined" 0 quarantined;
+        Alcotest.(check int) "salvage counted" (salvaged_before + 1)
+          (Obs.value c_salvaged);
+        Alcotest.(check string) "surviving key" "k1" (fst (List.hd entries)));
+      (* Re-opening for append must truncate the torn tail so the next
+         record cannot splice onto it. *)
+      let w2 = Journal.start ~path ~fresh:false in
+      Journal.record w2 ~key:"k3" (s 30.0);
+      Journal.close w2;
+      match Journal.load ~path with
+      | Error m -> Alcotest.failf "salvaged journal unreadable: %s" m
+      | Ok (entries, quarantined) ->
+        Alcotest.(check int) "append after salvage is clean" 0 quarantined;
+        Alcotest.(check (list string)) "records" [ "k1"; "k3" ]
+          (List.map fst entries))
 
 (* Recovery ladder. *)
 

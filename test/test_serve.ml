@@ -119,6 +119,73 @@ let test_oversized_frame () =
   | Protocol.Oversized n -> Alcotest.(check int) "declared length" 100 n
   | _ -> Alcotest.fail "oversized frame accepted"
 
+(* The size guard is a limit, not an off-by-one: a frame of exactly
+   max_bytes decodes, one byte more cannot. *)
+let test_oversized_boundary () =
+  let at_max = String.make 10 'a' in
+  (match Protocol.split ~max_bytes:10 (Protocol.frame at_max) with
+  | Protocol.Complete (p, "") ->
+    Alcotest.(check string) "len = max decodes" at_max p
+  | _ -> Alcotest.fail "frame of exactly max_bytes rejected");
+  match Protocol.split ~max_bytes:10 (Protocol.frame (String.make 11 'a')) with
+  | Protocol.Oversized n -> Alcotest.(check int) "len = max+1 rejected" 11 n
+  | _ -> Alcotest.fail "frame of max_bytes+1 accepted"
+
+(* A peer dribbling one byte at a time keeps the stall clock fed, so
+   read_frame must assemble the frame rather than time out — while a
+   20ms SIGALRM storm interrupts its select/read with EINTR, which must
+   be retried, never surfaced. *)
+let test_read_frame_dribble_eintr () =
+  let r, w = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let itimer v =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = v; it_value = v })
+  in
+  itimer 0.02;
+  let payload = {|{"op":"ping","id":"dribble"}|} in
+  let wire = Protocol.frame payload in
+  let writer =
+    Thread.create
+      (fun () ->
+        String.iter
+          (fun ch ->
+            ignore (Unix.write_substring w (String.make 1 ch) 0 1);
+            Thread.delay 0.005)
+          wire;
+        Unix.close w)
+      ()
+  in
+  let res =
+    Fun.protect
+      ~finally:(fun () ->
+        itimer 0.0;
+        ignore (Sys.signal Sys.sigalrm old);
+        Thread.join writer;
+        Unix.close r)
+      (fun () -> Protocol.read_frame ~stall:1.0 (Protocol.make r))
+  in
+  match res with
+  | Protocol.Frame p ->
+    Alcotest.(check string) "dribbled frame assembles" payload p
+  | Protocol.Eof -> Alcotest.fail "dribbled frame read as eof"
+  | Protocol.Stalled -> Alcotest.fail "dribbled frame read as stalled"
+  | Protocol.Too_big n -> Alcotest.failf "dribbled frame read as too_big %d" n
+  | Protocol.Stopped -> Alcotest.fail "dribbled frame read as stopped"
+
+(* frame/split are exact inverses on any payload, and split hands back
+   trailing bytes untouched; max_bytes pinned to the payload length also
+   re-asserts the boundary above on every generated case. *)
+let prop_frame_split_roundtrip =
+  QCheck.Test.make ~name:"frame/split round-trip on arbitrary payloads"
+    ~count:500
+    QCheck.(pair string small_string)
+    (fun (payload, extra) ->
+      let wire = Protocol.frame payload ^ extra in
+      match Protocol.split ~max_bytes:(String.length payload) wire with
+      | Protocol.Complete (p, rest) -> String.equal p payload && String.equal rest extra
+      | Protocol.Incomplete | Protocol.Oversized _ -> false)
+
 let test_parse_request_errors () =
   let err s =
     match Protocol.parse_request s with
@@ -433,6 +500,11 @@ let () =
             test_truncated_frame;
           Alcotest.test_case "oversized frames rejected" `Quick
             test_oversized_frame;
+          Alcotest.test_case "oversized boundary is exact" `Quick
+            test_oversized_boundary;
+          Alcotest.test_case "dribbled frame under EINTR assembles" `Quick
+            test_read_frame_dribble_eintr;
+          QCheck_alcotest.to_alcotest prop_frame_split_roundtrip;
           Alcotest.test_case "malformed requests are errors" `Quick
             test_parse_request_errors;
           Alcotest.test_case "request JSON round-trip" `Quick
