@@ -273,6 +273,7 @@ let () =
     sec "explore" (Explore_bench.run ~quick);
     sec "corpus" (Corpus_bench.run ~quick);
     sec "attribution" Attribution.run;
+    sec "fleet" (Fleet_bench.run ~quick);
     if not quick then sec "table5" Tables.table5
     else print_endline "\n(table 5 timing skipped in --quick mode)";
     if not quick then sec "ablations" Ablations.run

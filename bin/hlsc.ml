@@ -191,6 +191,14 @@ let force_arg =
   Arg.(value & flag & info [ "force" ]
          ~doc:"Allow --events to overwrite an existing file.")
 
+let crash_arg =
+  Arg.(value & flag & info [ "no-crash-dump" ]
+         ~doc:"Disable the crash flight recorder.  On internal-error and \
+               flow-failure exits (codes 1 and 4) hlsc normally dumps its \
+               last decision events, open span stack and counter snapshot \
+               to hlsc-crash-<pid>.json in the working directory, so a \
+               postmortem can name the phase the process died in.")
+
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Write a Chrome trace-event JSON file on exit (open in Perfetto or chrome://tracing).")
@@ -203,10 +211,42 @@ let max_recoveries_arg =
   Arg.(value & opt int 3 & info [ "max-recoveries" ] ~docv:"N"
          ~doc:"Bound on the scheduling recovery ladder (0 disables recovery).")
 
+(* The crash flight recorder: on the two "something went wrong" exit
+   paths (1 internal error, 4 unrecoverable flow failure) dump whatever
+   the telemetry singleton holds — the event-ring tail, the open span
+   stack (which names the phase that died), counters and distributions —
+   to hlsc-crash-<pid>.json.  Best-effort by design: the dump must never
+   turn a diagnosable failure into a worse one. *)
+let write_crash_dump code =
+  let path = Printf.sprintf "hlsc-crash-%d.json" (Unix.getpid ()) in
+  try
+    let snap = Obs.Telemetry.capture ~events_limit:256 () in
+    let j =
+      Obs.Json.Obj
+        [
+          ( "argv",
+            Obs.Json.List
+              (List.map (fun a -> Obs.Json.String a) (Array.to_list Sys.argv)) );
+          ("exit_code", Obs.Json.Int code);
+          ( "open_spans",
+            Obs.Json.List
+              (List.map (fun s -> Obs.Json.String s) (Obs.open_spans ())) );
+          ("telemetry", Obs.Telemetry.to_json snap);
+        ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Obs.Json.to_string j);
+        output_char oc '\n');
+    Printf.eprintf "hlsc: crash flight record: %s\n" path
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
 (* Enable the requested telemetry sinks, run [k], then emit the report
    and/or trace file.  Emission happens even when [k] fails, so a failing
    flow still leaves its telemetry behind for diagnosis. *)
-let with_obs ~stats ~trace ~events ?(force = false) k =
+let with_obs ~stats ~trace ~events ?(force = false) ?(no_crash = false) k =
   match events with
   | Some path when Sys.file_exists path && not force ->
     Printf.eprintf
@@ -244,16 +284,20 @@ let with_obs ~stats ~trace ~events ?(force = false) k =
         Printf.eprintf "hlsc: cannot write events: %s\n" m;
         if code = 0 then 1 else code)
   in
-  match trace with
-  | None -> code
-  | Some path -> (
-    try
-      Obs.write_trace ~path;
-      Printf.eprintf "hlsc: wrote trace to %s\n" path;
-      code
-    with Sys_error m ->
-      Printf.eprintf "hlsc: cannot write trace: %s\n" m;
-      if code = 0 then 1 else code)
+  let code =
+    match trace with
+    | None -> code
+    | Some path -> (
+      try
+        Obs.write_trace ~path;
+        Printf.eprintf "hlsc: wrote trace to %s\n" path;
+        code
+      with Sys_error m ->
+        Printf.eprintf "hlsc: cannot write trace: %s\n" m;
+        if code = 0 then 1 else code)
+  in
+  if (code = 1 || code = 4) && not no_crash then write_crash_dump code;
+  code
 
 let ( let* ) = Result.bind
 
@@ -282,8 +326,8 @@ let report_result r =
     r.Hls.report.Flows.violations
 
 let run_cmd source builtin clock lib flow validate max_recoveries stats trace events
-    force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -293,8 +337,8 @@ let run_cmd source builtin clock lib flow validate max_recoveries stats trace ev
      Ok (report_result r))
 
 let compare_cmd source builtin clock lib validate max_recoveries stats trace events
-    force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -320,8 +364,8 @@ let compare_cmd source builtin clock lib validate max_recoveries stats trace eve
      | Some e, _ | _, Some e -> Error e)
 
 let slack_cmd source builtin clock lib validate max_recoveries stats trace events
-    force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -356,8 +400,8 @@ let slack_cmd source builtin clock lib validate max_recoveries stats trace event
      Ok ())
 
 let emit_cmd source builtin clock lib flow validate max_recoveries output stats trace
-    events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -372,8 +416,8 @@ let emit_cmd source builtin clock lib flow validate max_recoveries output stats 
      | exception Sys_error m -> Error (Internal m))
 
 let dot_cmd source builtin clock lib flow validate max_recoveries output stats trace
-    events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* flow = flow_of flow in
@@ -476,8 +520,8 @@ let write_rendering ~what path content =
 
 let explore_cmd source builtin clock lib validate max_recoveries clocks flows iis
     recover jobs cache_file point_deadline deadline retries strict journal_file
-    resume_file shard csv json stats trace events force progress =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    resume_file shard csv json stats trace events force no_crash progress =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -750,8 +794,9 @@ let fuzz_grids ~lib ~config ~grids ~seed =
    tolerated (tight random designs may be legitimately infeasible — the
    ladder transcript says the system degraded gracefully); invariant
    violations and crashes are not. *)
-let fuzz_cmd count seed lib validate max_recoveries grids stats trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+let fuzz_cmd count seed lib validate max_recoveries grids stats trace events force
+    no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib in
      let* config = config_of validate max_recoveries in
@@ -798,8 +843,8 @@ let fuzz_cmd count seed lib validate max_recoveries grids stats trace events for
 (* explain: replay a provenance event file into one operation's decision
    timeline — its slack history across budgeting rounds, every delay-grade
    update (with the phase that made it), and its final schedule state. *)
-let explain_cmd file op_name stats trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+let explain_cmd file op_name stats trace events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let module E = Obs.Events in
      let* path =
@@ -812,12 +857,20 @@ let explain_cmd file op_name stats trace events force =
        | Some o -> Ok o
        | None -> Error (Usage "pass --op NAME (an operation name from the design)")
      in
-     let* evs =
-       match E.load_jsonl ~path with
-       | Ok evs -> Ok evs
+     (* The tagged loader accepts plain single-process files and merged
+        fleet files alike (per-stream seq monotonicity checked); explain
+        then replays the flattened timeline. *)
+     let* tagged =
+       match E.load_tagged ~path with
+       | Ok tevs -> Ok tevs
        | Error m -> Error (Usage (Printf.sprintf "%s: %s" path m))
        | exception Sys_error m -> Error (Internal m)
      in
+     let streams =
+       List.sort_uniq compare
+         (List.filter_map (fun (te : E.tagged) -> te.E.stream) tagged)
+     in
+     let evs = List.map (fun (te : E.tagged) -> te.E.event) tagged in
      let seen = Hashtbl.create 64 in
      let note o = if not (Hashtbl.mem seen o) then Hashtbl.replace seen o () in
      List.iter
@@ -847,8 +900,11 @@ let explain_cmd file op_name stats trace events force =
        Error (Usage (Printf.sprintf "op %S not found in %s (%s)" op path preview))
      end
      else begin
-       Printf.printf "timeline for op %s (from %s, %d events)\n" op path
-         (List.length evs);
+       Printf.printf "timeline for op %s (from %s, %d events%s)\n" op path
+         (List.length evs)
+         (if streams = [] then ""
+          else Printf.sprintf ", %d worker stream%s" (List.length streams)
+                 (if List.length streams = 1 then "" else "s"));
        let final_delay = ref None in
        let placement = ref None in
        List.iter
@@ -890,8 +946,8 @@ let explain_cmd file op_name stats trace events force =
    be identical (full recompute vs incremental replay, or two runs of the
    same configuration).  The first diverging event — shown with +-K context
    and a per-field payload diff — is where the runs' decisions split. *)
-let diff_events_cmd file_a file_b context stats trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+let diff_events_cmd file_a file_b context stats trace events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let module E = Obs.Events in
      let* path_a, path_b =
@@ -902,15 +958,23 @@ let diff_events_cmd file_a file_b context stats trace events force =
      let* () =
        if context < 0 then Error (Usage "--context must be non-negative") else Ok ()
      in
+     (* Tagged loading makes merged fleet provenance files first-class
+        diff inputs: a stream-tag mismatch diverges like any payload
+        field, and per-stream seq monotonicity is checked on load. *)
      let load path =
-       match E.load_jsonl ~path with
+       match E.load_tagged ~path with
        | Ok evs -> Ok evs
        | Error m -> Error (Usage (Printf.sprintf "%s: %s" path m))
        | exception Sys_error m -> Error (Usage m)
      in
      let* evs_a = load path_a in
      let* evs_b = load path_b in
-     match E.diff evs_a evs_b with
+     let line (te : E.tagged) =
+       match te.E.stream with
+       | Some s -> E.tagged_to_jsonl_line ~stream:s te.E.event
+       | None -> E.to_jsonl_line te.E.event
+     in
+     match E.diff_tagged evs_a evs_b with
      | None ->
        Printf.printf "identical: %d events\n" (List.length evs_a);
        Ok ()
@@ -921,7 +985,7 @@ let diff_events_cmd file_a file_b context stats trace events force =
        (* Leading context comes from A; the streams agree on it by
           construction (everything before the divergence index is equal). *)
        for i = max 0 (d.E.index - context) to d.E.index - 1 do
-         Printf.printf "  [%d] %s\n" i (E.to_jsonl_line arr_a.(i))
+         Printf.printf "  [%d] %s\n" i (line arr_a.(i))
        done;
        (match d.E.a with
        | Some e -> Printf.printf "- [%d] %s\n" d.E.index (E.to_jsonl_line e)
@@ -939,7 +1003,7 @@ let diff_events_cmd file_a file_b context stats trace events force =
          let lo = d.E.index + 1 in
          let hi = min (Array.length arr) (lo + context) in
          for i = lo to hi - 1 do
-           Printf.printf "  %s[%d] %s\n" label i (E.to_jsonl_line arr.(i))
+           Printf.printf "  %s[%d] %s\n" label i (line arr.(i))
          done
        in
        trail "A" arr_a;
@@ -1047,15 +1111,31 @@ let serve_corpus_arg =
                this daemon can act as a worker for distributed corpus \
                sweeps (hlsc sweep --corpus ... --workers ...).")
 
+let metrics_arg =
+  Arg.(value & opt (some int) None & info [ "metrics" ] ~docv:"PORT"
+         ~doc:"Expose the daemon's counters and per-op latency \
+               distributions in Prometheus text format over loopback HTTP \
+               on this port.  The scrape endpoint lives and dies with the \
+               daemon; poll a whole fleet at once with $(b,hlsc top).")
+
+let serve_telemetry_arg =
+  Arg.(value & flag & info [ "telemetry" ]
+         ~doc:"Collect shippable telemetry (request spans, decision \
+               events, GC samples) and attach a heartbeat-sized snapshot \
+               to health replies; the full ledger always answers the \
+               telemetry op.  A sweep supervisor merges these snapshots \
+               into its fleet trace, counter namespace and provenance \
+               file.")
+
 let address_name = function
   | Server.Unix_sock p -> p
   | Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
 
 let serve_cmd socket port lib validate max_recoveries jobs high_water
     drain_deadline read_timeout deadline point_deadline retries backoff
-    journal_file cache_file corpus once request_script drain_after_points stats
-    trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    journal_file cache_file corpus once request_script drain_after_points metrics
+    telemetry stats trace events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   let cfg =
     let* lib = lib_of lib in
     let* config = config_of validate max_recoveries in
@@ -1108,8 +1188,17 @@ let serve_cmd socket port lib validate max_recoveries jobs high_water
         journal_path = journal_file;
         cache_path = cache_file;
         drain_after_points;
+        telemetry;
+        metrics_port = metrics;
       }
   in
+  (* --telemetry turns the passive sinks on: spans, decision events and GC
+     samples all feed the snapshots this daemon ships to its supervisor. *)
+  if telemetry then begin
+    Obs.enable_trace ();
+    Obs.Events.enable ();
+    Obs.Prof.enable ()
+  end;
   match cfg with
   | Error err ->
     Printf.eprintf "hlsc: %s\n" (message_of err);
@@ -1144,6 +1233,10 @@ let serve_cmd socket port lib validate max_recoveries jobs high_water
           cfg.Server.jobs
           (if cfg.Server.jobs = 1 then "" else "s")
           cfg.Server.high_water;
+        (match cfg.Server.metrics_port with
+        | Some p ->
+          Printf.eprintf "hlsc serve: metrics on http://127.0.0.1:%d/metrics\n%!" p
+        | None -> ());
         let code = Server.serve t in
         Sys.set_signal Sys.sigint prev_int;
         Sys.set_signal Sys.sigterm prev_term;
@@ -1156,7 +1249,7 @@ let req_host_arg =
 
 let req_op_arg =
   Arg.(value & pos 0 string "ping" & info [] ~docv:"OP"
-         ~doc:"Request: ping, stats, shutdown, run or explore.")
+         ~doc:"Request: ping, stats, telemetry, shutdown, run or explore.")
 
 let req_json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"JSON"
@@ -1171,8 +1264,8 @@ let req_design_arg =
          ~doc:"Built-in design name for run/explore requests.")
 
 let request_cmd socket host port op json id design clock flow clocks flows iis
-    recover deadline point_deadline retry stats trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    recover deadline point_deadline retry stats trace events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   let addr =
     match port with
     | Some p -> Client.Tcp (host, p)
@@ -1186,6 +1279,7 @@ let request_cmd socket host port op json id design clock flow clocks flows iis
         match op with
         | "ping" -> Ok Protocol.Ping
         | "stats" -> Ok Protocol.Stats
+        | "telemetry" -> Ok Protocol.Telemetry
         | "shutdown" -> Ok Protocol.Shutdown
         | "run" -> (
           match design with
@@ -1209,12 +1303,14 @@ let request_cmd socket host port op json id design clock flow clocks flows iis
           Error
             (Usage
                (Printf.sprintf
-                  "unknown request %S (try: ping, stats, shutdown, run, explore)"
+                  "unknown request %S (try: ping, stats, telemetry, shutdown, \
+                   run, explore)"
                   s))
       in
       Ok
         (Obs.Json.to_string
-           (Protocol.request_to_json { Protocol.id; deadline_s = deadline; req }))
+           (Protocol.request_to_json
+              { Protocol.id; deadline_s = deadline; trace = None; req }))
   in
   match payload with
   | Error err ->
@@ -1251,8 +1347,8 @@ let request_cmd socket host port op json id design clock flow clocks flows iis
 (* corpus / sweep / merge-journals: the 100-design corpus and sharded
    exploration *)
 
-let corpus_cmd out seed count verify stats trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+let corpus_cmd out seed count verify stats trace events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (if verify then
        match Corpus.verify ~path:out with
@@ -1310,8 +1406,8 @@ let corpus_cmd out seed count verify stats trace events force =
          print_string (Text_table.render t);
          Ok ())
 
-let merge_journals_cmd inputs output stats trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+let merge_journals_cmd inputs output stats trace events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* output =
        match output with
@@ -1424,10 +1520,218 @@ let parse_workers spec =
   in
   go [] (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
 
+(* top: a refreshing fleet dashboard assembled from each daemon's stats
+   reply — admission state, cache effectiveness, lease activity, shard
+   latency and wasted-work ratio, one line per daemon per poll. *)
+let top_cmd workers interval iterations stats trace events force no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
+  finish
+    (let* wl =
+       match workers with
+       | [] ->
+         Error (Usage "pass at least one daemon address (HOST:PORT or unix:PATH)")
+       | l -> parse_workers (String.concat "," l)
+     in
+     let* () =
+       if interval <= 0.0 then Error (Usage "--interval must be positive") else Ok ()
+     in
+     let* () =
+       if iterations < 0 then Error (Usage "--iterations must be non-negative")
+       else Ok ()
+     in
+     let open Obs.Json in
+     let fnum f name =
+       match List.assoc_opt name f with
+       | Some (Int i) -> float_of_int i
+       | Some (Float v) -> v
+       | _ -> 0.0
+     in
+     let inum f name = int_of_float (fnum f name) in
+     let shard_p95 f =
+       match List.assoc_opt "latency_ms" f with
+       | Some (Obj ops) -> (
+         match List.assoc_opt "shard_explore" ops with
+         | Some (Obj d) -> Printf.sprintf "%.1f" (fnum d "p95_ms")
+         | _ -> "-")
+       | _ -> "-"
+     in
+     let render_line name f =
+       let hits = inum f "cache_hits" and misses = inum f "cache_misses" in
+       let cache =
+         if hits + misses = 0 then 0.0
+         else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+       in
+       let touched = inum f "wasted_touched" in
+       let waste =
+         if touched = 0 then 0.0
+         else 100.0 *. fnum f "wasted_cone" /. float_of_int touched
+       in
+       Printf.printf "  %-24s %5d %5d %6d %6d %6d %6.1f%% %6.1f%% %9s %5s\n" name
+         (inum f "inflight") (inum f "queue_depth") (inum f "shed")
+         (inum f "completed") (inum f "active_leases") cache waste (shard_p95 f)
+         (match List.assoc_opt "draining" f with
+         | Some (Bool true) -> "yes"
+         | _ -> "no")
+     in
+     let poll it =
+       Printf.printf "hlsc top: poll %d%s, %d daemon%s\n" it
+         (if iterations > 0 then Printf.sprintf " of %d" iterations else "")
+         (List.length wl)
+         (if List.length wl = 1 then "" else "s");
+       Printf.printf "  %-24s %5s %5s %6s %6s %6s %7s %7s %9s %5s\n" "worker"
+         "infl" "queue" "shed" "compl" "lease" "cache%" "waste%" "p95sh/ms"
+         "drain";
+       List.iter
+         (fun (name, addr) ->
+           match
+             Client.one_shot ~deadline_s:(Float.max 5.0 interval) addr
+               "{\"op\":\"stats\",\"id\":\"top\"}"
+           with
+           | Error m -> Printf.printf "  %-24s unreachable: %s\n" name m
+           | Ok body -> (
+             match
+               Result.bind (Protocol.response_status body) (fun (_, j) ->
+                   Protocol.obj_fields j)
+             with
+             | Error m -> Printf.printf "  %-24s bad reply: %s\n" name m
+             | Ok f -> render_line name f))
+         wl;
+       flush stdout
+     in
+     let rec loop it =
+       if iterations > 0 && it > iterations then Ok ()
+       else begin
+         if it > 1 then Unix.sleepf interval;
+         poll it;
+         loop (it + 1)
+       end
+     in
+     loop 1)
+
+(* Fleet observability artifacts of a distributed sweep, written next to
+   the shard journals:
+   - merged-events.jsonl: each completing lease's decision-event stream,
+     tagged with its lease id.  Streams arrive sorted and renumbered, so
+     two identical runs write byte-identical files (workers at --jobs 1).
+   - fleet-trace.json: one Chrome trace with a lane per polled worker,
+     its timestamps shifted onto the supervisor's clock by a midpoint
+     offset estimate, next to the supervisor's own lane.
+   - fleet-counters.json: worker.<name>.* counters plus fleet.* sums.
+   - crash-worker-<name>.json: the last heartbeat-carried snapshot of
+     each worker declared lost — the dispatcher's postmortem salvage. *)
+let fleet_artifacts ~dir ~workers (o : Dispatch.outcome) =
+  let module J = Obs.Json in
+  let module T = Obs.Telemetry in
+  let write path body =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc body)
+  in
+  let safe_name =
+    String.map (function
+      | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.') as c -> c
+      | _ -> '_')
+  in
+  try
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (lease, lines) ->
+        List.iter
+          (fun line ->
+            match Result.bind (J.parse line) Obs.Events.of_json with
+            | Ok e ->
+              Buffer.add_string buf
+                (Obs.Events.tagged_to_jsonl_line ~stream:lease e);
+              Buffer.add_char buf '\n'
+            | Error _ -> ())
+          lines)
+      o.Dispatch.lease_events;
+    write (Filename.concat dir "merged-events.jsonl") (Buffer.contents buf);
+    (* Midpoint clock-offset estimate: the worker read its clock somewhere
+       between our request and its reply; assume the middle.  Good to a
+       few milliseconds on loopback — enough to line fleet lanes up. *)
+    let polled =
+      List.filter_map
+        (fun (wname, addr) ->
+          let t0 = T.uptime_ns () in
+          match
+            Client.one_shot ~deadline_s:10.0 addr
+              "{\"op\":\"telemetry\",\"id\":\"fleet\"}"
+          with
+          | Error _ -> None
+          | Ok body -> (
+            let t1 = T.uptime_ns () in
+            let snap =
+              Result.bind (Protocol.response_status body) (fun (_, j) ->
+                  Result.bind (Protocol.obj_fields j) (fun fields ->
+                      match List.assoc_opt "telemetry" fields with
+                      | Some tj -> T.of_json tj
+                      | None -> Error "no telemetry field"))
+            in
+            match snap with
+            | Error _ -> None
+            | Ok snap ->
+              let offset = ((t0 + t1) / 2) - snap.T.clock_ns in
+              Some (wname, offset, snap)))
+        workers
+    in
+    let self = T.capture () in
+    let lanes =
+      T.lane_events ~pid:self.T.pid ~offset_ns:0 ~process_name:"supervisor" self
+      @ List.concat_map
+          (fun (wname, offset, snap) ->
+            T.lane_events ~pid:snap.T.pid ~offset_ns:offset ~process_name:wname
+              snap)
+          polled
+    in
+    write
+      (Filename.concat dir "fleet-trace.json")
+      (J.to_string (J.Obj [ ("traceEvents", J.List lanes) ]));
+    let totals = Hashtbl.create 64 in
+    let per_worker =
+      List.concat_map
+        (fun (wname, _offset, snap) ->
+          List.map
+            (fun (k, v) ->
+              Hashtbl.replace totals k
+                (v + Option.value ~default:0 (Hashtbl.find_opt totals k));
+              (Printf.sprintf "worker.%s.%s" wname k, J.Int v))
+            (T.counters snap))
+        polled
+    in
+    let fleet =
+      Hashtbl.fold (fun k v acc -> ("fleet." ^ k, J.Int v) :: acc) totals []
+      |> List.sort compare
+    in
+    write
+      (Filename.concat dir "fleet-counters.json")
+      (J.to_string (J.Obj (per_worker @ fleet)));
+    List.iter
+      (fun (wname, tj) ->
+        write
+          (Filename.concat dir ("crash-worker-" ^ safe_name wname ^ ".json"))
+          tj)
+      o.Dispatch.lost_telemetry;
+    Printf.printf
+      "sweep: fleet telemetry: %d of %d workers polled, %d lease event \
+       stream%s, %d lost-worker postmortem%s -> %s\n"
+      (List.length polled) (List.length workers)
+      (List.length o.Dispatch.lease_events)
+      (if List.length o.Dispatch.lease_events = 1 then "" else "s")
+      (List.length o.Dispatch.lost_telemetry)
+      (if List.length o.Dispatch.lost_telemetry = 1 then "" else "s")
+      dir;
+    Ok ()
+  with
+  | Sys_error m -> Error (Internal m)
+  | Unix.Unix_error (e, _, p) -> Error (Internal (p ^ ": " ^ Unix.error_message e))
+
 let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows iis
     recover corpus take shards shard journal_file dir jobs workers lease_points
-    lease_deadline heartbeat steal progress csv json stats trace events force =
-  with_obs ~stats ~trace ~events ~force @@ fun () ->
+    lease_deadline heartbeat steal progress csv json stats trace events force
+    no_crash =
+  with_obs ~stats ~trace ~events ~force ~no_crash @@ fun () ->
   finish
     (let* lib = lib_of lib_s in
      let* config = config_of validate max_recoveries in
@@ -1488,6 +1792,11 @@ let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows ii
            lease_deadline;
            heartbeat;
            steal;
+           (* One sweep, one trace: every lease and heartbeat is stamped
+              with this id, so worker request spans parent under the
+              supervisor in the merged fleet trace.  The id never lands in
+              provenance files, so it cannot perturb byte-identity. *)
+           trace_id = Some (Printf.sprintf "sweep-%d" (Unix.getpid ()));
          }
        in
        let total_points =
@@ -1578,6 +1887,7 @@ let sweep_cmd source builtin clock lib_s validate max_recoveries clocks flows ii
            stats_m.Shard.journals
            (if stats_m.Shard.journals = 1 then "" else "s")
            merged_path stats_m.Shard.entries stats_m.Shard.duplicates;
+         let* () = fleet_artifacts ~dir ~workers:wl o in
          if not o.Dispatch.complete then
            Error
              (Interrupted
@@ -1950,19 +2260,19 @@ let run_t =
   Cmd.v (Cmd.info "run" ~doc:"Run one scheduling flow and print the result")
     Term.(const run_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
           $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg
-          $ force_arg)
+          $ force_arg $ crash_arg)
 
 let compare_t =
   Cmd.v (Cmd.info "compare" ~doc:"Conventional vs slack-based, side by side")
     Term.(const compare_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
           $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg
-          $ force_arg)
+          $ force_arg $ crash_arg)
 
 let slack_t =
   Cmd.v (Cmd.info "slack" ~doc:"Pre-schedule sequential-slack report")
     Term.(const slack_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg
           $ validate_arg $ max_recoveries_arg $ stats_arg $ trace_arg $ events_arg
-          $ force_arg)
+          $ force_arg $ crash_arg)
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE"
@@ -1972,7 +2282,7 @@ let emit_t =
   Cmd.v (Cmd.info "emit" ~doc:"Run a flow and write the Verilog rendering")
     Term.(const emit_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
           $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg
-          $ events_arg $ force_arg)
+          $ events_arg $ force_arg $ crash_arg)
 
 let clocks_arg =
   Arg.(value & opt string "auto" & info [ "clocks" ] ~docv:"SPEC"
@@ -2073,7 +2383,7 @@ let explore_t =
           $ iis_arg $ recover_arg $ jobs_arg $ cache_arg $ point_deadline_arg
           $ deadline_arg $ retries_arg $ strict_arg $ journal_arg $ resume_arg
           $ shard_arg $ csv_arg $ json_arg $ stats_arg $ trace_arg $ events_arg
-          $ force_arg $ progress_arg)
+          $ force_arg $ crash_arg $ progress_arg)
 
 let corpus_out_arg =
   Arg.(value & opt string "corpus/manifest.tsv" & info [ "out"; "o" ] ~docv:"FILE"
@@ -2099,7 +2409,7 @@ let corpus_t =
     (Cmd.info "corpus"
        ~doc:"Generate or verify the seeded 100-design validation corpus manifest")
     Term.(const corpus_cmd $ corpus_out_arg $ corpus_seed_arg $ corpus_count_arg
-          $ corpus_verify_arg $ stats_arg $ trace_arg $ events_arg $ force_arg)
+          $ corpus_verify_arg $ stats_arg $ trace_arg $ events_arg $ force_arg $ crash_arg)
 
 let merge_inputs_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"JOURNAL"
@@ -2114,7 +2424,7 @@ let merge_journals_t =
     (Cmd.info "merge-journals"
        ~doc:"Validate and merge disjoint shard journals into one resumable journal")
     Term.(const merge_journals_cmd $ merge_inputs_arg $ merge_output_arg
-          $ stats_arg $ trace_arg $ events_arg $ force_arg)
+          $ stats_arg $ trace_arg $ events_arg $ force_arg $ crash_arg)
 
 let sweep_corpus_arg =
   Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"MANIFEST"
@@ -2197,7 +2507,7 @@ let sweep_t =
           $ shards_arg $ shard_arg $ journal_arg $ sweep_dir_arg $ jobs_arg
           $ workers_arg $ lease_points_arg $ lease_deadline_arg $ heartbeat_arg
           $ steal_arg $ sweep_progress_arg $ csv_arg $ json_arg $ stats_arg
-          $ trace_arg $ events_arg $ force_arg)
+          $ trace_arg $ events_arg $ force_arg $ crash_arg)
 
 let count_arg =
   Arg.(value & opt int 25 & info [ "count"; "n" ] ~docv:"N"
@@ -2223,28 +2533,28 @@ let fuzz_t =
        ~doc:"Random designs through every flow under invariant validation")
     Term.(const fuzz_cmd $ count_arg $ seed_arg $ lib_arg $ fuzz_validate_arg
           $ max_recoveries_arg $ grids_fuzz_arg $ stats_arg $ trace_arg $ events_arg
-          $ force_arg)
+          $ force_arg $ crash_arg)
 
 let dot_t =
   Cmd.v
     (Cmd.info "dot" ~doc:"Dump Graphviz renderings (CFG, DFG+spans, timed DFG, schedule)")
     Term.(const dot_cmd $ source_arg $ design_arg $ clock_arg $ lib_arg $ flow_arg
           $ validate_arg $ max_recoveries_arg $ output_arg $ stats_arg $ trace_arg
-          $ events_arg $ force_arg)
+          $ events_arg $ force_arg $ crash_arg)
 
 let explain_t =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Replay a provenance event file into one operation's decision timeline")
     Term.(const explain_cmd $ explain_file_arg $ explain_op_arg $ stats_arg
-          $ trace_arg $ events_arg $ force_arg)
+          $ trace_arg $ events_arg $ force_arg $ crash_arg)
 
 let diff_events_t =
   Cmd.v
     (Cmd.info "diff-events"
        ~doc:"Localize the first divergence between two provenance event files")
     Term.(const diff_events_cmd $ diff_a_arg $ diff_b_arg $ diff_context_arg
-          $ stats_arg $ trace_arg $ events_arg $ force_arg)
+          $ stats_arg $ trace_arg $ events_arg $ force_arg $ crash_arg)
 
 let serve_t =
   Cmd.v
@@ -2256,8 +2566,8 @@ let serve_t =
           $ drain_deadline_arg $ read_timeout_arg $ serve_deadline_arg
           $ point_deadline_arg $ serve_retries_arg $ backoff_arg $ journal_arg
           $ cache_arg $ serve_corpus_arg $ once_arg $ request_script_arg
-          $ drain_after_points_arg $ stats_arg $ trace_arg $ events_arg
-          $ force_arg)
+          $ drain_after_points_arg $ metrics_arg $ serve_telemetry_arg
+          $ stats_arg $ trace_arg $ events_arg $ force_arg $ crash_arg)
 
 let req_retry_arg =
   Arg.(value & opt int 0 & info [ "retry" ] ~docv:"N"
@@ -2274,7 +2584,30 @@ let request_t =
           $ req_json_arg $ req_id_arg $ req_design_arg $ clock_arg $ flow_arg
           $ clocks_arg $ grid_flows_arg $ iis_arg $ recover_arg
           $ serve_deadline_arg $ point_deadline_arg $ req_retry_arg $ stats_arg
-          $ trace_arg $ events_arg $ force_arg)
+          $ trace_arg $ events_arg $ force_arg $ crash_arg)
+
+let top_workers_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"ADDR"
+         ~doc:"Daemon addresses to poll (HOST:PORT or unix:PATH).")
+
+let top_interval_arg =
+  Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS"
+         ~doc:"Seconds between polls (default 1.0).")
+
+let top_iterations_arg =
+  Arg.(value & opt int 0 & info [ "iterations"; "n" ] ~docv:"N"
+         ~doc:"Stop after N polls; 0 (default) runs until interrupted.")
+
+let top_t =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Poll a fleet of synthesis daemons and render a once-per-interval \
+             dashboard: inflight/queue depth, shed and completed requests, \
+             active leases, cache hit rate, wasted-work ratio and \
+             shard-lease latency p95 per worker")
+    Term.(const top_cmd $ top_workers_arg $ top_interval_arg
+          $ top_iterations_arg $ stats_arg $ trace_arg $ events_arg $ force_arg
+          $ crash_arg)
 
 let () =
   let doc = "slack-budgeting high-level synthesis (DATE 2012 reproduction)" in
@@ -2314,5 +2647,5 @@ let () =
           [
             run_t; compare_t; slack_t; emit_t; explore_t; corpus_t; sweep_t;
             merge_journals_t; explain_t; diff_events_t; fuzz_t; dot_t; serve_t;
-            request_t;
+            request_t; top_t;
           ]))

@@ -37,6 +37,7 @@ type config = {
   worker_strikes : int;
   backoff : float;
   steal : bool;
+  trace_id : string option;
 }
 
 let default_config =
@@ -50,6 +51,7 @@ let default_config =
     worker_strikes = 3;
     backoff = 0.05;
     steal = false;
+    trace_id = None;
   }
 
 type outcome = {
@@ -63,6 +65,8 @@ type outcome = {
   duplicate_replies : int;
   workers_lost : int;
   responses : (string * string) list;
+  lease_events : (string * string list) list;
+  lost_telemetry : (string * string) list;
 }
 
 (* -- internal state ------------------------------------------------- *)
@@ -85,6 +89,9 @@ type worker = {
   mutable w_misses : int;  (* consecutive missed heartbeats *)
   mutable w_hb_killed : bool;  (* the heartbeat detector fired *)
   mutable w_fd : Unix.file_descr option;  (* data connection, for shutdown *)
+  mutable w_telemetry : string option;
+      (* last telemetry snapshot a health reply carried — the flight
+         recorder's remote half: archived when this worker is lost *)
 }
 
 type st = {
@@ -96,6 +103,9 @@ type st = {
   mutable queue : lease list;
   mutable active : (lease * worker) list;
   salvage : (string, string list) Hashtbl.t;  (* lease id -> record lines *)
+  lease_events : (string, string list) Hashtbl.t;
+      (* lease id -> decision-event JSONL lines from the completing reply;
+         first completion wins (duplicates are byte-identical anyway) *)
   mutable responses : (string * string) list;  (* newest first *)
   mutable next_id : int;
   mutable n_leases : int;
@@ -269,9 +279,11 @@ let requeue_busy st w l ~eligible_in =
           contain st "worker_busy" "requeue"
       | _ -> ()))
 
-let finish_lease st w l lines =
+let finish_lease st w l ?(events = []) lines =
   with_mu st (fun () ->
       ignore (absorb_locked st lines ~salvaged:false);
+      if events <> [] && not (Hashtbl.mem st.lease_events l.l_id) then
+        Hashtbl.replace st.lease_events l.l_id events;
       st.active <- List.filter (fun (al, _) -> al != l) st.active;
       Hashtbl.remove st.salvage l.l_id;
       w.w_strikes <- 0;
@@ -289,12 +301,21 @@ let set_abort st msg = with_mu st (fun () -> if st.abort = None then st.abort <-
 
 (* -- the per-worker sender ------------------------------------------ *)
 
+(* Stamp the supervisor's trace context on every lease: the worker opens
+   its request span with these attributes, which is what links its lane to
+   this sweep in the merged fleet trace. *)
+let trace_ctx st ~lease =
+  Option.map
+    (fun tid -> { Protocol.trace_id = tid; parent = "dispatch"; lease })
+    st.cfg.trace_id
+
 let lease_request st l =
   let j = l.l_job in
   Protocol.request_to_json
     {
       Protocol.id = l.l_id;
       deadline_s = Some st.cfg.lease_deadline;
+      trace = trace_ctx st ~lease:(Some l.l_id);
       req =
         Protocol.Shard_explore
           {
@@ -395,8 +416,17 @@ let run_lease st w client l =
                   | Ok ls -> ls
                   | Error _ -> []
                 in
+                let events =
+                  match Protocol.str_list_field fields "events" with
+                  | Ok es -> es
+                  | Error _ -> []
+                in
                 match status with
-                | "ok" -> finish_lease st w l lines
+                | "ok" ->
+                  (* Only a completed lease ships its events: a partial
+                     window depends on where the cancel landed and would
+                     break the merged file's byte-identity. *)
+                  finish_lease st w l ~events lines
                 | "partial" ->
                     (* graceful drain mid-lease: the reply is the durable
                        journal payload — salvage it, requeue the rest *)
@@ -474,7 +504,13 @@ let heartbeater st w =
   if st.cfg.heartbeat > 0.0 then begin
     let payload =
       J.to_string
-        (Protocol.request_to_json { Protocol.id = "hb"; deadline_s = None; req = Protocol.Health })
+        (Protocol.request_to_json
+           {
+             Protocol.id = "hb";
+             deadline_s = None;
+             trace = trace_ctx st ~lease:None;
+             req = Protocol.Health;
+           })
     in
     let rec loop () =
       if st.stop || not w.w_alive then ()
@@ -486,7 +522,14 @@ let heartbeater st w =
           | Ok body -> (
               w.w_misses <- 0;
               match Protocol.response_status body with
-              | Ok (_, J.Obj fields) -> with_mu st (fun () -> record_salvage st fields)
+              | Ok (_, J.Obj fields) ->
+                  with_mu st (fun () ->
+                      record_salvage st fields;
+                      (* keep the newest heartbeat-sized snapshot — the
+                         postmortem artifact if this worker dies *)
+                      match List.assoc_opt "telemetry" fields with
+                      | Some tj -> w.w_telemetry <- Some (J.to_string tj)
+                      | None -> ())
               | _ -> ())
           | Error _ ->
               w.w_misses <- w.w_misses + 1;
@@ -546,6 +589,7 @@ let run (cfg : config) jobs =
             w_misses = 0;
             w_hb_killed = false;
             w_fd = None;
+            w_telemetry = None;
           })
         cfg.workers
     in
@@ -559,6 +603,7 @@ let run (cfg : config) jobs =
         queue = [];
         active = [];
         salvage = Hashtbl.create 16;
+        lease_events = Hashtbl.create 16;
         responses = [];
         next_id = 0;
         n_leases = 0;
@@ -647,6 +692,31 @@ let run (cfg : config) jobs =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.table []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
     in
+    (* Lease ids are L0, L1, … minted in plan order — sorting the event
+       streams by that deterministic id (numerically, so L10 follows L9)
+       is what makes the merged provenance file independent of which
+       worker happened to run which lease. *)
+    let lease_order a b =
+      let num s =
+        if String.length s > 1 && s.[0] = 'L' then
+          int_of_string_opt (String.sub s 1 (String.length s - 1))
+        else None
+      in
+      match (num a, num b) with
+      | Some x, Some y -> compare x y
+      | _ -> String.compare a b
+    in
+    let lease_events =
+      Hashtbl.fold (fun id evs acc -> (id, evs) :: acc) st.lease_events []
+      |> List.sort (fun (a, _) (b, _) -> lease_order a b)
+    in
+    let lost_telemetry =
+      List.filter_map
+        (fun w ->
+          if w.w_alive then None
+          else Option.map (fun tj -> (w.w_name, tj)) w.w_telemetry)
+        st.workers
+    in
     Ok
       {
         records;
@@ -659,5 +729,7 @@ let run (cfg : config) jobs =
         duplicate_replies = st.n_duplicates;
         workers_lost = st.n_lost;
         responses = List.rev st.responses;
+        lease_events;
+        lost_telemetry;
       }
   end

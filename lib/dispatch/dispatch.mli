@@ -66,6 +66,11 @@ type config = {
   worker_strikes : int;  (** consecutive lease failures before a worker is lost *)
   backoff : float;  (** base of the exponential reassignment backoff *)
   steal : bool;  (** split straggler tails to idle workers *)
+  trace_id : string option;
+      (** when set, every lease and health probe is stamped with this
+          {!Protocol.trace_ctx} id (parent ["dispatch"], lease id on
+          leases) so worker request spans link under the supervisor's
+          trace in the merged fleet view *)
 }
 
 val default_config : config
@@ -87,6 +92,16 @@ type outcome = {
   workers_lost : int;
   responses : (string * string) list;
       (** containment log, oldest first: [(detector, response)] pairs *)
+  lease_events : (string * string list) list;
+      (** per-lease decision-event JSONL lines shipped by completing [ok]
+          replies, sorted by lease id (numerically: L0, L1, …, L10).  At
+          worker [--jobs 1] each stream is a pure function of the leased
+          keys, so the supervisor's merged provenance file is
+          byte-identical across re-runs regardless of lease placement. *)
+  lost_telemetry : (string * string) list;
+      (** [(worker name, telemetry JSON)] — the last heartbeat-carried
+          {!Obs.Telemetry} snapshot of each worker declared lost; the
+          supervisor archives these as postmortem artifacts *)
 }
 
 val run : config -> job list -> (outcome, string) result

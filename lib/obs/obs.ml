@@ -1,4 +1,5 @@
 external now_ns : unit -> int64 = "hls_obs_monotonic_ns"
+external os_pid : unit -> int = "hls_obs_pid"
 
 let epoch_ns = now_ns ()
 
@@ -505,6 +506,28 @@ module Events = struct
             | Some e -> e
             | None -> assert false))
 
+  (* Windowed capture: [mark] pins the current sequence cursor; [since]
+     returns only the events emitted after it.  A worker daemon uses the
+     pair to ship each lease's decision events without also shipping every
+     earlier request's — the ring is shared process state, the window is
+     not. *)
+  let mark () = locked (fun () -> !next_seq)
+
+  let since ~mark = List.filter (fun e -> e.seq >= mark) (events ())
+
+  let renumber evs = List.mapi (fun i e -> { e with seq = i }) evs
+
+  (* Sample payloads carry wall-clock-derived quantities (utilization,
+     queue gauges), so they differ across identical runs; everything else
+     is a pure function of the input and belongs in deterministic
+     provenance files. *)
+  let deterministic e =
+    match e.payload with
+    | Worker_sample _ | Serve_sample _ | Dispatch_sample _ -> false
+    | Slack_computed _ | Delay_update _ | Budget_round _ | Edge_scheduled _
+    | Op_picked _ | Recovery_step _ ->
+      true
+
   let to_json e =
     let open Json in
     let base tag fields = Obj (("type", String tag) :: ("seq", Int e.seq) :: fields) in
@@ -717,6 +740,75 @@ module Events = struct
         in
         go 1 [])
 
+  (* ---------------------------------------------------------------- *)
+  (* Tagged multi-worker streams.  A merged provenance file interleaves
+     several independent seq streams, one per lease; each line carries a
+     "worker" tag naming its stream.  [of_json] tolerates the extra
+     field, so tagged files load anywhere — but the tagged loader also
+     enforces the per-stream contract: within one stream, sequence
+     numbers strictly increase.  A violation names the offending stream
+     and line instead of silently replaying a corrupted merge. *)
+
+  type tagged = { stream : string option; event : t }
+
+  let tagged_to_json ~stream e =
+    match to_json e with
+    | Json.Obj fields -> Json.Obj (("worker", Json.String stream) :: fields)
+    | j -> j
+
+  let tagged_to_jsonl_line ~stream e = Json.to_string (tagged_to_json ~stream e)
+
+  let of_json_tagged j =
+    match of_json j with
+    | Error _ as e -> e
+    | Ok event ->
+      let stream =
+        match j with
+        | Json.Obj fields -> (
+          match List.assoc_opt "worker" fields with
+          | Some (Json.String s) -> Some s
+          | _ -> None)
+        | _ -> None
+      in
+      Ok { stream; event }
+
+  let stream_name = function
+    | Some s -> Printf.sprintf "stream %S" s
+    | None -> "untagged stream"
+
+  let load_tagged ~path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        (* Last seen seq per stream; the untagged stream keys as "". *)
+        let last : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        let key = function Some s -> "s:" ^ s | None -> "" in
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go (lineno + 1) acc
+          | line -> (
+            match Json.parse line with
+            | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+            | Ok j -> (
+              match of_json_tagged j with
+              | Error m -> Error (Printf.sprintf "line %d: %s" lineno m)
+              | Ok te -> (
+                let k = key te.stream in
+                match Hashtbl.find_opt last k with
+                | Some prev when te.event.seq <= prev ->
+                  Error
+                    (Printf.sprintf
+                       "line %d: %s: seq %d after seq %d — per-stream \
+                        sequence numbers must increase"
+                       lineno (stream_name te.stream) te.event.seq prev)
+                | _ ->
+                  Hashtbl.replace last k te.event.seq;
+                  go (lineno + 1) (te :: acc))))
+        in
+        go 1 [])
+
   (* Divergence localization: two runs that should be identical (the
      byte-identical-equivalence proof of an incremental engine) are
      compared positionally; the first mismatching event, with its
@@ -760,6 +852,30 @@ module Events = struct
       | ea :: ra, eb :: rb ->
         if ea = eb then go (index + 1) ra rb
         else Some { index; a = Some ea; b = Some eb; fields = field_diffs ea eb }
+    in
+    go 0 a b
+
+  (* Tagged variant: two merged files diverge when either the event or
+     the stream it belongs to differs; a stream mismatch shows up as a
+     synthetic "worker" field diff. *)
+  let diff_tagged a b =
+    let show = function Some s -> Printf.sprintf "%S" s | None -> "<untagged>" in
+    let rec go index a b =
+      match (a, b) with
+      | [], [] -> None
+      | ta :: _, [] -> Some { index; a = Some ta.event; b = None; fields = [] }
+      | [], tb :: _ -> Some { index; a = None; b = Some tb.event; fields = [] }
+      | ta :: ra, tb :: rb ->
+        if ta.stream = tb.stream && ta.event = tb.event then go (index + 1) ra rb
+        else
+          let fields =
+            let base = field_diffs ta.event tb.event in
+            if ta.stream = tb.stream then base
+            else
+              { field = "worker"; a_val = show ta.stream; b_val = show tb.stream }
+              :: base
+          in
+          Some { index; a = Some ta.event; b = Some tb.event; fields }
     in
     go 0 a b
 end
@@ -844,6 +960,46 @@ let span ?(attrs = []) name f =
       f
   end
 
+(* A span recorded after the fact, without the domain-local nesting
+   stack.  The serve daemon handles every connection on systhreads that
+   share domain 0, so nested [span] calls from concurrent requests would
+   corrupt each other's DLS path; request spans instead measure with
+   [now_ns] and record the closed interval here.  Attrs carry the remote
+   trace context, which is how a worker's request slice ends up under the
+   supervisor's trace id in a merged Chrome trace. *)
+let note_span ?(attrs = []) ~name ~t0_ns ~t1_ns () =
+  if not st.collecting then ()
+  else
+    let dur = Int64.sub t1_ns t0_ns in
+    locked (fun () ->
+        if st.stats_on then begin
+          let a =
+            match Hashtbl.find_opt st.span_aggs name with
+            | Some a -> a
+            | None ->
+              let a = new_span_agg () in
+              Hashtbl.replace st.span_aggs name a;
+              a
+          in
+          a.s_count <- a.s_count + 1;
+          a.s_total_ns <- Int64.add a.s_total_ns dur
+        end;
+        if st.trace_on then
+          ignore
+            (Vec.push st.trace_buf
+               {
+                 ev_name = name;
+                 ev_path = name;
+                 ev_ts_ns = Int64.sub t0_ns epoch_ns;
+                 ev_dur_ns = dur;
+                 ev_tid = (Domain.self () :> int);
+                 ev_attrs = attrs;
+               }))
+
+(* The calling domain's currently open span stack, outermost first — the
+   flight recorder dumps it so a crash names the phase it died in. *)
+let open_spans () = List.rev (Domain.DLS.get path_key)
+
 (* ------------------------------------------------------------------ *)
 (* Outputs *)
 
@@ -858,6 +1014,14 @@ let span_stats () =
         (fun path a acc -> (path, a.s_count, Int64.to_float a.s_total_ns) :: acc)
         st.span_aggs [])
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let dists_snapshot () =
+  (* Collect handles under the lock, compute stats outside it —
+     [dist_stats] takes the lock itself. *)
+  locked (fun () -> Hashtbl.fold (fun _ d acc -> d :: acc) dists [])
+  |> List.filter_map (fun d ->
+         Option.map (fun s -> (d.d_name, s)) (dist_stats d))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
 (* Work-attribution profiling: Gc.quick_stat deltas per span, and the
@@ -1005,6 +1169,368 @@ module Prof = struct
       in
       Ok { mode; sections; counters }
     | _ -> Error "snapshot is not a JSON object"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shippable telemetry: the whole ledger of one process as a typed,
+   JSON-serialisable snapshot.  A worker daemon answers a [telemetry]
+   request with one of these; the sweep supervisor merges snapshots from
+   every worker into a fleet Chrome trace (one lane per worker), a
+   namespaced counter snapshot and a merged provenance event file.
+   Timestamps are nanoseconds on this process's monotonic clock relative
+   to its own epoch — cross-process alignment is the merger's job (it
+   estimates the clock offset from the request round-trip). *)
+
+module Telemetry = struct
+  type trace_entry = {
+    t_name : string;
+    t_path : string;
+    t_ts_ns : int;  (* relative to the captured process's epoch *)
+    t_dur_ns : int;
+    t_tid : int;
+    t_attrs : (string * string) list;
+  }
+
+  type heap_entry = {
+    h_ts_ns : int;
+    h_tid : int;
+    h_minor_w : float;
+    h_major_w : float;
+  }
+
+  type snapshot = {
+    pid : int;
+    clock_ns : int;  (* capture time on the captured process's clock *)
+    prof : Prof.snapshot;  (* span tree with GC columns + counters *)
+    dists : (string * dist_stats) list;
+    trace : trace_entry list;
+    heap : heap_entry list;
+    events : string list;  (* event ring tail as JSONL lines, seq-stamped *)
+  }
+
+  let c_captures = counter "obs.telemetry.captures"
+
+  let uptime_ns () = Int64.to_int (Int64.sub (now_ns ()) epoch_ns)
+
+  let rec drop k l =
+    if k <= 0 then l else match l with [] -> [] | _ :: t -> drop (k - 1) t
+
+  let capture ?(events_limit = 4096) ?(include_trace = true) () =
+    incr c_captures;
+    let trace, heap =
+      if not include_trace then ([], [])
+      else
+        locked (fun () ->
+            ( Vec.fold_left
+                (fun acc (ev : trace_event) ->
+                  {
+                    t_name = ev.ev_name;
+                    t_path = ev.ev_path;
+                    t_ts_ns = Int64.to_int ev.ev_ts_ns;
+                    t_dur_ns = Int64.to_int ev.ev_dur_ns;
+                    t_tid = ev.ev_tid;
+                    t_attrs = ev.ev_attrs;
+                  }
+                  :: acc)
+                [] st.trace_buf
+              |> List.rev,
+              Vec.fold_left
+                (fun acc (g : gc_trace_sample) ->
+                  {
+                    h_ts_ns = Int64.to_int g.g_ts_ns;
+                    h_tid = g.g_tid;
+                    h_minor_w = g.g_minor_w;
+                    h_major_w = g.g_major_w;
+                  }
+                  :: acc)
+                [] st.gc_buf
+              |> List.rev ))
+    in
+    let evs = Events.events () in
+    let evs = drop (List.length evs - max 0 events_limit) evs in
+    {
+      pid = os_pid ();
+      clock_ns = uptime_ns ();
+      prof = Prof.snapshot ~mode:"telemetry";
+      dists = dists_snapshot ();
+      trace;
+      heap;
+      events = List.map Events.to_jsonl_line evs;
+    }
+
+  let counters s = s.prof.Prof.counters
+
+  let dist_to_json (d : dist_stats) =
+    let open Json in
+    Obj
+      [
+        ("n", Int d.n);
+        ("min", Float d.dmin);
+        ("max", Float d.dmax);
+        ("mean", Float d.mean);
+        ("p50", Float d.p50);
+        ("p95", Float d.p95);
+      ]
+
+  let to_json s =
+    let open Json in
+    Obj
+      [
+        ("pid", Int s.pid);
+        ("clock_ns", Int s.clock_ns);
+        ("prof", Prof.snapshot_to_json ~harness:"slackhls-telemetry" s.prof);
+        ("dists", Obj (List.map (fun (n, d) -> (n, dist_to_json d)) s.dists));
+        ( "trace",
+          List
+            (List.map
+               (fun t ->
+                 Obj
+                   ([
+                      ("name", String t.t_name);
+                      ("path", String t.t_path);
+                      ("ts_ns", Int t.t_ts_ns);
+                      ("dur_ns", Int t.t_dur_ns);
+                      ("tid", Int t.t_tid);
+                    ]
+                   @
+                   match t.t_attrs with
+                   | [] -> []
+                   | attrs ->
+                     [
+                       ( "attrs",
+                         Obj (List.map (fun (k, v) -> (k, String v)) attrs) );
+                     ]))
+               s.trace) );
+        ( "heap",
+          List
+            (List.map
+               (fun h ->
+                 Obj
+                   [
+                     ("ts_ns", Int h.h_ts_ns);
+                     ("tid", Int h.h_tid);
+                     ("minor_w", Float h.h_minor_w);
+                     ("major_w", Float h.h_major_w);
+                   ])
+               s.heap) );
+        ("events", List (List.map (fun l -> String l) s.events));
+      ]
+
+  let of_json doc =
+    let open Json in
+    let fail m = raise (Parse_error m) in
+    let decode () =
+      match doc with
+      | Obj fields ->
+        let int k d =
+          match List.assoc_opt k fields with Some (Int i) -> i | _ -> d
+        in
+        let num = function
+          | Some (Float f) -> f
+          | Some (Int i) -> float_of_int i
+          | _ -> 0.0
+        in
+        let prof =
+          match List.assoc_opt "prof" fields with
+          | Some p -> (
+            match Prof.snapshot_of_json p with
+            | Ok s -> s
+            | Error m -> fail (Printf.sprintf "prof: %s" m))
+          | None -> { Prof.mode = "telemetry"; sections = []; counters = [] }
+        in
+        let dists =
+          match List.assoc_opt "dists" fields with
+          | Some (Obj ds) ->
+            List.filter_map
+              (function
+                | name, Obj dv ->
+                  let f k = num (List.assoc_opt k dv) in
+                  let n =
+                    match List.assoc_opt "n" dv with Some (Int i) -> i | _ -> 0
+                  in
+                  Some
+                    ( name,
+                      {
+                        n;
+                        dmin = f "min";
+                        dmax = f "max";
+                        mean = f "mean";
+                        p50 = f "p50";
+                        p95 = f "p95";
+                      } )
+                | _ -> None)
+              ds
+          | _ -> []
+        in
+        let trace =
+          match List.assoc_opt "trace" fields with
+          | Some (List ts) ->
+            List.filter_map
+              (function
+                | Obj tv ->
+                  let str k =
+                    match List.assoc_opt k tv with
+                    | Some (String s) -> s
+                    | _ -> ""
+                  in
+                  let i k =
+                    match List.assoc_opt k tv with Some (Int v) -> v | _ -> 0
+                  in
+                  let attrs =
+                    match List.assoc_opt "attrs" tv with
+                    | Some (Obj avs) ->
+                      List.filter_map
+                        (function k, String v -> Some (k, v) | _ -> None)
+                        avs
+                    | _ -> []
+                  in
+                  Some
+                    {
+                      t_name = str "name";
+                      t_path = str "path";
+                      t_ts_ns = i "ts_ns";
+                      t_dur_ns = i "dur_ns";
+                      t_tid = i "tid";
+                      t_attrs = attrs;
+                    }
+                | _ -> None)
+              ts
+          | _ -> []
+        in
+        let heap =
+          match List.assoc_opt "heap" fields with
+          | Some (List hs) ->
+            List.filter_map
+              (function
+                | Obj hv ->
+                  let i k =
+                    match List.assoc_opt k hv with Some (Int v) -> v | _ -> 0
+                  in
+                  Some
+                    {
+                      h_ts_ns = i "ts_ns";
+                      h_tid = i "tid";
+                      h_minor_w = num (List.assoc_opt "minor_w" hv);
+                      h_major_w = num (List.assoc_opt "major_w" hv);
+                    }
+                | _ -> None)
+              hs
+          | _ -> []
+        in
+        let events =
+          match List.assoc_opt "events" fields with
+          | Some (List ls) ->
+            List.filter_map (function String l -> Some l | _ -> None) ls
+          | _ -> []
+        in
+        { pid = int "pid" 0; clock_ns = int "clock_ns" 0; prof; dists; trace; heap; events }
+      | _ -> fail "telemetry snapshot is not a JSON object"
+    in
+    match decode () with
+    | s -> Ok s
+    | exception Parse_error m -> Error m
+
+  (* One worker's lane of a merged Chrome trace: its span slices and heap
+     samples shifted by the supervisor-estimated clock offset and tagged
+     with a per-worker pid, plus a process_name metadata record so the
+     trace viewer labels the lane. *)
+  let lane_events ~pid ~offset_ns ?process_name s =
+    let open Json in
+    let ts ns = Float (float_of_int (ns + offset_ns) /. 1e3) in
+    let meta =
+      match process_name with
+      | None -> []
+      | Some label ->
+        [
+          Obj
+            [
+              ("name", String "process_name");
+              ("ph", String "M");
+              ("pid", Int pid);
+              ("tid", Int 0);
+              ("args", Obj [ ("name", String label) ]);
+            ];
+        ]
+    in
+    let slices =
+      List.map
+        (fun t ->
+          Obj
+            [
+              ("name", String t.t_name);
+              ("cat", String "hls");
+              ("ph", String "X");
+              ("ts", ts t.t_ts_ns);
+              ("dur", Float (float_of_int t.t_dur_ns /. 1e3));
+              ("pid", Int pid);
+              ("tid", Int t.t_tid);
+              ( "args",
+                Obj
+                  (("path", String t.t_path)
+                  :: List.map (fun (k, v) -> (k, String v)) t.t_attrs) );
+            ])
+        s.trace
+    in
+    let heap =
+      List.map
+        (fun h ->
+          Obj
+            [
+              ("name", String "heap words");
+              ("cat", String "hls");
+              ("ph", String "C");
+              ("ts", ts h.h_ts_ns);
+              ("pid", Int pid);
+              ("tid", Int h.h_tid);
+              ( "args",
+                Obj
+                  [
+                    ("minor_words", Float h.h_minor_w);
+                    ("major_words", Float h.h_major_w);
+                  ] );
+            ])
+        s.heap
+    in
+    meta @ slices @ heap
+end
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition: every counter as a monotone `<name>_total`
+   and every distribution as a summary with p50/p95 quantiles.  Dots and
+   other non-metric characters become underscores, so `serve.requests`
+   scrapes as `serve_requests_total`. *)
+
+module Expo = struct
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
+  let render_into ~counters ~dists =
+    let buf = Buffer.create 2048 in
+    List.iter
+      (fun (name, v) ->
+        let m = sanitize name ^ "_total" in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" m v))
+      counters;
+    List.iter
+      (fun (name, (s : dist_stats)) ->
+        let m = sanitize name in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" m);
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"0.5\"} %g\n" m s.p50);
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"0.95\"} %g\n" m s.p95);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum %g\n" m (s.mean *. float_of_int s.n));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m s.n))
+      dists;
+    Buffer.contents buf
+
+  let render () =
+    render_into ~counters:(counters_snapshot ()) ~dists:(dists_snapshot ())
 end
 
 let pp_ns ns =

@@ -73,6 +73,27 @@ val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     the hierarchical text report and the Chrome trace.  Exceptions
     propagate; the span still closes. *)
 
+val note_span :
+  ?attrs:(string * string) list ->
+  name:string ->
+  t0_ns:int64 ->
+  t1_ns:int64 ->
+  unit ->
+  unit
+(** Record an already-measured interval ([now_ns] values) as a closed
+    span, bypassing the domain-local nesting stack.  For callers whose
+    concurrency unit is a systhread sharing one domain (the serve
+    daemon's connection handlers), where nested {!span}s from concurrent
+    requests would corrupt each other's path.  Attrs land in the Chrome
+    trace [args] — request handlers put the remote trace context there,
+    which is what parents a worker's slice under the supervisor's trace
+    id after a fleet merge. *)
+
+val open_spans : unit -> string list
+(** The calling domain's currently open span stack, outermost first.
+    Dumped by the crash flight recorder so a postmortem names the phase
+    the process died in. *)
+
 val collecting : unit -> bool
 (** Whether spans are currently being timed (stats or trace enabled). *)
 
@@ -99,6 +120,9 @@ val counters_snapshot : unit -> (string * int) list
 
 val span_stats : unit -> (string * int * float) list
 (** Aggregated spans as [(path, count, total_ns)], sorted by path. *)
+
+val dists_snapshot : unit -> (string * dist_stats) list
+(** Every distribution with at least one sample, sorted by name. *)
 
 
 val report : unit -> string
@@ -272,6 +296,26 @@ module Events : sig
   val events : unit -> t list
   (** Buffered events, oldest first. *)
 
+  val mark : unit -> int
+  (** The current sequence cursor: the seq the next emitted event will
+      get.  Pins a window for {!since}. *)
+
+  val since : mark:int -> t list
+  (** Buffered events with [seq >= mark], oldest first — the events
+      emitted after {!mark} returned (minus any the ring dropped). *)
+
+  val renumber : t list -> t list
+  (** Re-stamp sequence numbers from 0 in list order.  A worker ships
+      each lease's event window renumbered, so the shipped stream is a
+      pure function of the lease — independent of what the daemon served
+      before it. *)
+
+  val deterministic : t -> bool
+  (** Whether the payload is identical across identical runs.  Sample
+      payloads ([Worker_sample]/[Serve_sample]/[Dispatch_sample]) carry
+      wall-clock-derived gauges and are excluded from provenance files
+      that must be byte-stable. *)
+
   val set_hook : (t -> unit) option -> unit
   (** Called synchronously on every recorded event, under the internal
       mutex: the hook must be fast and must not call back into [Obs]
@@ -287,6 +331,25 @@ module Events : sig
   (** Write every buffered event as one JSON object per line. *)
 
   val load_jsonl : path:string -> (t list, string) result
+
+  (** {2 Tagged multi-worker streams}
+
+      A merged provenance file interleaves independent seq streams, one
+      per lease, each line tagged with a ["worker"] field naming its
+      stream.  {!of_json} tolerates the tag, so tagged files load
+      anywhere; the tagged loader additionally enforces that sequence
+      numbers strictly increase {e within each stream} and names the
+      offending stream and line on a violation. *)
+
+  type tagged = { stream : string option; event : t }
+
+  val tagged_to_jsonl_line : stream:string -> t -> string
+  (** {!to_jsonl_line} with a leading ["worker"] tag field. *)
+
+  val load_tagged : path:string -> (tagged list, string) result
+  (** Load a (possibly merged, possibly untagged) JSONL file, checking
+      per-stream seq monotonicity.  Untagged lines form one anonymous
+      stream. *)
 
   (** {2 Divergence localization}
 
@@ -309,4 +372,90 @@ module Events : sig
   val diff : t list -> t list -> divergence option
   (** [None] when the streams are identical (same length, equal events in
       order). *)
+
+  val diff_tagged : tagged list -> tagged list -> divergence option
+  (** {!diff} over tagged streams: a stream-tag mismatch diverges too,
+      reported as a synthetic ["worker"] field diff. *)
+end
+
+(** {1 Shippable telemetry}
+
+    The whole ledger of one process — span tree with GC columns, counters,
+    distributions, Chrome-trace slices, and the event-ring tail as JSONL —
+    as a typed, JSON-serialisable snapshot.  A worker daemon answers a
+    [telemetry] request with one; the sweep supervisor merges snapshots
+    from every worker into a fleet trace (one lane per worker), a
+    namespaced counter snapshot, and a merged provenance file.  All
+    timestamps are monotonic nanoseconds relative to the captured
+    process's own epoch; cross-process alignment is the merger's job
+    ({!Telemetry.lane_events} applies its clock-offset estimate). *)
+
+module Telemetry : sig
+  type trace_entry = {
+    t_name : string;
+    t_path : string;
+    t_ts_ns : int;  (** relative to the captured process's epoch *)
+    t_dur_ns : int;
+    t_tid : int;
+    t_attrs : (string * string) list;
+  }
+
+  type heap_entry = {
+    h_ts_ns : int;
+    h_tid : int;
+    h_minor_w : float;
+    h_major_w : float;
+  }
+
+  type snapshot = {
+    pid : int;
+    clock_ns : int;  (** capture time on the captured process's clock *)
+    prof : Prof.snapshot;  (** span tree with GC columns + counters *)
+    dists : (string * dist_stats) list;
+    trace : trace_entry list;
+    heap : heap_entry list;
+    events : string list;  (** event-ring tail as JSONL lines, seq-stamped *)
+  }
+
+  val uptime_ns : unit -> int
+  (** Monotonic nanoseconds since this process's telemetry epoch — the
+      clock {!snapshot.clock_ns} and every trace timestamp are on. *)
+
+  val capture : ?events_limit:int -> ?include_trace:bool -> unit -> snapshot
+  (** Snapshot the current process ledger.  [events_limit] (default 4096)
+      keeps only the event-ring tail; [include_trace:false] omits the
+      trace/heap buffers (heartbeat-sized snapshots).  Bumps
+      [obs.telemetry.captures]. *)
+
+  val counters : snapshot -> (string * int) list
+
+  val to_json : snapshot -> Json.t
+  val of_json : Json.t -> (snapshot, string) result
+
+  val lane_events :
+    pid:int -> offset_ns:int -> ?process_name:string -> snapshot -> Json.t list
+  (** Render one snapshot as a Chrome-trace lane: its slices and heap
+      samples shifted by [offset_ns] (the merger's clock-offset estimate
+      for this worker), tagged with lane id [pid], preceded by a
+      [process_name] metadata record when a label is given. *)
+end
+
+(** {1 Metrics exposition} *)
+
+module Expo : sig
+  val sanitize : string -> string
+  (** Metric-name sanitisation: anything outside [[a-zA-Z0-9_]] becomes
+      ['_'], so [serve.requests] exposes as [serve_requests]. *)
+
+  val render_into :
+    counters:(string * int) list ->
+    dists:(string * dist_stats) list ->
+    string
+  (** Prometheus text format: every counter as [<name>_total] with a
+      [# TYPE] line, every distribution as a summary (p50/p95 quantiles,
+      [_sum], [_count]). *)
+
+  val render : unit -> string
+  (** {!render_into} over the live {!counters_snapshot} and
+      {!dists_snapshot} — what [serve --metrics] serves. *)
 end

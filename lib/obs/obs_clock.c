@@ -5,6 +5,7 @@
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
 #include <time.h>
+#include <unistd.h>
 
 CAMLprim value hls_obs_monotonic_ns(value unit)
 {
@@ -12,4 +13,12 @@ CAMLprim value hls_obs_monotonic_ns(value unit)
   (void)unit;
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}
+
+/* Process id, for tagging telemetry snapshots and crash dumps without
+   pulling the unix library into lib/obs. */
+CAMLprim value hls_obs_pid(value unit)
+{
+  (void)unit;
+  return Val_int((int)getpid());
 }

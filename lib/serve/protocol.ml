@@ -114,10 +114,18 @@ type request =
       keys : string list;
     }
   | Health
+  | Telemetry
+
+type trace_ctx = {
+  trace_id : string;
+  parent : string;
+  lease : string option;
+}
 
 type envelope = {
   id : string;
   deadline_s : float option;
+  trace : trace_ctx option;
   req : request;
 }
 
@@ -156,6 +164,26 @@ let str_list_field fields name =
   | Some _ -> Error (Printf.sprintf "field %S must be a list of strings" name)
   | None -> Error (Printf.sprintf "missing field %S" name)
 
+let trace_of_fields fields =
+  match List.assoc_opt "trace" fields with
+  | None | Some J.Null -> Ok None
+  | Some j ->
+    let* tf = obj_fields j in
+    let* trace_id = str_field tf "id" in
+    let* parent = str_field ~default:"" tf "parent" in
+    let* lease =
+      match List.assoc_opt "lease" tf with
+      | None | Some J.Null -> Ok None
+      | Some (J.String s) -> Ok (Some s)
+      | Some _ -> Error "trace field \"lease\" must be a string"
+    in
+    Ok (Some { trace_id; parent; lease })
+
+let trace_to_json { trace_id; parent; lease } =
+  J.Obj
+    ([ ("id", J.String trace_id); ("parent", J.String parent) ]
+    @ match lease with Some l -> [ ("lease", J.String l) ] | None -> [])
+
 let parse_request payload =
   match J.parse payload with
   | Error m ->
@@ -166,6 +194,7 @@ let parse_request payload =
       let* fields = obj_fields json in
       let* id = str_field ~default:"" fields "id" in
       let* deadline_s = float_field_opt fields "deadline_s" in
+      let* trace = trace_of_fields fields in
       let* op = str_field fields "op" in
       let* req =
         match op with
@@ -173,6 +202,7 @@ let parse_request payload =
         | "stats" -> Ok Stats
         | "shutdown" -> Ok Shutdown
         | "health" -> Ok Health
+        | "telemetry" -> Ok Telemetry
         | "run" ->
           let* design = str_field fields "design" in
           let* clock = float_field_opt fields "clock" in
@@ -201,18 +231,21 @@ let parse_request payload =
         | op ->
           Error
             (Printf.sprintf
-               "unknown op %S (try: ping, stats, shutdown, health, run, explore, \
-                shard_explore)" op)
+               "unknown op %S (try: ping, stats, shutdown, health, telemetry, \
+                run, explore, shard_explore)" op)
       in
-      Ok { id; deadline_s; req }
+      Ok { id; deadline_s; trace; req }
     in
     (match r with Error _ -> Obs.incr c_malformed | Ok _ -> ());
     r
 
-let request_to_json { id; deadline_s; req } =
+let request_to_json { id; deadline_s; trace; req } =
   let common = [ ("id", J.String id) ] in
   let deadline =
     match deadline_s with Some s -> [ ("deadline_s", J.Float s) ] | None -> []
+  in
+  let trace_fields =
+    match trace with Some t -> [ ("trace", trace_to_json t) ] | None -> []
   in
   let op_fields =
     match req with
@@ -220,6 +253,7 @@ let request_to_json { id; deadline_s; req } =
     | Stats -> [ ("op", J.String "stats") ]
     | Shutdown -> [ ("op", J.String "shutdown") ]
     | Health -> [ ("op", J.String "health") ]
+    | Telemetry -> [ ("op", J.String "telemetry") ]
     | Run { design; clock; flow } ->
       [ ("op", J.String "run"); ("design", J.String design);
         ("flow", J.String flow) ]
@@ -242,7 +276,7 @@ let request_to_json { id; deadline_s; req } =
       @ [ ("lease", J.String lease);
           ("keys", J.List (List.map (fun k -> J.String k) keys)) ]
   in
-  J.Obj (common @ deadline @ op_fields)
+  J.Obj (common @ deadline @ trace_fields @ op_fields)
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)

@@ -106,10 +106,25 @@ type request =
           admission, answered even while draining or saturated; carries
           per-lease inflight progress and the durably recorded lines so a
           supervisor can salvage a worker that dies mid-lease *)
+  | Telemetry
+      (** ship the daemon's full {!Obs.Telemetry} snapshot (span tree,
+          counters, distributions, trace slices, event-ring tail) plus a
+          Prometheus rendering — a control request like [Health] *)
+
+(** Cross-process trace context.  A supervisor stamps every request it
+    sends with its own trace id and the span it is under; the server opens
+    its request span with these as attributes, so the merged fleet trace
+    links worker spans causally under the supervisor's sweep. *)
+type trace_ctx = {
+  trace_id : string;  (** one id per sweep/session, minted by the root *)
+  parent : string;  (** the sender's span under which this request runs *)
+  lease : string option;  (** lease id when the request executes a lease *)
+}
 
 type envelope = {
   id : string;  (** echoed verbatim in the response *)
   deadline_s : float option;  (** whole-request deadline *)
+  trace : trace_ctx option;  (** absent for untraced/interactive clients *)
   req : request;
 }
 
@@ -120,6 +135,8 @@ val parse_request : string -> (envelope, string) result
 
 val request_to_json : envelope -> Obs.Json.t
 (** Inverse of {!parse_request} (for clients and tests). *)
+
+val trace_to_json : trace_ctx -> Obs.Json.t
 
 (** {2 Field helpers}
 

@@ -5,6 +5,25 @@ let c_slow_clients = Obs.counter "serve.slow_clients"
 let c_oversized = Obs.counter "serve.oversized"
 let c_retried = Obs.counter "serve.request_retries"
 let c_interrupted = Obs.counter "serve.interrupted"
+let c_metrics_scrapes = Obs.counter "serve.metrics.scrapes"
+
+let op_name = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+  | Protocol.Health -> "health"
+  | Protocol.Telemetry -> "telemetry"
+  | Protocol.Run _ -> "run"
+  | Protocol.Explore _ -> "explore"
+  | Protocol.Shard_explore _ -> "shard_explore"
+
+(* Per-op request latency: counts alone show overload only once the queue
+   is already deep; the p95 moves first. *)
+let latency_dist op = Obs.dist ("serve.latency." ^ op)
+
+let latency_ops =
+  [ "ping"; "stats"; "shutdown"; "health"; "telemetry"; "run"; "explore";
+    "shard_explore" ]
 
 type address = Unix_sock of string | Tcp of int
 
@@ -26,6 +45,8 @@ type config = {
   journal_path : string option;
   cache_path : string option;
   drain_after_points : int option;
+  telemetry : bool;
+  metrics_port : int option;
 }
 
 let default_config =
@@ -47,6 +68,8 @@ let default_config =
     journal_path = None;
     cache_path = None;
     drain_after_points = None;
+    telemetry = false;
+    metrics_port = None;
   }
 
 (* Inflight progress of one shard lease, updated from worker domains via
@@ -62,6 +85,7 @@ type lease_progress = {
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  metrics_fd : Unix.file_descr option;
   pool : Domain_pool.pool;
   cache : Eval_cache.t;
   journal : Journal.writer option;
@@ -119,6 +143,19 @@ let start cfg =
     | exception Sys_error m -> Error m
   in
   Unix.listen listen_fd 64;
+  let* metrics_fd =
+    match cfg.metrics_port with
+    | None -> Ok None
+    | Some port -> (
+      match bind_listener (Tcp port) with
+      | fd ->
+        Unix.listen fd 16;
+        Ok (Some fd)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot bind metrics port %d: %s" port
+             (Unix.error_message e)))
+  in
   (* A client that dies mid-response must cost one EPIPE, not the whole
      daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -142,6 +179,7 @@ let start cfg =
     {
       cfg;
       listen_fd;
+      metrics_fd;
       pool;
       cache;
       journal;
@@ -334,12 +372,25 @@ let execute_shard_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis
         Hashtbl.replace progress.l_records ck (Eval_cache.entry_line ck summary);
         Mutex.unlock progress.l_mu
       in
+      (* Pin the event-ring cursor so the reply can ship exactly this
+         lease's decision events.  Only deterministic payloads, renumbered
+         from 0: the shipped stream is then a pure function of the leased
+         keys, independent of which daemon ran it or what it served
+         before — the property the supervisor's byte-identical merged
+         provenance file rests on. *)
+      let ev_mark = Obs.Events.mark () in
       let outcome =
         sweep_with_retries t
           ~select:(fun pkey -> Hashtbl.mem mine pkey)
           ~on_point ~cancel ~point_deadline ~name:design ~build grid
       in
       note_interrupted t ~cancel outcome;
+      let lease_events =
+        Obs.Events.since ~mark:ev_mark
+        |> List.filter Obs.Events.deterministic
+        |> Obs.Events.renumber
+        |> List.map (fun e -> J.String (Obs.Events.to_jsonl_line e))
+      in
       let digest = outcome.Explore.digest in
       let fingerprint = Explore.config_fingerprint t.cfg.flow_config in
       let records =
@@ -366,6 +417,7 @@ let execute_shard_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis
           ("done", J.Int (List.length outcome.Explore.results));
           ("pending", J.Int outcome.Explore.pending);
           ("records", J.List records);
+          ("events", J.List lease_events);
         ])
 
 (* Liveness probe: answered even while draining or saturated (it bypasses
@@ -396,12 +448,26 @@ let health_response t ~id =
              ])
          (List.sort compare snapshot))
   in
+  let telemetry_field =
+    if not t.cfg.telemetry then []
+    else
+      (* Heartbeat-sized: counters + a short event tail, no trace buffer —
+         health fires once a second per worker and must not ship the whole
+         ledger each time.  The full snapshot travels on the [telemetry]
+         op. *)
+      [
+        ( "telemetry",
+          Obs.Telemetry.to_json
+            (Obs.Telemetry.capture ~events_limit:64 ~include_trace:false ()) );
+      ]
+  in
   Protocol.response ~id ~status:"ok"
-    [
-      ("draining", J.Bool (draining t));
-      ("inflight", J.Int (Admission.inflight t.admission));
-      ("leases", leases_json);
-    ]
+    ([
+       ("draining", J.Bool (draining t));
+       ("inflight", J.Int (Admission.inflight t.admission));
+       ("leases", leases_json);
+     ]
+    @ telemetry_field)
 
 let execute_run t ~id ~deadline_s ~design ~clock ~flow =
   match lookup_design t design with
@@ -442,6 +508,26 @@ let execute_run t ~id ~deadline_s ~design ~clock ~flow =
                else "partial")
             [ ("design", J.String design) ])))
 
+let latency_json () =
+  J.Obj
+    (List.filter_map
+       (fun op ->
+         match Obs.dist_stats (latency_dist op) with
+         | None -> None
+         | Some s ->
+           Some
+             ( op,
+               J.Obj
+                 [
+                   ("n", J.Int s.Obs.n);
+                   ("min_ms", J.Float s.Obs.dmin);
+                   ("max_ms", J.Float s.Obs.dmax);
+                   ("mean_ms", J.Float s.Obs.mean);
+                   ("p50_ms", J.Float s.Obs.p50);
+                   ("p95_ms", J.Float s.Obs.p95);
+                 ] ))
+       latency_ops)
+
 let stats_response t ~id =
   let v name = J.Int (Obs.value (Obs.counter name)) in
   Protocol.response ~id ~status:"ok"
@@ -459,11 +545,27 @@ let stats_response t ~id =
       ("malformed", v "serve.malformed");
       ("request_retries", v "serve.request_retries");
       ("cache_entries", J.Int (Eval_cache.size t.cache));
+      ("cache_hits", v "explore.cache.hits");
+      ("cache_misses", v "explore.cache.misses");
+      ("evaluations", v "explore.evaluations");
+      ("wasted_cone", v "timing.wasted_work_ratio.cone");
+      ("wasted_touched", v "timing.wasted_work_ratio.touched");
       ("journal_records", v "explore.journal.records");
       ("journal_quarantined", v "journal.quarantined");
       ("journal_salvaged", v "journal.salvaged");
       ("active_leases", J.Int (Hashtbl.length t.leases));
       ("draining", J.Bool (draining t));
+      ("latency_ms", latency_json ());
+    ]
+
+(* Full-ledger control reply: the typed snapshot plus its Prometheus
+   rendering, so one op serves both the fleet merger and ad-hoc scrapes
+   over the existing socket. *)
+let telemetry_response ~id =
+  Protocol.response ~id ~status:"ok"
+    [
+      ("telemetry", Obs.Telemetry.to_json (Obs.Telemetry.capture ()));
+      ("expo", J.String (Obs.Expo.render ()));
     ]
 
 let control t (env : Protocol.envelope) =
@@ -476,6 +578,7 @@ let control t (env : Protocol.envelope) =
     drain ~reason:"shutdown request" t;
     Protocol.response ~id ~status:"ok" [ ("draining", J.Bool true) ]
   | Protocol.Health -> health_response t ~id
+  | Protocol.Telemetry -> telemetry_response ~id
   | Protocol.Run _ | Protocol.Explore _ | Protocol.Shard_explore _ ->
     assert false (* dispatched below *)
 
@@ -492,7 +595,8 @@ let execute t (env : Protocol.envelope) =
       { design; clocks; flows; iis; recover; point_deadline; lease; keys } ->
     execute_shard_explore t ~id ~deadline_s ~design ~clocks ~flows ~iis
       ~recover ~point_deadline ~lease ~keys
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Health ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown | Protocol.Health
+  | Protocol.Telemetry ->
     assert false
 
 (* ------------------------------------------------------------------ *)
@@ -536,10 +640,37 @@ let handle_conn t fd =
       | Protocol.Frame payload ->
         (match Protocol.parse_request payload with
         | Error m -> send (Protocol.error_response ~id:"" m)
-        | Ok env -> (
-          match env.Protocol.req with
+        | Ok env ->
+          let op = op_name env.Protocol.req in
+          let t0 = Obs.now_ns () in
+          (* Close the request span even on a write failure: connection
+             handlers are systhreads sharing one domain, so the span is
+             recorded as a closed interval ([note_span]) rather than via
+             the domain-local nesting stack, carrying the remote trace
+             context as attributes — that is what parents this request
+             under the supervisor's trace after a fleet merge. *)
+          let finally () =
+            let t1 = Obs.now_ns () in
+            Obs.observe (latency_dist op)
+              (Int64.to_float (Int64.sub t1 t0) /. 1e6);
+            let attrs =
+              match env.Protocol.trace with
+              | None -> []
+              | Some tc ->
+                [
+                  ("trace_id", tc.Protocol.trace_id);
+                  ("parent", tc.Protocol.parent);
+                ]
+                @ (match tc.Protocol.lease with
+                  | Some l -> [ ("lease", l) ]
+                  | None -> [])
+            in
+            Obs.note_span ~attrs ~name:("serve." ^ op) ~t0_ns:t0 ~t1_ns:t1 ()
+          in
+          Fun.protect ~finally @@ fun () ->
+          (match env.Protocol.req with
           | Protocol.Ping | Protocol.Stats | Protocol.Shutdown
-          | Protocol.Health ->
+          | Protocol.Health | Protocol.Telemetry ->
             send (control t env)
           | Protocol.Run _ | Protocol.Explore _ | Protocol.Shard_explore _ -> (
             match Admission.try_admit t.admission with
@@ -565,6 +696,53 @@ let handle_conn t fd =
   loop ()
 
 (* ------------------------------------------------------------------ *)
+(* Metrics exposition *)
+
+(* Minimal HTTP/1.0 scrape endpoint on loopback: read whatever request
+   head the scraper sends (ignored — every path answers the same
+   payload), write one Prometheus text rendering, close.  Runs until the
+   drain token fires; no keep-alive, no parsing, nothing a scraper can
+   wedge. *)
+let metrics_loop t fd =
+  let rec go () =
+    if not (draining t) then begin
+      (match Unix.select [ fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept fd with
+        | exception Unix.Unix_error _ -> ()
+        | cfd, _ ->
+          Obs.incr c_metrics_scrapes;
+          (try
+             let buf = Bytes.create 2048 in
+             ignore (Unix.read cfd buf 0 (Bytes.length buf))
+           with Unix.Unix_error _ -> ());
+          let body = Obs.Expo.render () in
+          let resp =
+            Printf.sprintf
+              "HTTP/1.0 200 OK\r\n\
+               Content-Type: text/plain; version=0.0.4\r\n\
+               Content-Length: %d\r\n\
+               \r\n\
+               %s"
+              (String.length body) body
+          in
+          (try
+             let n = String.length resp in
+             let rec w off =
+               if off < n then
+                 w (off + Unix.write_substring cfd resp off (n - off))
+             in
+             w 0
+           with Unix.Unix_error _ -> ());
+          (try Unix.close cfd with Unix.Unix_error _ -> ())));
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
 (* Accept loop and drain sequence *)
 
 let accept_loop t =
@@ -583,8 +761,15 @@ let accept_loop t =
   go ()
 
 let serve t =
+  let metrics_th =
+    Option.map (fun fd -> Thread.create (metrics_loop t) fd) t.metrics_fd
+  in
   accept_loop t;
   Admission.start_drain t.admission;
+  Option.iter Thread.join metrics_th;
+  Option.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.metrics_fd;
   let reason = Option.value ~default:"drain" (Cancel.reason t.drain_tok) in
   Printf.eprintf "hlsc serve: draining (%s), %d request(s) in flight\n%!"
     reason

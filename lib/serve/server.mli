@@ -62,6 +62,12 @@ type config = {
       (** test hook: trigger the drain token after this many completed
           point evaluations — the deterministic mid-sweep-drain used by
           the dune rules and CI *)
+  telemetry : bool;
+      (** attach a heartbeat-sized {!Obs.Telemetry} snapshot to [health]
+          replies (the full snapshot always answers the [telemetry] op) *)
+  metrics_port : int option;
+      (** serve {!Obs.Expo.render} over loopback HTTP on this port — a
+          Prometheus scrape endpoint that lives and dies with the daemon *)
 }
 
 val default_config : config

@@ -274,6 +274,139 @@ let test_events_concurrent_jsonl () =
          (List.filteri (fun i _ -> i < List.length seqs - 1) seqs)
          (List.tl seqs))
 
+(* mark/since/renumber: the per-lease shipping window a worker daemon
+   uses — events after the mark, deterministic ones only, re-stamped from
+   0 so the stream is a pure function of the lease. *)
+let test_events_mark_since_renumber () =
+  Obs.Events.enable ~capacity:64 ();
+  Fun.protect ~finally:Obs.Events.disable @@ fun () ->
+  Obs.Events.clear ();
+  for k = 0 to 2 do
+    Obs.Events.emit (Obs.Events.Budget_round { round = k; updates = 0 })
+  done;
+  let mark = Obs.Events.mark () in
+  Obs.Events.emit (Obs.Events.Budget_round { round = 99; updates = 1 });
+  Obs.Events.emit
+    (Obs.Events.Serve_sample
+       { queue_depth = 1; inflight = 1; admitted = 1; shed = 0 });
+  Obs.Events.emit (Obs.Events.Recovery_step { rung = "r"; outcome = "ok" });
+  let window = Obs.Events.since ~mark in
+  Alcotest.(check int) "window holds post-mark events" 3 (List.length window);
+  let shipped =
+    window |> List.filter Obs.Events.deterministic |> Obs.Events.renumber
+  in
+  Alcotest.(check (list int)) "renumbered from 0, samples excluded" [ 0; 1 ]
+    (List.map (fun e -> e.Obs.Events.seq) shipped);
+  (match (List.hd shipped).Obs.Events.payload with
+  | Obs.Events.Budget_round { round; _ } ->
+    Alcotest.(check int) "payload kept through renumbering" 99 round
+  | _ -> Alcotest.fail "unexpected payload");
+  Obs.Events.clear ()
+
+(* Tagged multi-worker files: two interleaved streams load (per-stream
+   monotonicity holds even though the global seq sequence restarts), and
+   a violation names the offending stream. *)
+let test_events_tagged_streams () =
+  let open Obs.Events in
+  let line stream seq round =
+    tagged_to_jsonl_line ~stream { seq; payload = Budget_round { round; updates = 0 } }
+  in
+  let write lines =
+    let path = Filename.temp_file "obs_tagged" ".jsonl" in
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    path
+  in
+  let good = write [ line "L0" 0 1; line "L1" 0 5; line "L0" 1 2; line "L1" 1 6 ] in
+  Fun.protect ~finally:(fun () -> Sys.remove good) (fun () ->
+      match load_tagged ~path:good with
+      | Error m -> Alcotest.fail m
+      | Ok tevs ->
+        Alcotest.(check int) "all lines load" 4 (List.length tevs);
+        Alcotest.(check (list string)) "stream tags kept"
+          [ "L0"; "L1"; "L0"; "L1" ]
+          (List.map
+             (fun te -> Option.value ~default:"?" te.stream)
+             tevs));
+  let bad = write [ line "L0" 0 1; line "L1" 3 5; line "L1" 2 6 ] in
+  Fun.protect ~finally:(fun () -> Sys.remove bad) (fun () ->
+      match load_tagged ~path:bad with
+      | Ok _ -> Alcotest.fail "non-monotone stream must be rejected"
+      | Error m ->
+        Alcotest.(check bool) "error names the offending stream" true
+          (let nl = String.length "L1" and jl = String.length m in
+           let rec go i =
+             i + nl <= jl && (String.sub m i nl = "L1" || go (i + 1))
+           in
+           go 0))
+
+(* The shippable snapshot round-trips through JSON with its counters,
+   spans and event tail intact, and renders as a Chrome lane whose first
+   record is the process_name metadata. *)
+let test_telemetry_roundtrip () =
+  Obs.enable_trace ();
+  Obs.Events.enable ~capacity:64 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.Events.disable ())
+  @@ fun () ->
+  ignore (Obs.span "tele.work" (fun () -> Obs.incr (Obs.counter "tele.test")));
+  Obs.Events.emit (Obs.Events.Budget_round { round = 7; updates = 7 });
+  let snap = Obs.Telemetry.capture () in
+  Alcotest.(check bool) "pid present" true (snap.Obs.Telemetry.pid > 0);
+  match Obs.Telemetry.of_json (Obs.Telemetry.to_json snap) with
+  | Error m -> Alcotest.fail ("snapshot does not round-trip: " ^ m)
+  | Ok snap' ->
+    Alcotest.(check int) "pid survives" snap.Obs.Telemetry.pid
+      snap'.Obs.Telemetry.pid;
+    Alcotest.(check bool) "counter survives" true
+      (List.mem_assoc "tele.test" (Obs.Telemetry.counters snap'));
+    Alcotest.(check int) "event tail survives"
+      (List.length snap.Obs.Telemetry.events)
+      (List.length snap'.Obs.Telemetry.events);
+    let lane =
+      Obs.Telemetry.lane_events ~pid:42 ~offset_ns:1_000 ~process_name:"w0" snap'
+    in
+    (match lane with
+    | Obs.Json.Obj fields :: _ ->
+      Alcotest.(check bool) "lane leads with process_name metadata" true
+        (List.assoc_opt "ph" fields = Some (Obs.Json.String "M"))
+    | _ -> Alcotest.fail "lane must start with a metadata record");
+    Alcotest.(check bool) "lane carries the span slice" true
+      (List.exists
+         (function
+           | Obs.Json.Obj fields ->
+             List.assoc_opt "name" fields = Some (Obs.Json.String "tele.work")
+           | _ -> false)
+         lane)
+
+(* Prometheus exposition: sanitized metric names, counters as _total,
+   distributions as quantile summaries. *)
+let test_expo_render () =
+  let body =
+    Obs.Expo.render_into
+      ~counters:[ ("serve.requests", 17); ("weird-name!", 1) ]
+      ~dists:
+        [
+          ( "serve.latency.ping",
+            { Obs.n = 4; dmin = 1.0; dmax = 9.0; mean = 4.0; p50 = 3.0; p95 = 9.0 }
+          );
+        ]
+  in
+  let has needle =
+    let nl = String.length needle and jl = String.length body in
+    let rec go i = i + nl <= jl && (String.sub body i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter rendered as _total" true
+    (has "serve_requests_total 17");
+  Alcotest.(check bool) "names sanitized" true (has "weird_name__total 1");
+  Alcotest.(check bool) "dist p95 quantile" true
+    (has "quantile=\"0.95\"");
+  Alcotest.(check bool) "dist count" true (has "serve_latency_ping_count 4")
+
 let test_trace_json_shape () =
   Obs.enable_trace ();
   Fun.protect ~finally:Obs.disable @@ fun () ->
@@ -316,5 +449,13 @@ let () =
             test_events_roundtrip;
           Alcotest.test_case "JSONL sink valid under 4 domains" `Quick
             test_events_concurrent_jsonl;
+          Alcotest.test_case "mark/since/renumber shipping window" `Quick
+            test_events_mark_since_renumber;
+          Alcotest.test_case "tagged multi-worker streams load and verify" `Quick
+            test_events_tagged_streams;
+          Alcotest.test_case "telemetry snapshot round-trips and renders a lane"
+            `Quick test_telemetry_roundtrip;
+          Alcotest.test_case "prometheus exposition format" `Quick
+            test_expo_render;
         ] );
     ]

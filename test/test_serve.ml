@@ -51,12 +51,13 @@ let with_server cfg k =
     in
     (r, !code)
 
-let explore_payload ~id ~clocks =
+let explore_payload ?trace ~id ~clocks () =
   J.to_string
     (Protocol.request_to_json
        {
          Protocol.id;
          deadline_s = None;
+         trace;
          req =
            Protocol.Explore
              {
@@ -205,6 +206,8 @@ let test_request_roundtrip () =
     {
       Protocol.id = "r7";
       deadline_s = Some 2.5;
+      trace =
+        Some { Protocol.trace_id = "T-abc"; parent = "dispatch"; lease = Some "L3" };
       req =
         Protocol.Explore
           {
@@ -221,6 +224,74 @@ let test_request_roundtrip () =
   | Error m -> Alcotest.failf "round-trip rejected: %s" m
   | Ok got ->
     Alcotest.(check bool) "round-trips" true (got = env)
+
+(* Any request ⇒ encode ⇒ decode preserves the whole envelope, trace
+   context included: the propagation property every fleet trace rests
+   on — a hop that drops or mangles the trace envelope unlinks a worker
+   lane from its sweep. *)
+let prop_trace_envelope_roundtrip =
+  let open QCheck in
+  let ident = Gen.(string_size ~gen:printable (int_range 0 12)) in
+  let gen_trace =
+    Gen.(
+      map3
+        (fun trace_id parent lease -> { Protocol.trace_id; parent; lease })
+        ident ident (opt ident))
+  in
+  let gen_req =
+    Gen.oneof
+      [
+        Gen.return Protocol.Ping;
+        Gen.return Protocol.Stats;
+        Gen.return Protocol.Shutdown;
+        Gen.return Protocol.Health;
+        Gen.return Protocol.Telemetry;
+        Gen.map
+          (fun design -> Protocol.Run { design; clock = None; flow = "slack" })
+          ident;
+        Gen.map2
+          (fun design clocks ->
+            Protocol.Explore
+              {
+                design;
+                clocks;
+                flows = "slack";
+                iis = "none";
+                recover = "on";
+                point_deadline = None;
+              })
+          ident ident;
+        Gen.map3
+          (fun design lease keys ->
+            Protocol.Shard_explore
+              {
+                design;
+                clocks = "2000:2100:100";
+                flows = "slack";
+                iis = "none";
+                recover = "on";
+                point_deadline = None;
+                lease;
+                keys;
+              })
+          ident ident
+          Gen.(list_size (int_range 0 4) ident);
+      ]
+  in
+  let gen_env =
+    Gen.(
+      map3
+        (fun id trace req -> { Protocol.id; deadline_s = None; trace; req })
+        ident (opt gen_trace) gen_req)
+  in
+  Test.make ~name:"request encode/decode preserves the trace envelope"
+    ~count:300 (make gen_env)
+    (fun env ->
+      match
+        Protocol.parse_request (J.to_string (Protocol.request_to_json env))
+      with
+      | Error _ -> false
+      | Ok got -> got.Protocol.trace = env.Protocol.trace && got = env)
 
 let test_exit_codes () =
   let c = Protocol.exit_code_of_status in
@@ -272,7 +343,7 @@ let test_concurrent_matches_sequential () =
           let send i clocks =
             match
               Client.one_shot (Client.Unix_path sock)
-                (explore_payload ~id:(Printf.sprintf "c%d" i) ~clocks)
+                (explore_payload ~id:(Printf.sprintf "c%d" i) ~clocks ())
             with
             | Ok body -> body
             | Error m -> Alcotest.failf "request %d failed: %s" i m
@@ -311,7 +382,7 @@ let test_overload_burst_sheds () =
             match
               Client.one_shot (Client.Unix_path sock)
                 (explore_payload ~id:(Printf.sprintf "b%d" i)
-                   ~clocks:"2000:2500:5")
+                   ~clocks:"2000:2500:5" ())
             with
             | Ok body -> body
             | Error m -> Alcotest.failf "burst client %d failed: %s" i m))
@@ -400,7 +471,7 @@ let test_drain_journals_and_resumes () =
       (fun _t ->
         match
           Client.one_shot (Client.Unix_path sock)
-            (explore_payload ~id:"d1" ~clocks)
+            (explore_payload ~id:"d1" ~clocks ())
         with
         | Ok body -> body
         | Error m -> Alcotest.failf "drained request failed: %s" m)
@@ -441,6 +512,84 @@ let test_once_ping () =
       Alcotest.(check int) "request code" 0 code
     | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
     Alcotest.(check int) "clean drain exits 0" 0 daemon_code
+
+(* ------------------------------------------------------------------ *)
+(* Fleet observability: the request span carries the remote trace
+   context end-to-end over a real socket, and the telemetry op ships the
+   daemon's typed snapshot plus its Prometheus rendering. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_trace_parents_worker_span () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  (* The in-process daemon shares this test binary's Obs singleton, so
+     its request spans land in our trace buffer — the worker half of a
+     fleet merge, observed directly. *)
+  Obs.enable_trace ();
+  let payload =
+    J.to_string
+      (Protocol.request_to_json
+         {
+           Protocol.id = "t1";
+           deadline_s = None;
+           trace =
+             Some
+               {
+                 Protocol.trace_id = "T-e2e-49f2";
+                 parent = "dispatch";
+                 lease = Some "L0";
+               };
+           req = Protocol.Ping;
+         })
+  in
+  let (), _code =
+    with_server (server_config ~sock ()) (fun _t ->
+        match Client.one_shot (Client.Unix_path sock) payload with
+        | Ok body -> Alcotest.(check string) "ok" "ok" (status_of body)
+        | Error m -> Alcotest.fail m)
+  in
+  let tj = Obs.trace_json () in
+  Obs.disable ();
+  Alcotest.(check bool) "a serve.ping span was recorded" true
+    (contains tj "serve.ping");
+  Alcotest.(check bool) "the span is parented under the supervisor's trace id"
+    true
+    (contains tj "T-e2e-49f2");
+  Alcotest.(check bool) "and names its lease" true (contains tj "L0")
+
+let test_telemetry_op () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let (), _code =
+    with_server (server_config ~sock ()) (fun _t ->
+        match
+          Client.one_shot (Client.Unix_path sock)
+            {|{"op":"telemetry","id":"tele"}|}
+        with
+        | Error m -> Alcotest.fail m
+        | Ok body ->
+          Alcotest.(check string) "ok" "ok" (status_of body);
+          (match field body "telemetry" with
+          | Some (J.Obj _ as tj) -> (
+            match Obs.Telemetry.of_json tj with
+            | Error m -> Alcotest.failf "snapshot does not decode: %s" m
+            | Ok snap ->
+              Alcotest.(check bool) "pid present" true (snap.Obs.Telemetry.pid > 0);
+              Alcotest.(check bool) "counters shipped" true
+                (List.mem_assoc "serve.requests" (Obs.Telemetry.counters snap)))
+          | _ -> Alcotest.fail "response has no telemetry object");
+          match field body "expo" with
+          | Some (J.String s) ->
+            Alcotest.(check bool) "exposition includes serve_requests_total"
+              true
+              (contains s "serve_requests_total")
+          | _ -> Alcotest.fail "response has no expo rendering")
+  in
+  ()
 
 (* ------------------------------------------------------------------ *)
 (* Journal.load robustness (the drain path's other half) *)
@@ -505,6 +654,7 @@ let () =
           Alcotest.test_case "dribbled frame under EINTR assembles" `Quick
             test_read_frame_dribble_eintr;
           QCheck_alcotest.to_alcotest prop_frame_split_roundtrip;
+          QCheck_alcotest.to_alcotest prop_trace_envelope_roundtrip;
           Alcotest.test_case "malformed requests are errors" `Quick
             test_parse_request_errors;
           Alcotest.test_case "request JSON round-trip" `Quick
@@ -524,6 +674,10 @@ let () =
           Alcotest.test_case "drain journals and resumes identically" `Slow
             test_drain_journals_and_resumes;
           Alcotest.test_case "once: scripted ping" `Quick test_once_ping;
+          Alcotest.test_case "trace context parents the worker span" `Quick
+            test_trace_parents_worker_span;
+          Alcotest.test_case "telemetry op ships snapshot + exposition" `Quick
+            test_telemetry_op;
         ] );
       ( "journal",
         [
